@@ -1,0 +1,121 @@
+//! Criterion benches: per-vector detection cost of every scheme.
+//!
+//! Backs Fig. 9's complexity axis and the Table 2 detection column with
+//! wall-clock measurements: FlexCore's per-path work is constant, so total
+//! cost scales with `N_PE`, while the depth-first sphere decoder's cost is
+//! channel- and SNR-dependent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcore::FlexCoreDetector;
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_detect::{FcsdDetector, KBestDetector, MmseDetector, SicDetector, SphereDecoder};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A prepared scenario: channel, prepared detector, batch of observations.
+fn scenario(
+    det: &mut dyn Detector,
+    nt: usize,
+    snr: f64,
+    n_vecs: usize,
+) -> (Vec<Vec<Cx>>, Vec<Vec<usize>>) {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+    let ch = MimoChannel::new(h.clone(), snr);
+    det.prepare(&h, sigma2_from_snr_db(snr));
+    let mut ys = Vec::new();
+    let mut ss = Vec::new();
+    for _ in 0..n_vecs {
+        let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        ys.push(ch.transmit(&x, &mut rng));
+        ss.push(s);
+    }
+    (ys, ss)
+}
+
+fn bench_detectors(crit: &mut Criterion) {
+    let c = Constellation::new(Modulation::Qam16);
+    let nt = 8;
+    let snr = 14.0;
+    let mut group = crit.benchmark_group("detect_8x8_16qam");
+    let mut entries: Vec<(String, Box<dyn Detector>)> = vec![
+        ("mmse".into(), Box::new(MmseDetector::new(c.clone()))),
+        ("sic".into(), Box::new(SicDetector::new(c.clone()))),
+        ("kbest8".into(), Box::new(KBestDetector::new(c.clone(), 8))),
+        ("sphere_ml".into(), Box::new(SphereDecoder::new(c.clone()))),
+        ("fcsd_l1".into(), Box::new(FcsdDetector::new(c.clone(), 1))),
+        (
+            "flexcore_16".into(),
+            Box::new(FlexCoreDetector::with_pes(c.clone(), 16)),
+        ),
+        (
+            "flexcore_64".into(),
+            Box::new(FlexCoreDetector::with_pes(c.clone(), 64)),
+        ),
+    ];
+    for (name, det) in entries.iter_mut() {
+        let (ys, _) = scenario(det.as_mut(), nt, snr, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(name.clone()), &ys, |b, ys| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for y in ys {
+                    acc += det.detect(y)[0];
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flexcore_pe_scaling(crit: &mut Criterion) {
+    // Ablation: detection cost must scale ~linearly in N_PE (Table 2's
+    // N_PE·(2Nt²+2Nt) column).
+    let c = Constellation::new(Modulation::Qam64);
+    let mut group = crit.benchmark_group("flexcore_pe_scaling_12x12_64qam");
+    for n_pe in [8usize, 32, 128] {
+        let mut det = FlexCoreDetector::with_pes(c.clone(), n_pe);
+        let (ys, _) = scenario(&mut det, 12, 22.0, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n_pe), &ys, |b, ys| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for y in ys {
+                    acc += det.detect(y)[0];
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_preparation(crit: &mut Criterion) {
+    // Channel-change cost: QR + error model + pre-processing tree search.
+    let c = Constellation::new(Modulation::Qam64);
+    let mut rng = StdRng::seed_from_u64(0xBE7D);
+    let h = ChannelEnsemble::iid(12, 12).draw(&mut rng);
+    let mut group = crit.benchmark_group("prepare_12x12_64qam");
+    for n_pe in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_pe), &n_pe, |b, &n_pe| {
+            let mut det = FlexCoreDetector::with_pes(c.clone(), n_pe);
+            b.iter(|| {
+                det.prepare(&h, sigma2_from_snr_db(21.6));
+                det.active_paths()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_flexcore_pe_scaling,
+    bench_preparation
+);
+criterion_main!(benches);

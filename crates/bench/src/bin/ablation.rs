@@ -1,0 +1,19 @@
+//! Regenerates the DESIGN.md ablation table (ordering / QR / batching).
+//! `--full` uses the 12x12 64-QAM preset; `--csv` emits CSV.
+
+use flexcore_sim::experiments::ablation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--full") {
+        ablation::Cfg::full()
+    } else {
+        ablation::Cfg::quick()
+    };
+    let table = ablation::run(&cfg);
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_pretty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's fig10 (see DESIGN.md's per-experiment index).
+//! `--full` switches from the quick preset to the deep-Monte-Carlo one;
+//! `--csv` emits machine-readable CSV instead of the aligned table.
+
+use flexcore_sim::experiments::fig10;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--full") {
+        fig10::Cfg::full()
+    } else {
+        fig10::Cfg::quick()
+    };
+    let table = fig10::run(&cfg);
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_pretty());
+    }
+}

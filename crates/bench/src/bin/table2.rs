@@ -1,0 +1,20 @@
+//! Regenerates the paper's table2 (see DESIGN.md's per-experiment index).
+//! `--full` switches from the quick preset to the deep-Monte-Carlo one;
+//! `--csv` emits machine-readable CSV instead of the aligned table.
+
+use flexcore_sim::experiments::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--full") {
+        table2::Cfg::full()
+    } else {
+        table2::Cfg::quick()
+    };
+    let table = table2::run(&cfg);
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_pretty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's table3 (see DESIGN.md's per-experiment index).
+//! `--full` switches from the quick preset to the deep-Monte-Carlo one;
+//! `--csv` emits machine-readable CSV instead of the aligned table.
+
+use flexcore_sim::experiments::table3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--full") {
+        table3::Cfg::full()
+    } else {
+        table3::Cfg::quick()
+    };
+    let table = table3::run(&cfg);
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_pretty());
+    }
+}

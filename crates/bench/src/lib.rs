@@ -1,0 +1,1 @@
+//! Bench harness support crate (binaries live in src/bin).

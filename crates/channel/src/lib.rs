@@ -1,0 +1,31 @@
+//! # flexcore-channel
+//!
+//! MIMO channel models, noise, and channel traces.
+//!
+//! The paper evaluates FlexCore on over-the-air WARP v3 measurements (8×8)
+//! and trace-driven simulation from combined 1×12 measurements (12×12).
+//! That hardware is not available here, so this crate provides the closest
+//! synthetic equivalent (see DESIGN.md "Substitutions"):
+//!
+//! * [`model`] — i.i.d. Rayleigh and Kronecker spatially-correlated channel
+//!   ensembles, with the paper's ≤ 3 dB per-user SNR spread control;
+//! * [`trace`] — a line-oriented text trace format plus reader/writer, so
+//!   large-array evaluations are *trace-driven* exactly as in §5.1 of the
+//!   paper (generate once, replay across detectors);
+//! * condition-number statistics to sanity-check ensembles against the
+//!   paper's "well-conditioned when users ≪ AP antennas" observations.
+//!
+//! SNR convention: `snr_db` is the **per-stream** (per-user) SNR
+//! `Es/σ²` with `Es = 1`, so `σ² = 10^(−snr_db/10)`. The paper's quoted
+//! operating points (13.5 dB / 21.6 dB for 12×12) use this convention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod timevar;
+pub mod trace;
+
+pub use model::{sigma2_from_snr_db, snr_db_from_sigma2, ChannelEnsemble, MimoChannel};
+pub use timevar::GaussMarkovChannel;
+pub use trace::{read_traces, write_traces, TraceSet};

@@ -1,0 +1,269 @@
+//! Channel ensembles and the AWGN uplink model.
+
+use flexcore_numeric::eig::condition_number;
+use flexcore_numeric::rng::CxRng;
+use flexcore_numeric::solve::cholesky;
+use flexcore_numeric::{CMat, Cx};
+use rand::Rng;
+
+/// Converts a per-stream SNR in dB (`Es/σ²`, `Es = 1`) to the complex noise
+/// variance `σ²`.
+pub fn sigma2_from_snr_db(snr_db: f64) -> f64 {
+    10f64.powf(-snr_db / 10.0)
+}
+
+/// Inverse of [`sigma2_from_snr_db`].
+pub fn snr_db_from_sigma2(sigma2: f64) -> f64 {
+    -10.0 * sigma2.log10()
+}
+
+/// Parameters of a randomly drawn MIMO uplink ensemble.
+///
+/// Each draw produces an `Nr × Nt` channel whose entries are unit-variance
+/// complex Gaussians (Rayleigh magnitudes), optionally spatially correlated
+/// at the AP side (Kronecker model, exponential correlation profile), with a
+/// bounded per-user gain spread.
+#[derive(Clone, Debug)]
+pub struct ChannelEnsemble {
+    /// Number of AP (receive) antennas.
+    pub nr: usize,
+    /// Number of single-antenna users (transmit streams).
+    pub nt: usize,
+    /// Receive-side correlation coefficient `ρ ∈ [0, 1)`; 0 = i.i.d.
+    /// The paper's co-located AP antennas (~6 cm apart at 5 GHz) exhibit
+    /// mild correlation; 0.0–0.4 is a realistic range.
+    pub rx_correlation: f64,
+    /// Maximum per-user SNR spread in dB. The paper's scheduler keeps the
+    /// individual SNRs of scheduled users within 3 dB of each other (§5.1),
+    /// which bounds the channel's condition number.
+    pub user_snr_spread_db: f64,
+}
+
+impl ChannelEnsemble {
+    /// An i.i.d. Rayleigh ensemble with the paper's 3 dB user spread.
+    pub fn iid(nr: usize, nt: usize) -> Self {
+        ChannelEnsemble {
+            nr,
+            nt,
+            rx_correlation: 0.0,
+            user_snr_spread_db: 3.0,
+        }
+    }
+
+    /// Draws one channel matrix.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> CMat {
+        assert!(self.nr >= self.nt, "uplink requires Nr >= Nt");
+        assert!((0.0..1.0).contains(&self.rx_correlation));
+        let mut h = CMat::from_fn(self.nr, self.nt, |_, _| rng.cx_normal(1.0));
+        if self.rx_correlation > 0.0 {
+            let sqrt_r = correlation_sqrt(self.nr, self.rx_correlation);
+            h = sqrt_r.mul_mat(&h);
+        }
+        // Per-user gain spread: users are scheduled so their SNRs differ by
+        // at most `user_snr_spread_db`; realise that as a per-column gain
+        // drawn uniformly in dB across the allowed window.
+        if self.user_snr_spread_db > 0.0 {
+            for c in 0..self.nt {
+                let gain_db =
+                    rng.gen_range(-self.user_snr_spread_db / 2.0..=self.user_snr_spread_db / 2.0);
+                let g = 10f64.powf(gain_db / 20.0);
+                for r in 0..self.nr {
+                    h[(r, c)] = h[(r, c)].scale(g);
+                }
+            }
+        }
+        h
+    }
+
+    /// Draws `n` channels (a synthetic "trace campaign").
+    pub fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<CMat> {
+        (0..n).map(|_| self.draw(rng)).collect()
+    }
+
+    /// Mean 2-norm condition number over `n` draws — the paper's indicator
+    /// of channel favourability.
+    pub fn mean_condition_number<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> f64 {
+        (0..n)
+            .map(|_| condition_number(&self.draw(rng)))
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+/// Hermitian square root (Cholesky factor) of the exponential correlation
+/// matrix `R[i][j] = ρ^|i−j|`.
+fn correlation_sqrt(n: usize, rho: f64) -> CMat {
+    let r = CMat::from_fn(n, n, |i, j| {
+        Cx::real(rho.powi((i as i32 - j as i32).abs()))
+    });
+    cholesky(&r).expect("exponential correlation matrix is PD for rho in [0,1)")
+}
+
+/// One concrete channel use: `y = H·s + n` with `n ~ CN(0, σ²·I)`.
+#[derive(Clone, Debug)]
+pub struct MimoChannel {
+    /// Channel matrix (`Nr × Nt`).
+    pub h: CMat,
+    /// Complex noise variance per receive antenna.
+    pub sigma2: f64,
+}
+
+impl MimoChannel {
+    /// Creates a channel use at the given per-stream SNR.
+    pub fn new(h: CMat, snr_db: f64) -> Self {
+        MimoChannel {
+            h,
+            sigma2: sigma2_from_snr_db(snr_db),
+        }
+    }
+
+    /// Number of receive antennas.
+    pub fn nr(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Number of transmit streams.
+    pub fn nt(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// Passes a symbol vector through the channel, adding fresh AWGN.
+    pub fn transmit<R: Rng + ?Sized>(&self, s: &[Cx], rng: &mut R) -> Vec<Cx> {
+        assert_eq!(s.len(), self.nt(), "transmit: symbol count != Nt");
+        let mut y = self.h.mul_vec(s);
+        for v in &mut y {
+            *v += rng.cx_normal(self.sigma2);
+        }
+        y
+    }
+
+    /// Noise-free channel output (for testing).
+    pub fn transmit_noiseless(&self, s: &[Cx]) -> Vec<Cx> {
+        self.h.mul_vec(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_numeric::mat::norm_sqr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snr_sigma_roundtrip() {
+        for snr in [-3.0, 0.0, 13.5, 21.6, 40.0] {
+            let s2 = sigma2_from_snr_db(snr);
+            assert!((snr_db_from_sigma2(s2) - snr).abs() < 1e-12);
+        }
+        assert!((sigma2_from_snr_db(0.0) - 1.0).abs() < 1e-15);
+        assert!((sigma2_from_snr_db(10.0) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iid_entries_unit_variance() {
+        let ens = ChannelEnsemble {
+            user_snr_spread_db: 0.0,
+            ..ChannelEnsemble::iid(8, 8)
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut acc = 0.0;
+        let n = 300;
+        for _ in 0..n {
+            let h = ens.draw(&mut rng);
+            acc += h.fro_norm().powi(2) / 64.0;
+        }
+        let var = acc / n as f64;
+        assert!((var - 1.0).abs() < 0.05, "mean entry variance {var}");
+    }
+
+    #[test]
+    fn snr_spread_bounds_column_gains() {
+        let ens = ChannelEnsemble::iid(12, 12);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Column energy ratio across many draws stays within the 3 dB window
+        // on average (each column's expected energy is scaled by at most
+        // ±1.5 dB).
+        let n = 400;
+        let mut emin: f64 = f64::INFINITY;
+        let mut emax: f64 = 0.0;
+        let mut sums = vec![0.0f64; 12];
+        for _ in 0..n {
+            let h = ens.draw(&mut rng);
+            for c in 0..12 {
+                sums[c] += norm_sqr(&h.col(c)) / 12.0;
+            }
+        }
+        for s in &sums {
+            let e = s / n as f64;
+            emin = emin.min(e);
+            emax = emax.max(e);
+        }
+        // All columns share the same distribution → long-run energies close.
+        let ratio_db = 10.0 * (emax / emin).log10();
+        assert!(ratio_db < 1.5, "per-user long-run spread {ratio_db} dB");
+    }
+
+    #[test]
+    fn correlation_raises_condition_number() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let iid = ChannelEnsemble {
+            rx_correlation: 0.0,
+            user_snr_spread_db: 0.0,
+            ..ChannelEnsemble::iid(8, 8)
+        };
+        let corr = ChannelEnsemble {
+            rx_correlation: 0.8,
+            user_snr_spread_db: 0.0,
+            ..ChannelEnsemble::iid(8, 8)
+        };
+        let k_iid = iid.mean_condition_number(&mut rng, 60);
+        let k_corr = corr.mean_condition_number(&mut rng, 60);
+        assert!(
+            k_corr > 1.5 * k_iid,
+            "correlated {k_corr} vs iid {k_iid}"
+        );
+    }
+
+    #[test]
+    fn fewer_users_improves_conditioning() {
+        // The paper's Fig. 10 premise: Nt ≪ Nr gives a well-conditioned
+        // channel where even linear detection performs well.
+        let mut rng = StdRng::seed_from_u64(4);
+        let full = ChannelEnsemble::iid(12, 12).mean_condition_number(&mut rng, 60);
+        let light = ChannelEnsemble::iid(12, 6).mean_condition_number(&mut rng, 60);
+        assert!(light < full, "12x6 {light} should beat 12x12 {full}");
+    }
+
+    #[test]
+    fn transmit_adds_noise_of_right_power() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = CMat::identity(4);
+        let ch = MimoChannel::new(h, 10.0); // σ² = 0.1
+        let s = vec![Cx::ONE; 4];
+        let n = 4000;
+        let mut p = 0.0;
+        for _ in 0..n {
+            let y = ch.transmit(&s, &mut rng);
+            p += y.iter().map(|&v| (v - Cx::ONE).norm_sqr()).sum::<f64>() / 4.0;
+        }
+        let measured = p / n as f64;
+        assert!((measured - 0.1).abs() < 0.01, "noise power {measured}");
+    }
+
+    #[test]
+    fn transmit_noiseless_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let ch = MimoChannel::new(h.clone(), 20.0);
+        let s: Vec<Cx> = (0..4).map(|i| Cx::new(i as f64, -(i as f64))).collect();
+        assert_eq!(ch.transmit_noiseless(&s), h.mul_vec(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "Nr >= Nt")]
+    fn rejects_overloaded_uplink() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = ChannelEnsemble::iid(4, 8).draw(&mut rng);
+    }
+}

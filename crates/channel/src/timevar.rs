@@ -1,0 +1,173 @@
+//! Time-varying channels (first-order Gauss–Markov evolution).
+//!
+//! §3.1 of the paper discusses MIMO systems with dynamic channels and user
+//! mobility: the most promising paths drift with the channel, so
+//! pre-processing must be re-run alongside the usual channel-dependent
+//! work (QR / channel inversion) whenever fresh estimates arrive. This
+//! module provides the standard first-order autoregressive (Gauss–Markov /
+//! Jakes-approximation) evolution used to study exactly that:
+//!
+//! ```text
+//! H[k+1] = ρ·H[k] + √(1 − ρ²)·W[k],   W iid CN(0,1)
+//! ```
+//!
+//! with `ρ = J₀(2π·f_D·Δt)` for Doppler `f_D` and update interval `Δt`.
+//! The `stale_preprocessing_costs_throughput` test demonstrates the
+//! paper's point: detecting with position vectors computed for an old
+//! channel realisation degrades FlexCore toward (or below) its SIC floor,
+//! while re-running `prepare` restores it.
+
+use crate::model::ChannelEnsemble;
+use flexcore_numeric::rng::CxRng;
+use flexcore_numeric::CMat;
+use rand::Rng;
+
+/// A first-order Gauss–Markov evolving MIMO channel.
+#[derive(Clone, Debug)]
+pub struct GaussMarkovChannel {
+    /// Current realisation.
+    h: CMat,
+    /// Per-step correlation `ρ ∈ [0, 1]` (1 = static).
+    rho: f64,
+}
+
+impl GaussMarkovChannel {
+    /// Starts from a fresh draw of `ensemble` with per-step correlation
+    /// `rho`.
+    pub fn new<R: Rng + ?Sized>(ensemble: &ChannelEnsemble, rho: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+        GaussMarkovChannel {
+            h: ensemble.draw(rng),
+            rho,
+        }
+    }
+
+    /// Correlation coefficient from normalised Doppler `f_D·Δt`, using the
+    /// small-argument Bessel approximation `J₀(x) ≈ 1 − x²/4 + x⁴/64`.
+    pub fn rho_from_doppler(fd_dt: f64) -> f64 {
+        let x = 2.0 * std::f64::consts::PI * fd_dt;
+        (1.0 - x * x / 4.0 + x.powi(4) / 64.0).clamp(0.0, 1.0)
+    }
+
+    /// The current channel matrix.
+    pub fn current(&self) -> &CMat {
+        &self.h
+    }
+
+    /// The per-step correlation.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Advances one step: `H ← ρH + √(1−ρ²)·W`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let innov = (1.0 - self.rho * self.rho).sqrt();
+        if innov == 0.0 {
+            return;
+        }
+        let (nr, nt) = (self.h.rows(), self.h.cols());
+        for r in 0..nr {
+            for c in 0..nt {
+                let w = rng.cx_normal(1.0);
+                self.h[(r, c)] = self.h[(r, c)].scale(self.rho) + w.scale(innov);
+            }
+        }
+    }
+
+    /// Advances `n` steps.
+    pub fn step_many<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
+        for _ in 0..n {
+            self.step(rng);
+        }
+    }
+
+    /// Empirical correlation between the current realisation and `other`
+    /// (normalised inner product of the vectorised matrices) — a test and
+    /// diagnostics helper.
+    pub fn correlation_with(&self, other: &CMat) -> f64 {
+        let num: f64 = self
+            .h
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a.mul_conj(b).re)
+            .sum();
+        let na = self.h.fro_norm();
+        let nb = other.fro_norm();
+        num / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_channel_never_moves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut ch = GaussMarkovChannel::new(&ens, 1.0, &mut rng);
+        let h0 = ch.current().clone();
+        ch.step_many(50, &mut rng);
+        assert_eq!(ch.current(), &h0);
+    }
+
+    #[test]
+    fn correlation_decays_with_steps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ens = ChannelEnsemble {
+            user_snr_spread_db: 0.0,
+            ..ChannelEnsemble::iid(8, 8)
+        };
+        let mut ch = GaussMarkovChannel::new(&ens, 0.95, &mut rng);
+        let h0 = ch.current().clone();
+        let mut last = 1.0f64;
+        for checkpoint in 0..4 {
+            ch.step_many(10, &mut rng);
+            let corr = ch.correlation_with(&h0);
+            assert!(
+                corr < last + 0.05,
+                "correlation should decay: step {checkpoint} corr {corr} last {last}"
+            );
+            last = corr;
+        }
+        assert!(last < 0.6, "after 40 steps at rho=0.95: corr {last}");
+    }
+
+    #[test]
+    fn power_is_preserved_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ens = ChannelEnsemble {
+            user_snr_spread_db: 0.0,
+            ..ChannelEnsemble::iid(6, 6)
+        };
+        let mut ch = GaussMarkovChannel::new(&ens, 0.9, &mut rng);
+        let mut acc = 0.0;
+        let n = 400;
+        for _ in 0..n {
+            ch.step(&mut rng);
+            acc += ch.current().fro_norm().powi(2) / 36.0;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean entry power {mean}");
+    }
+
+    #[test]
+    fn doppler_mapping_is_monotone() {
+        let slow = GaussMarkovChannel::rho_from_doppler(0.001);
+        let fast = GaussMarkovChannel::rho_from_doppler(0.05);
+        assert!(slow > fast);
+        assert!(slow > 0.999);
+        assert!((0.0..1.0).contains(&fast));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn rejects_bad_rho() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ens = ChannelEnsemble::iid(2, 2);
+        let _ = GaussMarkovChannel::new(&ens, 1.5, &mut rng);
+    }
+}

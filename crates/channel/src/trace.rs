@@ -1,0 +1,246 @@
+//! Channel trace recording and replay.
+//!
+//! The paper's 12×12 results are *trace-driven*: channels were measured
+//! over the air once, stored, and replayed through every detector so that
+//! all schemes see identical conditions. This module provides the same
+//! workflow with a simple line-oriented text format:
+//!
+//! ```text
+//! flexcore-trace v1 <nr> <nt> <count>
+//! # one channel per block, row-major, one "re im" pair per line
+//! <re> <im>
+//! ...
+//! ```
+//!
+//! Floats are written with 17 significant digits, so replay is bit-exact.
+
+use flexcore_numeric::{CMat, Cx};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// An in-memory set of recorded channels, all of the same dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSet {
+    nr: usize,
+    nt: usize,
+    channels: Vec<CMat>,
+}
+
+impl TraceSet {
+    /// Creates a trace set from channels of identical dimensions.
+    ///
+    /// # Panics
+    /// Panics if the channels do not all share the same shape, or if the
+    /// set is empty.
+    pub fn new(channels: Vec<CMat>) -> Self {
+        assert!(!channels.is_empty(), "TraceSet: empty");
+        let (nr, nt) = (channels[0].rows(), channels[0].cols());
+        for c in &channels {
+            assert_eq!((c.rows(), c.cols()), (nr, nt), "TraceSet: mixed shapes");
+        }
+        TraceSet { nr, nt, channels }
+    }
+
+    /// Receive antennas.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Transmit streams.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of recorded channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True if the set holds no channels (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Borrow of the recorded channels.
+    pub fn channels(&self) -> &[CMat] {
+        &self.channels
+    }
+
+    /// The `i`-th channel.
+    pub fn get(&self, i: usize) -> &CMat {
+        &self.channels[i]
+    }
+
+    /// Restricts every channel to its first `nt` columns — the paper builds
+    /// its "6 to 12 users → 12-antenna AP" sweep (Fig. 10) this way from the
+    /// combined 1×12 user traces.
+    pub fn with_users(&self, nt: usize) -> TraceSet {
+        assert!(nt >= 1 && nt <= self.nt, "with_users: bad user count");
+        let channels = self
+            .channels
+            .iter()
+            .map(|h| CMat::from_fn(self.nr, nt, |r, c| h[(r, c)]))
+            .collect();
+        TraceSet::new(channels)
+    }
+}
+
+/// Serialises a trace set to a writer in the `flexcore-trace v1` format.
+pub fn write_traces<W: Write>(w: &mut W, set: &TraceSet) -> io::Result<()> {
+    writeln!(
+        w,
+        "flexcore-trace v1 {} {} {}",
+        set.nr,
+        set.nt,
+        set.channels.len()
+    )?;
+    let mut buf = String::new();
+    for ch in &set.channels {
+        for r in 0..set.nr {
+            for c in 0..set.nt {
+                let z = ch[(r, c)];
+                buf.clear();
+                // 17 significant digits round-trips f64 exactly.
+                writeln!(buf, "{:.17e} {:.17e}", z.re, z.im).expect("string write");
+                w.write_all(buf.as_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a trace set from a reader.
+///
+/// Returns an error describing the first malformed line, if any.
+pub fn read_traces<R: BufRead>(r: &mut R) -> io::Result<TraceSet> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty trace file"))??;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 5 || parts[0] != "flexcore-trace" || parts[1] != "v1" {
+        return Err(bad(&format!("bad header: {header:?}")));
+    }
+    let nr: usize = parts[2].parse().map_err(|_| bad("bad nr"))?;
+    let nt: usize = parts[3].parse().map_err(|_| bad("bad nt"))?;
+    let count: usize = parts[4].parse().map_err(|_| bad("bad count"))?;
+    if nr == 0 || nt == 0 || count == 0 {
+        return Err(bad("zero dimension in header"));
+    }
+    let mut channels = Vec::with_capacity(count);
+    for ci in 0..count {
+        let mut h = CMat::zeros(nr, nt);
+        for r in 0..nr {
+            for c in 0..nt {
+                let line = loop {
+                    let l = lines
+                        .next()
+                        .ok_or_else(|| bad(&format!("truncated trace (channel {ci})")))??;
+                    let t = l.trim();
+                    if !t.is_empty() && !t.starts_with('#') {
+                        break t.to_string();
+                    }
+                };
+                let mut it = line.split_whitespace();
+                let re: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(&format!("bad entry: {line:?}")))?;
+                let im: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(&format!("bad entry: {line:?}")))?;
+                h[(r, c)] = Cx::new(re, im);
+            }
+        }
+        channels.push(h);
+    }
+    Ok(TraceSet::new(channels))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("flexcore-trace: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ChannelEnsemble;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_set(n: usize) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(42);
+        TraceSet::new(ChannelEnsemble::iid(4, 3).draw_many(&mut rng, n))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let set = sample_set(5);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &set).unwrap();
+        let back = read_traces(&mut &buf[..]).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn header_carries_dimensions() {
+        let set = sample_set(2);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &set).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("flexcore-trace v1 4 3 2\n"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let set = sample_set(1);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &set).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Inject noise after the header line.
+        let pos = text.find('\n').unwrap() + 1;
+        text.insert_str(pos, "# a comment\n\n");
+        let back = read_traces(&mut text.as_bytes()).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "not-a-trace v9 4 4 1\n";
+        assert!(read_traces(&mut text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let set = sample_set(2);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &set).unwrap();
+        let cut = buf.len() / 2;
+        assert!(read_traces(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn with_users_takes_prefix_columns() {
+        let set = sample_set(3);
+        let sub = set.with_users(2);
+        assert_eq!(sub.nt(), 2);
+        assert_eq!(sub.len(), 3);
+        for i in 0..3 {
+            for r in 0..4 {
+                for c in 0..2 {
+                    assert_eq!(sub.get(i)[(r, c)], set.get(i)[(r, c)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed shapes")]
+    fn rejects_mixed_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ChannelEnsemble::iid(4, 3).draw(&mut rng);
+        let b = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let _ = TraceSet::new(vec![a, b]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The 802.11a/g two-permutation block interleaver.
+//!
+//! Coded bits within one OFDM symbol are permuted so that (first
+//! permutation) adjacent coded bits map onto non-adjacent subcarriers and
+//! (second permutation) they alternate between more- and less-significant
+//! constellation bit positions. Operates on blocks of
+//! `n_cbps = n_subcarriers · bits_per_symbol` bits.
+
+/// Interleaver for one OFDM symbol's worth of coded bits.
+#[derive(Clone, Debug)]
+pub struct Interleaver {
+    n_cbps: usize,
+    /// `perm[k]` = output position of input bit `k`.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver for `n_data_subcarriers` subcarriers carrying
+    /// `bits_per_symbol` coded bits each (e.g. 48 × 6 for 64-QAM 802.11).
+    // The index-form loop mirrors the 802.11 standard's k → i → j notation.
+    #[allow(clippy::needless_range_loop)]
+    pub fn new(n_data_subcarriers: usize, bits_per_symbol: usize) -> Self {
+        assert!(n_data_subcarriers > 0 && bits_per_symbol > 0);
+        let n_cbps = n_data_subcarriers * bits_per_symbol;
+        assert_eq!(
+            n_cbps % 16,
+            0,
+            "802.11 interleaver needs N_CBPS divisible by 16 (got {n_cbps})"
+        );
+        let s = (bits_per_symbol / 2).max(1);
+        let mut perm = vec![0usize; n_cbps];
+        for k in 0..n_cbps {
+            // First permutation.
+            let i = (n_cbps / 16) * (k % 16) + k / 16;
+            // Second permutation.
+            let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+            perm[k] = j;
+        }
+        let mut inv = vec![0usize; n_cbps];
+        for (k, &j) in perm.iter().enumerate() {
+            inv[j] = k;
+        }
+        Interleaver { n_cbps, perm, inv }
+    }
+
+    /// Block size in bits.
+    pub fn block_len(&self) -> usize {
+        self.n_cbps
+    }
+
+    /// For an *interleaved* position `j`, the de-interleaved position its
+    /// value belongs at (`deinterleave(x)[source_index(j)] == x[j]`).
+    /// Lets soft pipelines deinterleave LLR streams with the same
+    /// permutation as the bit path.
+    pub fn source_index(&self, j: usize) -> usize {
+        self.inv[j]
+    }
+
+    /// Interleaves one block.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != block_len()`.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "interleave: wrong block size");
+        let mut out = vec![0u8; self.n_cbps];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+
+    /// Inverts [`Interleaver::interleave`].
+    pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "deinterleave: wrong block size");
+        let mut out = vec![0u8; self.n_cbps];
+        for (j, &b) in bits.iter().enumerate() {
+            out[self.inv[j]] = b;
+        }
+        out
+    }
+
+    /// Interleaves a multi-block stream (length must be a multiple of the
+    /// block size).
+    pub fn interleave_stream(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len() % self.n_cbps, 0, "stream not block-aligned");
+        bits.chunks(self.n_cbps)
+            .flat_map(|b| self.interleave(b))
+            .collect()
+    }
+
+    /// Inverts [`Interleaver::interleave_stream`].
+    pub fn deinterleave_stream(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len() % self.n_cbps, 0, "stream not block-aligned");
+        bits.chunks(self.n_cbps)
+            .flat_map(|b| self.deinterleave(b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn permutation_is_bijective() {
+        for bps in [1usize, 2, 4, 6, 8] {
+            let il = Interleaver::new(48, bps);
+            let mut seen = vec![false; il.block_len()];
+            for &p in &il.perm {
+                assert!(!seen[p], "collision at {p}");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let il = Interleaver::new(48, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let bits: Vec<u8> = (0..il.block_len()).map(|_| rng.gen_range(0..2)).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let il = Interleaver::new(48, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits: Vec<u8> = (0..il.block_len() * 5).map(|_| rng.gen_range(0..2)).collect();
+        assert_eq!(il.deinterleave_stream(&il.interleave_stream(&bits)), bits);
+    }
+
+    #[test]
+    fn adjacent_bits_separated() {
+        // The defining property: adjacent coded bits land on different
+        // subcarriers (positions ≥ bits_per_symbol apart in subcarrier
+        // index).
+        let bps = 6;
+        let il = Interleaver::new(48, bps);
+        for k in 0..il.block_len() - 1 {
+            let sc_a = il.perm[k] / bps;
+            let sc_b = il.perm[k + 1] / bps;
+            assert_ne!(sc_a, sc_b, "bits {k},{} share subcarrier {sc_a}", k + 1);
+        }
+    }
+
+    #[test]
+    fn burst_error_is_spread() {
+        // A 12-bit burst after interleaving must touch ≥ 12 distinct
+        // subcarriers when deinterleaved ... i.e. no subcarrier collects
+        // more than 2 of the burst bits.
+        let bps = 6;
+        let il = Interleaver::new(48, bps);
+        let burst_start = 100;
+        let mut hit = vec![0usize; 48];
+        for j in burst_start..burst_start + 12 {
+            let k = il.inv[j];
+            hit[k / bps] += 1;
+        }
+        assert!(hit.iter().all(|&h| h <= 2), "burst concentrated: {hit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 16")]
+    fn rejects_unaligned_block() {
+        let _ = Interleaver::new(7, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong block size")]
+    fn rejects_wrong_length() {
+        let il = Interleaver::new(48, 2);
+        il.interleave(&[0u8; 10]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # flexcore-coding
+//!
+//! The 802.11 forward-error-correction chain used in the paper's throughput
+//! evaluation (§5.1): every user transmits packets with "the 1/2 rate
+//! convolutional coding of the 802.11 standard".
+//!
+//! * [`conv`] — the industry-standard K = 7 convolutional code with
+//!   generators (133, 171) octal, a hard-decision Viterbi decoder with full
+//!   traceback, and the 802.11 puncturing patterns for rates 2/3 and 3/4;
+//! * [`interleave`] — the 802.11a two-permutation block interleaver, which
+//!   spreads adjacent coded bits across subcarriers and constellation bit
+//!   positions so a deep per-subcarrier fade does not erase a run of bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod soft;
+pub mod interleave;
+
+pub use conv::{CodeRate, ConvCode};
+pub use interleave::Interleaver;

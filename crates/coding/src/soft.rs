@@ -1,0 +1,204 @@
+//! Soft-decision Viterbi decoding.
+//!
+//! The paper's future-work direction (§7) is a soft-output FlexCore
+//! (\[7, 43\]); the coding side of that pipeline is a Viterbi decoder that
+//! consumes per-bit log-likelihood ratios instead of hard decisions. The
+//! LLR convention is `llr = log(P(bit = 0) / P(bit = 1))`: positive means
+//! "probably 0". Punctured positions carry `llr = 0` (no information) —
+//! the same erasure semantics as the hard decoder.
+
+use crate::conv::{ConvCode, CONSTRAINT, STATES};
+
+/// LLR magnitude clamp: keeps path metrics well-conditioned and mirrors
+/// fixed-point detector outputs.
+pub const LLR_CLAMP: f64 = 50.0;
+
+impl ConvCode {
+    /// Decodes `info_len` information bits from per-coded-bit LLRs.
+    ///
+    /// `llrs` must contain exactly the *transmitted* coded positions (the
+    /// same layout [`ConvCode::encode`] emits, after puncturing). Branch
+    /// metrics are the max-log path costs `Σ cost(bit_hyp, llr)` with
+    /// `cost(0, llr) = max(−llr, 0)` and `cost(1, llr) = max(llr, 0)`, so
+    /// a confident LLR penalises the disagreeing hypothesis by |llr|.
+    ///
+    /// # Panics
+    /// Panics if `llrs.len()` differs from the coded length.
+    pub fn decode_soft(&self, llrs: &[f64], info_len: usize) -> Vec<u8> {
+        assert_eq!(
+            llrs.len(),
+            self.coded_len(info_len),
+            "decode_soft: wrong LLR count"
+        );
+        let total_in = info_len + (CONSTRAINT - 1);
+        // De-puncture into per-branch LLR pairs (0.0 = erasure).
+        let pattern = self.rate().pattern_public();
+        let mut pairs: Vec<[f64; 2]> = Vec::with_capacity(total_in);
+        let mut pos = 0usize;
+        for i in 0..total_in {
+            let p = pattern[i % pattern.len()];
+            let a = if p[0] {
+                let v = llrs[pos].clamp(-LLR_CLAMP, LLR_CLAMP);
+                pos += 1;
+                v
+            } else {
+                0.0
+            };
+            let b = if p[1] {
+                let v = llrs[pos].clamp(-LLR_CLAMP, LLR_CLAMP);
+                pos += 1;
+                v
+            } else {
+                0.0
+            };
+            pairs.push([a, b]);
+        }
+        // Viterbi forward pass with f64 metrics.
+        const INF: f64 = f64::INFINITY;
+        let mut metric = vec![INF; STATES];
+        metric[0] = 0.0;
+        let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(total_in);
+        let mut next = vec![INF; STATES];
+        for pair in &pairs {
+            let mut surv = vec![0u8; STATES];
+            next.iter_mut().for_each(|m| *m = INF);
+            for (state, &m) in metric.iter().enumerate() {
+                if !m.is_finite() {
+                    continue;
+                }
+                for input in 0..2usize {
+                    let out = self.output_bits(state, input);
+                    let bm = branch_cost(out, pair);
+                    let ns = (state >> 1) | (input << (CONSTRAINT - 2));
+                    let cand = m + bm;
+                    if cand < next[ns] {
+                        next[ns] = cand;
+                        surv[ns] = ((state & 1) << 1 | input) as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut next);
+            survivors.push(surv);
+        }
+        // Traceback from state 0.
+        let mut state = 0usize;
+        let mut decoded = vec![0u8; total_in];
+        for t in (0..total_in).rev() {
+            let s = survivors[t][state];
+            decoded[t] = s & 1;
+            state = ((state << 1) & (STATES - 1)) | ((s >> 1) & 1) as usize;
+        }
+        decoded.truncate(info_len);
+        decoded
+    }
+}
+
+/// Max-log cost of hypothesising output bits `out` (packed `b0·2 + b1`)
+/// against the received LLR pair.
+#[inline]
+fn branch_cost(out: u8, pair: &[f64; 2]) -> f64 {
+    let cost = |bit: u8, llr: f64| -> f64 {
+        if bit == 0 {
+            (-llr).max(0.0)
+        } else {
+            llr.max(0.0)
+        }
+    };
+    cost(out >> 1, pair[0]) + cost(out & 1, pair[1])
+}
+
+/// Converts hard bits to saturated LLRs (for testing and for mixing hard
+/// and soft stages).
+pub fn hard_to_llr(bits: &[u8]) -> Vec<f64> {
+    bits.iter()
+        .map(|&b| if b == 0 { LLR_CLAMP } else { -LLR_CLAMP })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::CodeRate;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+    }
+
+    #[test]
+    fn saturated_llrs_match_hard_decoder() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let code = ConvCode::new(rate);
+            let info = random_bits(120, 1);
+            let coded = code.encode(&info);
+            let soft = code.decode_soft(&hard_to_llr(&coded), info.len());
+            assert_eq!(soft, info, "{rate:?}");
+        }
+    }
+
+    #[test]
+    fn weak_llrs_on_flipped_bits_are_recovered() {
+        // Flip bits but give them low confidence: the soft decoder should
+        // ride over them easily.
+        let code = ConvCode::new(CodeRate::Half);
+        let info = random_bits(200, 2);
+        let coded = code.encode(&info);
+        let mut llrs = hard_to_llr(&coded);
+        for pos in [5usize, 50, 120, 260, 300] {
+            llrs[pos] = if coded[pos] == 0 { -0.5 } else { 0.5 }; // weakly wrong
+        }
+        assert_eq!(code.decode_soft(&llrs, info.len()), info);
+    }
+
+    #[test]
+    fn soft_beats_hard_on_gaussian_llrs() {
+        // BPSK-over-AWGN style LLRs: soft decoding must produce no more
+        // block errors than hard decisions at the same noise level.
+        let code = ConvCode::new(CodeRate::Half);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = 0.9;
+        let (mut soft_fail, mut hard_fail) = (0usize, 0usize);
+        for seed in 0..30 {
+            let info = random_bits(150, 100 + seed);
+            let coded = code.encode(&info);
+            // Transmit ±1, add noise, LLR = 2r/σ².
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let tx = if b == 0 { 1.0 } else { -1.0 };
+                    let r = tx + sigma * rng.sample::<f64, _>(rand::distributions::Standard) * 2.0
+                        - sigma;
+                    2.0 * r / (sigma * sigma)
+                })
+                .collect();
+            let hard: Vec<u8> = llrs.iter().map(|&l| u8::from(l < 0.0)).collect();
+            if code.decode_soft(&llrs, info.len()) != info {
+                soft_fail += 1;
+            }
+            if code.decode(&hard, info.len()) != info {
+                hard_fail += 1;
+            }
+        }
+        assert!(
+            soft_fail <= hard_fail,
+            "soft fails {soft_fail} > hard fails {hard_fail}"
+        );
+    }
+
+    #[test]
+    fn erasures_from_puncturing_are_neutral() {
+        let code = ConvCode::new(CodeRate::ThreeQuarters);
+        let info = random_bits(90, 4);
+        let coded = code.encode(&info);
+        assert_eq!(code.decode_soft(&hard_to_llr(&coded), info.len()), info);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong LLR count")]
+    fn rejects_bad_length() {
+        let code = ConvCode::new(CodeRate::Half);
+        code.decode_soft(&[0.0; 10], 16);
+    }
+}

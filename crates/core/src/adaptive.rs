@@ -1,0 +1,171 @@
+//! a-FlexCore: channel-adaptive processing-element activation (§5.1).
+//!
+//! Fig. 10 introduces an adjustable FlexCore that, out of `N_PE` *available*
+//! processing elements, activates only as many as needed for the selected
+//! paths' cumulative probability `Σ Pc` to reach a target (0.95 in the
+//! paper). In a well-conditioned channel (few users on many AP antennas)
+//! the SIC path alone carries almost all the probability mass and
+//! a-FlexCore collapses to ~1 active PE — linear-detection complexity —
+//! while in a crowded channel it spends the full budget.
+
+use crate::detector::{FlexCoreConfig, FlexCoreDetector};
+use flexcore_detect::common::Detector;
+use flexcore_modulation::Constellation;
+use flexcore_numeric::{CMat, Cx};
+
+/// Adaptive FlexCore: FlexCore plus the stopping criterion, with
+/// bookkeeping of how many PEs each channel actually activated.
+#[derive(Clone, Debug)]
+pub struct AdaptiveFlexCore {
+    inner: FlexCoreDetector,
+    /// Running history of active-PE counts, one entry per `prepare` call.
+    activation_history: Vec<usize>,
+}
+
+impl AdaptiveFlexCore {
+    /// Creates an a-FlexCore with `n_pe` available PEs and the given
+    /// cumulative-probability target (the paper uses 0.95).
+    pub fn new(constellation: Constellation, n_pe: usize, threshold: f64) -> Self {
+        let mut config = FlexCoreConfig::new(n_pe);
+        config.stop_threshold = Some(threshold);
+        AdaptiveFlexCore {
+            inner: FlexCoreDetector::new(constellation, config),
+            activation_history: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration: 64 available PEs, target 0.95 (Fig. 10).
+    pub fn paper_default(constellation: Constellation) -> Self {
+        Self::new(constellation, 64, 0.95)
+    }
+
+    /// PEs activated for the current channel.
+    pub fn active_pes(&self) -> usize {
+        self.inner.active_paths()
+    }
+
+    /// Mean active PEs across every `prepare` call so far — the line
+    /// plotted in Fig. 10.
+    pub fn mean_active_pes(&self) -> f64 {
+        if self.activation_history.is_empty() {
+            return 0.0;
+        }
+        self.activation_history.iter().sum::<usize>() as f64
+            / self.activation_history.len() as f64
+    }
+
+    /// Clears the activation history.
+    pub fn reset_history(&mut self) {
+        self.activation_history.clear();
+    }
+
+    /// Access to the wrapped detector (e.g. for `detect_on_pool`).
+    pub fn inner(&self) -> &FlexCoreDetector {
+        &self.inner
+    }
+}
+
+impl Detector for AdaptiveFlexCore {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn prepare(&mut self, h: &CMat, sigma2: f64) {
+        self.inner.prepare(h, sigma2);
+        self.activation_history.push(self.inner.active_paths());
+    }
+
+    fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        self.inner.detect(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble};
+    use flexcore_modulation::Modulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_active(nr: usize, nt: usize, snr: f64, seed: u64) -> f64 {
+        let c = Constellation::new(Modulation::Qam64);
+        let mut afc = AdaptiveFlexCore::paper_default(c);
+        let ens = ChannelEnsemble::iid(nr, nt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let h = ens.draw(&mut rng);
+            afc.prepare(&h, sigma2_from_snr_db(snr));
+        }
+        afc.mean_active_pes()
+    }
+
+    #[test]
+    fn well_conditioned_channel_collapses_to_few_pes() {
+        // Fig. 10: with 6 users on 12 antennas at 21.6 dB, a-FlexCore
+        // activates close to one PE.
+        let light = mean_active(12, 6, 21.6, 1);
+        assert!(light < 6.0, "6-user mean active PEs {light}");
+    }
+
+    #[test]
+    fn crowded_channel_uses_more_pes() {
+        // The magnitude depends on the operating SNR; at a noisier point
+        // the 12-user effect is pronounced (Fig. 10 plots the calibrated
+        // PER_ML = 0.01 point, reproduced in flexcore-sim::fig10).
+        let light = mean_active(12, 6, 18.0, 2);
+        let full = mean_active(12, 12, 18.0, 2);
+        assert!(
+            full > 2.0 * light.max(1.0),
+            "12-user ({full}) should need several times the 6-user PEs ({light})"
+        );
+    }
+
+    #[test]
+    fn activation_bounded_by_budget() {
+        let c = Constellation::new(Modulation::Qam64);
+        let mut afc = AdaptiveFlexCore::new(c, 16, 0.9999);
+        let ens = ChannelEnsemble::iid(12, 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = ens.draw(&mut rng);
+        afc.prepare(&h, sigma2_from_snr_db(10.0)); // very noisy: wants many
+        assert!(afc.active_pes() <= 16);
+        assert!(afc.active_pes() >= 1);
+    }
+
+    #[test]
+    fn higher_snr_means_fewer_active_pes() {
+        let noisy = mean_active(12, 12, 15.0, 4);
+        let clean = mean_active(12, 12, 30.0, 4);
+        assert!(clean < noisy, "30 dB ({clean}) vs 15 dB ({noisy})");
+    }
+
+    #[test]
+    fn history_tracks_and_resets() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut afc = AdaptiveFlexCore::new(c, 8, 0.95);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(afc.mean_active_pes(), 0.0);
+        for _ in 0..5 {
+            let h = ens.draw(&mut rng);
+            afc.prepare(&h, 0.05);
+        }
+        assert!(afc.mean_active_pes() >= 1.0);
+        afc.reset_history();
+        assert_eq!(afc.mean_active_pes(), 0.0);
+    }
+
+    #[test]
+    fn detection_still_works() {
+        use flexcore_numeric::Cx;
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let mut afc = AdaptiveFlexCore::new(c.clone(), 32, 0.95);
+        afc.prepare(&h, 1e-6);
+        let s = vec![3usize, 7, 11, 0];
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        assert_eq!(afc.detect(&h.mul_vec(&x)), s);
+    }
+}

@@ -1,0 +1,559 @@
+//! The FlexCore detector: position vectors → parallel tree paths (§3.2).
+//!
+//! `prepare` is the paper's pre-processing phase: sorted QR, per-level
+//! error model, and the pre-processing tree search selecting `N_PE`
+//! position vectors. `detect` is the parallel phase: each position vector
+//! becomes one independent tree-path evaluation — one processing element —
+//! and the minimum-distance complete path wins.
+//!
+//! Per level, the `k`-th closest symbol to the effective received point is
+//! found through the *approximate predefined ordering* (triangle LUT,
+//! Fig. 6) in O(1), or exactly (sort all `|Q|` distances) when configured —
+//! the `ordering` bench quantifies the accuracy/cost trade, an ablation
+//! DESIGN.md calls out. Paths whose predefined order points outside the
+//! constellation are deactivated exactly as in the paper's FPGA engine;
+//! rank-1 lookups fall back to the clamped slicer so the SIC path always
+//! completes (a software-robustness addition, see DESIGN.md).
+
+use crate::model::LevelErrorModel;
+use crate::position::PositionVector;
+use crate::preprocess::Preprocessor;
+use flexcore_detect::common::{Detector, Triangular};
+use flexcore_modulation::ordering::kth_nearest_exact;
+use flexcore_modulation::{Constellation, OrderingLut};
+use flexcore_numeric::qr::{fcsd_sorted_qr, mgs_qr, sorted_qr_sqrd};
+use flexcore_numeric::{CMat, Cx};
+use flexcore_parallel::PePool;
+
+/// How each level finds its k-th closest symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathOrdering {
+    /// The approximate predefined ordering (triangle LUT) with
+    /// out-of-constellation entries *skipped*, so ranks index constellation
+    /// symbols as the probability model assumes. Still O(1)-ish: no
+    /// Euclidean distances, no sorting. The default.
+    TriangleLut,
+    /// The paper's strict FPGA semantics: an out-of-constellation entry
+    /// deactivates the processing element (ablation mode; see DESIGN.md).
+    TriangleLutStrict,
+    /// Exact ordering (compute and sort all |Q| distances) — the oracle the
+    /// LUT approximates; costs |Q|−1 redundant distance evaluations.
+    Exact,
+}
+
+/// Which sorted QR decomposition feeds the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QrOrdering {
+    /// Wübben et al. SQRD \[13\] (reliable streams on top).
+    Sqrd,
+    /// Barbero–Thompson FCSD ordering \[4\] with the given number of
+    /// "worst-first" top levels.
+    Fcsd(usize),
+    /// Natural column order (ablation baseline).
+    Plain,
+}
+
+/// FlexCore configuration.
+#[derive(Clone, Debug)]
+pub struct FlexCoreConfig {
+    /// Available processing elements = tree paths evaluated per vector.
+    pub n_pe: usize,
+    /// Symbol-ordering strategy at each level.
+    pub path_ordering: PathOrdering,
+    /// Column ordering for the QR decomposition. The paper evaluates both
+    /// sorted variants and reports the better (§5.1).
+    pub qr_ordering: QrOrdering,
+    /// a-FlexCore stopping threshold on cumulative path probability.
+    pub stop_threshold: Option<f64>,
+    /// Pre-processing expansion batch (1 = sequential).
+    pub expand_batch: usize,
+}
+
+impl FlexCoreConfig {
+    /// Default configuration for `n_pe` processing elements: triangle-LUT
+    /// ordering, SQRD, sequential pre-processing, no early stop.
+    pub fn new(n_pe: usize) -> Self {
+        FlexCoreConfig {
+            n_pe,
+            path_ordering: PathOrdering::TriangleLut,
+            qr_ordering: QrOrdering::Sqrd,
+            stop_threshold: None,
+            expand_batch: 1,
+        }
+    }
+}
+
+/// Per-channel state computed by `prepare`.
+#[derive(Clone, Debug)]
+struct State {
+    tri: Triangular,
+    paths: Vec<PositionVector>,
+    /// `Σ Pc` over the selected paths.
+    cumulative_prob: f64,
+    /// Pre-processing cost (Table 2).
+    preprocess_mults: u64,
+}
+
+/// The FlexCore detector.
+#[derive(Clone, Debug)]
+pub struct FlexCoreDetector {
+    constellation: Constellation,
+    config: FlexCoreConfig,
+    lut: OrderingLut,
+    state: Option<State>,
+}
+
+impl FlexCoreDetector {
+    /// Creates a FlexCore detector. The triangle LUT is built once here
+    /// (it depends only on the constellation, not the channel).
+    pub fn new(constellation: Constellation, config: FlexCoreConfig) -> Self {
+        assert!(config.n_pe >= 1, "FlexCore: need at least one PE");
+        let lut = OrderingLut::new(constellation.modulation(), constellation.order());
+        FlexCoreDetector {
+            constellation,
+            config,
+            lut,
+            state: None,
+        }
+    }
+
+    /// Convenience constructor with the default configuration.
+    pub fn with_pes(constellation: Constellation, n_pe: usize) -> Self {
+        Self::new(constellation, FlexCoreConfig::new(n_pe))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlexCoreConfig {
+        &self.config
+    }
+
+    /// Number of *active* paths selected for the current channel (equals
+    /// `n_pe` unless the stopping criterion fired earlier) — the quantity
+    /// plotted as "active PEs" in Fig. 10.
+    pub fn active_paths(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.paths.len())
+    }
+
+    /// `Σ Pc` captured by the selected paths for the current channel.
+    pub fn cumulative_prob(&self) -> f64 {
+        self.state.as_ref().map_or(0.0, |s| s.cumulative_prob)
+    }
+
+    /// Real multiplications spent by the last pre-processing run (Table 2).
+    pub fn preprocess_mults(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.preprocess_mults)
+    }
+
+    /// The prepared triangular system (QR factors + constellation).
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn triangular(&self) -> &Triangular {
+        &self
+            .state
+            .as_ref()
+            .expect("FlexCore: prepare() not called")
+            .tri
+    }
+
+    /// The selected position vectors (most promising first).
+    pub fn position_vectors(&self) -> Vec<PositionVector> {
+        self.state
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.paths.clone())
+    }
+
+    /// Evaluates one position vector against a rotated observation.
+    /// Returns `(symbols_in_tree_order, metric)` or `None` if the path was
+    /// deactivated (predefined order left the constellation).
+    pub fn run_path(&self, ybar: &[Cx], p: &PositionVector) -> Option<(Vec<usize>, f64)> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let tri = &state.tri;
+        let nt = tri.nt();
+        let mut symbols = vec![0usize; nt];
+        let mut metric = 0.0f64;
+        for row in (0..nt).rev() {
+            let eff = tri.effective_point(ybar, &symbols, row);
+            let k = p.rank(row) as usize;
+            let sym = match self.config.path_ordering {
+                PathOrdering::Exact => kth_nearest_exact(&self.constellation, eff, k),
+                PathOrdering::TriangleLut => {
+                    let s = self.lut.kth_nearest_skip(&self.constellation, eff, k);
+                    if s.is_none() && k == 1 {
+                        // Ultra-far effective points can out-range even the
+                        // skip table; the clamped slicer keeps the SIC path
+                        // alive (see `pick_best`).
+                        Some(self.constellation.slice(eff))
+                    } else {
+                        s
+                    }
+                }
+                PathOrdering::TriangleLutStrict => {
+                    let s = self.lut.kth_nearest(&self.constellation, eff, k);
+                    if s.is_none() && k == 1 {
+                        // Rank-1 fallback: clamped slice, so the SIC path
+                        // always completes even for far-out effective points.
+                        Some(self.constellation.slice(eff))
+                    } else {
+                        s
+                    }
+                }
+            }?;
+            symbols[row] = sym;
+            let rdiag = tri.qr.r[(row, row)].norm_sqr();
+            metric += rdiag * self.constellation.point(sym).dist_sqr(eff);
+        }
+        Some((symbols, metric))
+    }
+
+    /// Detection with explicit parallelism: one task per position vector on
+    /// the given pool. Results are identical to [`Detector::detect`].
+    pub fn detect_on_pool<P: PePool>(&self, y: &[Cx], pool: &P) -> Vec<usize> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let ybar = state.tri.rotate(y);
+        let tasks: Vec<_> = state
+            .paths
+            .iter()
+            .map(|p| {
+                let ybar = ybar.clone();
+                move || self.run_path(&ybar, p)
+            })
+            .collect();
+        let results = pool.run(tasks);
+        self.pick_best(results)
+    }
+
+    /// Batched parallel detection: one task per position vector, each
+    /// streaming *every* observation in `ys` through its tree path — the
+    /// way a hardware PE consumes back-to-back subcarriers (§4's pipelined
+    /// engines). This amortises task-dispatch overhead across the batch,
+    /// unlike [`FlexCoreDetector::detect_on_pool`], which parallelises a
+    /// single vector.
+    pub fn detect_batch_on_pool<P: PePool>(&self, ys: &[Vec<Cx>], pool: &P) -> Vec<Vec<usize>> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let ybars: Vec<Vec<Cx>> = ys.iter().map(|y| state.tri.rotate(y)).collect();
+        let tasks: Vec<_> = state
+            .paths
+            .iter()
+            .map(|p| {
+                let ybars = &ybars;
+                move || -> Vec<Option<(Vec<usize>, f64)>> {
+                    ybars.iter().map(|yb| self.run_path(yb, p)).collect()
+                }
+            })
+            .collect();
+        // results[path][vector] → transpose to per-vector candidate lists
+        // without cloning, then reduce.
+        let per_path = pool.run(tasks);
+        #[allow(clippy::type_complexity)]
+        let mut per_vector: Vec<Vec<Option<(Vec<usize>, f64)>>> =
+            (0..ys.len()).map(|_| Vec::with_capacity(per_path.len())).collect();
+        for path_results in per_path {
+            for (v, r) in path_results.into_iter().enumerate() {
+                per_vector[v].push(r);
+            }
+        }
+        per_vector
+            .into_iter()
+            .map(|candidates| self.pick_best(candidates))
+            .collect()
+    }
+
+    fn pick_best(&self, results: Vec<Option<(Vec<usize>, f64)>>) -> Vec<usize> {
+        let state = self.state.as_ref().expect("state");
+        let best = results
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"));
+        // The all-ones (SIC) path is always selected first by the
+        // pre-processor and always completes thanks to the rank-1 slicing
+        // fallback, so at least one result survives.
+        let (symbols, _) = best.expect("the SIC path always completes");
+        state.tri.unpermute(&symbols)
+    }
+}
+
+impl Detector for FlexCoreDetector {
+    fn name(&self) -> String {
+        match self.config.stop_threshold {
+            Some(t) => format!("a-FlexCore(N_PE={}, t={t})", self.config.n_pe),
+            None => format!("FlexCore(N_PE={})", self.config.n_pe),
+        }
+    }
+
+    fn prepare(&mut self, h: &CMat, sigma2: f64) {
+        let qr = match self.config.qr_ordering {
+            QrOrdering::Sqrd => sorted_qr_sqrd(h),
+            QrOrdering::Fcsd(l) => fcsd_sorted_qr(h, l),
+            QrOrdering::Plain => mgs_qr(h),
+        };
+        let model = LevelErrorModel::from_r(&qr.r, sigma2, self.constellation.modulation());
+        let mut pre = Preprocessor::new(self.config.n_pe)
+            .with_expand_batch(self.config.expand_batch);
+        if let Some(t) = self.config.stop_threshold {
+            pre = pre.with_stop_threshold(t);
+        }
+        let out = pre.run(&model, self.constellation.order());
+        self.state = Some(State {
+            tri: Triangular::new(qr, self.constellation.clone()),
+            paths: out.position_vectors(),
+            cumulative_prob: out.cumulative_prob,
+            preprocess_mults: out.real_mults,
+        });
+    }
+
+    fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let ybar = state.tri.rotate(y);
+        let results: Vec<_> = state
+            .paths
+            .iter()
+            .map(|p| self.run_path(&ybar, p))
+            .collect();
+        self.pick_best(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+    use flexcore_detect::{FcsdDetector, MlDetector, SicDetector};
+    use flexcore_modulation::Modulation;
+    use flexcore_parallel::{CrossbeamPool, SequentialPool};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ser(det: &mut dyn Detector, snr: f64, nt: usize, trials: usize, seed: u64) -> f64 {
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(nt, nt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut e, mut t) = (0usize, 0usize);
+        for _ in 0..trials {
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            e += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+            t += nt;
+        }
+        e as f64 / t as f64
+    }
+
+    #[test]
+    fn single_pe_equals_sic_shape() {
+        // N_PE = 1 is the SIC path; noiseless recovery must be exact.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 1);
+        fc.prepare(&h, 0.01);
+        assert_eq!(fc.active_paths(), 1);
+        let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        assert_eq!(fc.detect(&h.mul_vec(&x)), s);
+    }
+
+    #[test]
+    fn works_for_any_pe_count() {
+        // The paper's headline flexibility claim: any N_PE works, not just
+        // powers of |Q|.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let ch = MimoChannel::new(h.clone(), 14.0);
+        let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let y = ch.transmit(&x, &mut rng);
+        for n_pe in [1usize, 2, 3, 5, 7, 13, 100] {
+            let mut fc = FlexCoreDetector::with_pes(c.clone(), n_pe);
+            fc.prepare(&h, sigma2_from_snr_db(14.0));
+            let out = fc.detect(&y);
+            assert_eq!(out.len(), 4, "N_PE={n_pe}");
+        }
+    }
+
+    #[test]
+    fn more_pes_never_hurt_much_and_eventually_help() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut fc1 = FlexCoreDetector::with_pes(c.clone(), 1);
+        let mut fc32 = FlexCoreDetector::with_pes(c.clone(), 32);
+        let s1 = ser(&mut fc1, 12.0, 6, 300, 3);
+        let s32 = ser(&mut fc32, 12.0, 6, 300, 3);
+        assert!(s32 < s1, "N_PE=32 SER {s32} should beat N_PE=1 SER {s1}");
+    }
+
+    #[test]
+    fn close_to_ml_with_enough_pes_small_system() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 16);
+        let mut ml = MlDetector::new(c.clone());
+        let ens = ChannelEnsemble::iid(3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut agree, mut total) = (0, 0);
+        for _ in 0..200 {
+            let h = ens.draw(&mut rng);
+            let snr = 10.0;
+            let ch = MimoChannel::new(h.clone(), snr);
+            fc.prepare(&h, sigma2_from_snr_db(snr));
+            ml.prepare(&h, sigma2_from_snr_db(snr));
+            let s: Vec<usize> = (0..3).map(|_| rng.gen_range(0..4)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            if fc.detect(&y) == ml.detect(&y) {
+                agree += 1;
+            }
+            total += 1;
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.95, "ML agreement {rate}");
+    }
+
+    #[test]
+    fn competitive_with_fcsd_at_equal_path_count() {
+        // At the same path count FlexCore is at worst marginally behind the
+        // FCSD (whose worst-first ordering is tailor-made for exactly
+        // |Q|^L paths); Fig. 9's gains appear when comparing *any* path
+        // budget, below.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 16);
+        let mut fcsd = FcsdDetector::new(c.clone(), 1); // 16 paths
+        let s_fc = ser(&mut fc, 12.0, 8, 400, 5);
+        let s_fcsd = ser(&mut fcsd, 12.0, 8, 400, 5);
+        assert!(
+            s_fc < s_fcsd * 2.0 + 0.005,
+            "FlexCore-16 SER {s_fc} should be close to FCSD-16 SER {s_fcsd}"
+        );
+    }
+
+    #[test]
+    fn matches_fcsd_with_a_fraction_of_the_paths() {
+        // Fig. 9's headline: FlexCore reaches FCSD-grade reliability with
+        // far fewer processing elements (the paper reports 128 vs 4096 at
+        // 12×12 64-QAM; here 64 vs 256 at a test-sized 8×8 16-QAM).
+        let c = Constellation::new(Modulation::Qam16);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 64);
+        let mut fcsd = FcsdDetector::new(c.clone(), 2); // 256 paths
+        let s_fc = ser(&mut fc, 12.0, 8, 400, 5);
+        let s_fcsd = ser(&mut fcsd, 12.0, 8, 400, 5);
+        assert!(
+            s_fc <= s_fcsd * 1.3 + 0.002,
+            "FlexCore-64 SER {s_fc} should match FCSD-256 SER {s_fcsd}"
+        );
+    }
+
+    #[test]
+    fn beats_sic_with_few_pes() {
+        // Against a same-front-end SIC (FCSD with L=0 is a ZF-ordered SIC
+        // descent), even 4 FlexCore paths must help: the path set is a
+        // strict superset of the SIC path, selected by likelihood.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 4);
+        let mut sic_zf = FcsdDetector::new(c.clone(), 0);
+        let s_fc = ser(&mut fc, 12.0, 6, 300, 6);
+        let s_sic = ser(&mut sic_zf, 12.0, 6, 300, 6);
+        assert!(s_fc < s_sic, "FlexCore-4 {s_fc} vs ZF-SIC {s_sic}");
+        // And it should at least be competitive with the MMSE-ordered SIC.
+        let mut sic = SicDetector::new(c.clone());
+        let s_mmse_sic = ser(&mut sic, 12.0, 6, 300, 6);
+        assert!(
+            s_fc < s_mmse_sic * 1.5 + 0.01,
+            "FlexCore-4 {s_fc} vs MMSE-SIC {s_mmse_sic}"
+        );
+    }
+
+    #[test]
+    fn exact_and_lut_ordering_agree_mostly() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mk = |ord| {
+            let mut cfg = FlexCoreConfig::new(16);
+            cfg.path_ordering = ord;
+            FlexCoreDetector::new(c.clone(), cfg)
+        };
+        let mut lut = mk(PathOrdering::TriangleLut);
+        let mut exact = mk(PathOrdering::Exact);
+        let s_lut = ser(&mut lut, 12.0, 6, 300, 7);
+        let s_exact = ser(&mut exact, 12.0, 6, 300, 7);
+        // The LUT approximation must cost only a small SER penalty.
+        assert!(
+            s_lut < s_exact * 1.5 + 0.01,
+            "LUT {s_lut} vs exact {s_exact}"
+        );
+    }
+
+    #[test]
+    fn pool_detection_matches_inline() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(8);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 12);
+        fc.prepare(&h, 0.05);
+        let ch = MimoChannel::new(h, 15.0);
+        let seq = SequentialPool::new(12);
+        let par = CrossbeamPool::new(4);
+        for _ in 0..10 {
+            let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            let a = fc.detect(&y);
+            assert_eq!(a, fc.detect_on_pool(&y, &seq));
+            assert_eq!(a, fc.detect_on_pool(&y, &par));
+        }
+    }
+
+    #[test]
+    fn batched_pool_detection_matches_per_vector() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(21);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 12);
+        fc.prepare(&h, 0.05);
+        let ch = MimoChannel::new(h, 15.0);
+        let ys: Vec<Vec<Cx>> = (0..20)
+            .map(|_| {
+                let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+                let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+                ch.transmit(&x, &mut rng)
+            })
+            .collect();
+        let seq = SequentialPool::new(12);
+        let par = CrossbeamPool::new(4);
+        let batched_seq = fc.detect_batch_on_pool(&ys, &seq);
+        let batched_par = fc.detect_batch_on_pool(&ys, &par);
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| fc.detect(y)).collect();
+        assert_eq!(batched_seq, per_vector);
+        assert_eq!(batched_par, per_vector);
+    }
+
+    #[test]
+    fn qr_ordering_variants_all_work() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let y = h.mul_vec(&x);
+        for ord in [QrOrdering::Sqrd, QrOrdering::Fcsd(1), QrOrdering::Plain] {
+            let mut cfg = FlexCoreConfig::new(8);
+            cfg.qr_ordering = ord;
+            let mut fc = FlexCoreDetector::new(c.clone(), cfg);
+            fc.prepare(&h, 1e-6);
+            assert_eq!(fc.detect(&y), s, "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn preprocess_accounting_exposed() {
+        let c = Constellation::new(Modulation::Qam64);
+        let mut rng = StdRng::seed_from_u64(10);
+        let h = ChannelEnsemble::iid(8, 8).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c, 32);
+        fc.prepare(&h, sigma2_from_snr_db(18.0));
+        assert!(fc.preprocess_mults() > 0);
+        assert!(fc.preprocess_mults() <= 32 * 8);
+        assert!(fc.cumulative_prob() > 0.0 && fc.cumulative_prob() <= 1.0 + 1e-9);
+        assert_eq!(fc.active_paths(), 32);
+    }
+}

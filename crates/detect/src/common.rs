@@ -1,0 +1,202 @@
+//! Shared detector interface and the triangular-system helper.
+
+use flexcore_modulation::Constellation;
+use flexcore_numeric::qr::Qr;
+use flexcore_numeric::{CMat, Cx, FlopCounter};
+
+/// Object-safe detector interface shared by every scheme in the workspace.
+///
+/// The two-phase split mirrors the paper's architecture: [`Detector::prepare`]
+/// runs only when the transmission channel changes (QR decomposition, column
+/// ordering, linear filters, FlexCore's pre-processing), while
+/// [`Detector::detect`] runs once per received MIMO vector (per subcarrier
+/// per OFDM symbol) and must therefore be cheap and parallelisable.
+pub trait Detector {
+    /// Short name as used in the paper's figure legends (e.g. `"MMSE"`).
+    fn name(&self) -> String;
+
+    /// Re-runs channel-dependent pre-processing for a new channel `h` with
+    /// complex noise variance `sigma2` per receive antenna.
+    fn prepare(&mut self, h: &CMat, sigma2: f64);
+
+    /// Detects one received vector, returning one constellation symbol
+    /// index per transmit stream, in **original stream order**.
+    ///
+    /// # Panics
+    /// Implementations may panic if `prepare` was never called or if `y`
+    /// has the wrong length.
+    fn detect(&self, y: &[Cx]) -> Vec<usize>;
+}
+
+/// A prepared triangular system: `ȳ = Q*·y`, search over `‖ȳ − R·s‖²`.
+///
+/// Wraps the QR factors together with the constellation and provides the
+/// per-level kernels every tree-search detector shares:
+/// effective received points (Eq. 5) and partial Euclidean distances (Eq. 1).
+///
+/// Level convention: `R` is `Nt × Nt`; *tree level* `l ∈ 1..=Nt` of the
+/// paper corresponds to row `l−1` here, and detection proceeds from row
+/// `Nt−1` (top of the tree) down to row `0`.
+#[derive(Clone, Debug)]
+pub struct Triangular {
+    /// QR factors (including the stream permutation).
+    pub qr: Qr,
+    /// The constellation in use.
+    pub constellation: Constellation,
+}
+
+impl Triangular {
+    /// Prepares the system from QR factors and a constellation.
+    pub fn new(qr: Qr, constellation: Constellation) -> Self {
+        Triangular { qr, constellation }
+    }
+
+    /// Number of streams / tree height.
+    pub fn nt(&self) -> usize {
+        self.qr.r.cols()
+    }
+
+    /// Rotates the received vector: `ȳ = Q*·y`.
+    pub fn rotate(&self, y: &[Cx]) -> Vec<Cx> {
+        self.qr.rotate(y)
+    }
+
+    /// The *effective received point* at row `row` (Eq. 5):
+    /// `ỹ = (ȳ_row − Σ_{p>row} R(row,p)·s_p) / R(row,row)`,
+    /// where `symbols[p]` for `p > row` holds the already-decided symbol
+    /// indices (entries `< row` are ignored).
+    ///
+    /// Slicing this point gives the zero-forcing decision for the row given
+    /// the decisions above it.
+    pub fn effective_point(&self, ybar: &[Cx], symbols: &[usize], row: usize) -> Cx {
+        let r = &self.qr.r;
+        let mut acc = ybar[row];
+        for p in row + 1..self.nt() {
+            acc -= r[(row, p)] * self.constellation.point(symbols[p]);
+        }
+        acc / r[(row, row)]
+    }
+
+    /// Counted variant of [`Triangular::effective_point`]: tallies the
+    /// complex multiplies and the division (Table 1 / Table 2 accounting).
+    pub fn effective_point_counted(
+        &self,
+        ybar: &[Cx],
+        symbols: &[usize],
+        row: usize,
+        flops: &mut FlopCounter,
+    ) -> Cx {
+        let n_terms = (self.nt() - row - 1) as u64;
+        flops.cmul(n_terms);
+        flops.cadd(n_terms);
+        flops.cmul(1); // the division by R(row,row)
+        self.effective_point(ybar, symbols, row)
+    }
+
+    /// Partial-Euclidean-distance increment at `row` for choosing symbol
+    /// index `sym` (Eq. 1): `|ȳ_row − Σ_{p≥row} R(row,p)·s_p|²`.
+    pub fn ped_increment(&self, ybar: &[Cx], symbols: &[usize], row: usize, sym: usize) -> f64 {
+        let r = &self.qr.r;
+        let mut acc = ybar[row] - r[(row, row)] * self.constellation.point(sym);
+        for p in row + 1..self.nt() {
+            acc -= r[(row, p)] * self.constellation.point(symbols[p]);
+        }
+        acc.norm_sqr()
+    }
+
+    /// Full path metric `‖ȳ − R·s‖²` for a complete symbol-index vector.
+    pub fn path_metric(&self, ybar: &[Cx], symbols: &[usize]) -> f64 {
+        (0..self.nt())
+            .map(|row| self.ped_increment(ybar, symbols, row, symbols[row]))
+            .sum()
+    }
+
+    /// Undoes the QR column permutation, mapping per-level symbol decisions
+    /// back to original stream order.
+    pub fn unpermute(&self, symbols: &[usize]) -> Vec<usize> {
+        self.qr.unpermute(symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_modulation::Modulation;
+    use flexcore_numeric::qr::sorted_qr_sqrd;
+    use flexcore_numeric::rng::CxRng;
+    use flexcore_numeric::CMat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(nt: usize, seed: u64) -> (Triangular, Vec<usize>, Vec<Cx>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = CMat::from_fn(nt, nt, |_, _| rng.cx_normal(1.0));
+        let c = Constellation::new(Modulation::Qam16);
+        let qr = sorted_qr_sqrd(&h);
+        let tri = Triangular::new(qr, c.clone());
+        // Random transmitted symbols (in permuted order for convenience).
+        let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..c.order())).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let hp = h.permute_cols(&tri.qr.perm);
+        let y = hp.mul_vec(&x);
+        (tri, s, y)
+    }
+
+    #[test]
+    fn noiseless_effective_point_is_the_symbol() {
+        // With no noise and correct decisions above, the effective point at
+        // each row lands exactly on the transmitted constellation point.
+        let (tri, s, y) = setup(6, 1);
+        let ybar = tri.rotate(&y);
+        for row in (0..6).rev() {
+            let eff = tri.effective_point(&ybar, &s, row);
+            let want = tri.constellation.point(s[row]);
+            assert!((eff - want).abs() < 1e-9, "row {row}");
+        }
+    }
+
+    #[test]
+    fn noiseless_path_metric_is_zero_for_truth() {
+        let (tri, s, y) = setup(5, 2);
+        let ybar = tri.rotate(&y);
+        assert!(tri.path_metric(&ybar, &s) < 1e-16);
+        // And strictly positive for any wrong path.
+        let mut wrong = s.clone();
+        wrong[2] = (wrong[2] + 1) % tri.constellation.order();
+        assert!(tri.path_metric(&ybar, &wrong) > 1e-6);
+    }
+
+    #[test]
+    fn ped_increments_sum_to_path_metric() {
+        let (tri, s, y) = setup(4, 3);
+        let ybar = tri.rotate(&y);
+        let mut wrong = s.clone();
+        wrong[0] = (wrong[0] + 5) % tri.constellation.order();
+        wrong[3] = (wrong[3] + 9) % tri.constellation.order();
+        let sum: f64 = (0..4)
+            .map(|row| tri.ped_increment(&ybar, &wrong, row, wrong[row]))
+            .sum();
+        assert!((sum - tri.path_metric(&ybar, &wrong)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counted_effective_point_tallies() {
+        let (tri, s, y) = setup(4, 4);
+        let ybar = tri.rotate(&y);
+        let mut f = FlopCounter::new();
+        let a = tri.effective_point_counted(&ybar, &s, 1, &mut f);
+        let b = tri.effective_point(&ybar, &s, 1);
+        assert_eq!(a, b);
+        // 2 cancellation terms (rows 2,3) + 1 division = 3 cmuls = 12 mults.
+        assert_eq!(f.mults, 12);
+    }
+
+    #[test]
+    fn unpermute_restores_stream_order() {
+        let (tri, s, _) = setup(5, 5);
+        let orig = tri.unpermute(&s);
+        for (j, &p) in tri.qr.perm.iter().enumerate() {
+            assert_eq!(orig[p], s[j]);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Breadth-first K-best sphere decoding.
+//!
+//! At each tree level the K best partial paths (smallest partial Euclidean
+//! distance) survive and are expanded to all `|Q|` children. Fixed
+//! complexity and fixed (but inflexible) parallelism; as §6 notes, K must
+//! grow with constellation density and antenna count to stay near-ML, and
+//! the per-level sort is a synchronisation bottleneck — both motivations
+//! for FlexCore's design.
+
+use crate::common::{Detector, Triangular};
+use flexcore_modulation::Constellation;
+use flexcore_numeric::qr::sorted_qr_sqrd;
+use flexcore_numeric::{CMat, Cx};
+
+/// K-best breadth-first detector.
+#[derive(Clone, Debug)]
+pub struct KBestDetector {
+    constellation: Constellation,
+    k: usize,
+    tri: Option<Triangular>,
+}
+
+impl KBestDetector {
+    /// Creates a K-best detector keeping `k ≥ 1` survivors per level.
+    pub fn new(constellation: Constellation, k: usize) -> Self {
+        assert!(k >= 1, "KBest: k must be >= 1");
+        KBestDetector {
+            constellation,
+            k,
+            tri: None,
+        }
+    }
+
+    /// The survivor count K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Detector for KBestDetector {
+    fn name(&self) -> String {
+        format!("K-best(K={})", self.k)
+    }
+
+    fn prepare(&mut self, h: &CMat, _sigma2: f64) {
+        self.tri = Some(Triangular::new(
+            sorted_qr_sqrd(h),
+            self.constellation.clone(),
+        ));
+    }
+
+    fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let nt = tri.nt();
+        let q = self.constellation.order();
+        let ybar = tri.rotate(y);
+        // Each survivor: (ped, symbols) with symbols filled from `row` up.
+        let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
+        for row in (0..nt).rev() {
+            let mut children: Vec<(f64, Vec<usize>)> =
+                Vec::with_capacity(survivors.len() * q);
+            for (ped, symbols) in &survivors {
+                for sym in 0..q {
+                    let inc = tri.ped_increment(&ybar, symbols, row, sym);
+                    let mut s = symbols.clone();
+                    s[row] = sym;
+                    children.push((ped + inc, s));
+                }
+            }
+            children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN PED"));
+            children.truncate(self.k);
+            survivors = children;
+        }
+        tri.unpermute(&survivors[0].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::MlDetector;
+    use crate::sic::SicDetector;
+    use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+    use flexcore_modulation::Modulation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn k_equal_order_pow_matches_ml_small() {
+        // With K = |Q|^(Nt-1) the search is exhaustive.
+        let c = Constellation::new(Modulation::Qpsk);
+        let mut kb = KBestDetector::new(c.clone(), 16);
+        let mut ml = MlDetector::new(c.clone());
+        let ens = ChannelEnsemble::iid(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let h = ens.draw(&mut rng);
+            let snr = 8.0;
+            let ch = MimoChannel::new(h.clone(), snr);
+            kb.prepare(&h, sigma2_from_snr_db(snr));
+            ml.prepare(&h, sigma2_from_snr_db(snr));
+            let s: Vec<usize> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            assert_eq!(kb.detect(&y), ml.detect(&y));
+        }
+    }
+
+    fn ser(det: &mut dyn Detector, snr: f64, nt: usize, trials: usize, seed: u64) -> f64 {
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(nt, nt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut e, mut t) = (0usize, 0usize);
+        for _ in 0..trials {
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            e += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+            t += nt;
+        }
+        e as f64 / t as f64
+    }
+
+    #[test]
+    fn larger_k_is_better() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut k1 = KBestDetector::new(c.clone(), 1);
+        let mut k8 = KBestDetector::new(c.clone(), 8);
+        let s1 = ser(&mut k1, 13.0, 6, 300, 5);
+        let s8 = ser(&mut k8, 13.0, 6, 300, 5);
+        assert!(s8 < s1, "K=8 SER {s8} should beat K=1 SER {s1}");
+    }
+
+    #[test]
+    fn k1_equals_sic_ordering_quality() {
+        // K=1 is SIC with (ZF-)SQRD ordering — should be in the same SER
+        // ballpark as the MMSE-ordered SicDetector (within 2x).
+        let c = Constellation::new(Modulation::Qam16);
+        let mut k1 = KBestDetector::new(c.clone(), 1);
+        let mut sic = SicDetector::new(c.clone());
+        let a = ser(&mut k1, 16.0, 4, 400, 6);
+        let b = ser(&mut sic, 16.0, 4, 400, 6);
+        assert!(a < 2.5 * b + 0.02, "K=1 {a} vs SIC {b}");
+    }
+
+    #[test]
+    fn noiseless_recovery() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = ChannelEnsemble::iid(5, 5).draw(&mut rng);
+        let mut kb = KBestDetector::new(c.clone(), 4);
+        kb.prepare(&h, 1e-9);
+        let s: Vec<usize> = (0..5).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        assert_eq!(kb.detect(&h.mul_vec(&x)), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn rejects_zero_k() {
+        let _ = KBestDetector::new(Constellation::new(Modulation::Qpsk), 0);
+    }
+}

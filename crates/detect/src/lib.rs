@@ -1,0 +1,38 @@
+//! # flexcore-detect
+//!
+//! Every *baseline* MIMO detector the paper compares FlexCore against,
+//! implemented from scratch on the shared substrates:
+//!
+//! | Module | Detector | Role in the paper |
+//! |---|---|---|
+//! | [`ml`] | Exhaustive maximum likelihood | test oracle (tiny systems) |
+//! | [`sphere`] | Depth-first Schnorr–Euchner sphere decoder | exact ML at scale — the paper's "Geosphere" reference \[32\] and the Table 1 complexity subject |
+//! | [`linear`] | Zero-forcing and MMSE | the Argos/BigStation-style linear baselines |
+//! | [`sic`] | Ordered successive interference cancellation (V-BLAST) | the SIC curve of Fig. 12 |
+//! | [`sic`] | Parallel-SIC, one PE per constellation point | the trellis-based fixed-parallelism decoder of \[50\] in Fig. 9 |
+//! | [`kbest`] | Breadth-first K-best | related-work baseline (§6) |
+//! | [`fcsd`] | Fixed-Complexity Sphere Decoder \[4\] | FlexCore's main head-to-head competitor |
+//!
+//! All detectors implement the object-safe [`Detector`] trait: `prepare`
+//! runs once per channel change (QR decompositions, orderings, filters) and
+//! `detect` runs per received vector — the same split the paper uses to
+//! amortise pre-processing (§3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fcsd;
+pub mod kbest;
+pub mod linear;
+pub mod ml;
+pub mod sic;
+pub mod sphere;
+
+pub use common::{Detector, Triangular};
+pub use fcsd::FcsdDetector;
+pub use kbest::KBestDetector;
+pub use linear::{MmseDetector, ZfDetector};
+pub use ml::MlDetector;
+pub use sic::{ParallelSicDetector, SicDetector};
+pub use sphere::SphereDecoder;

@@ -1,0 +1,28 @@
+//! # flexcore-hwmodel
+//!
+//! Analytic hardware cost/energy models substituting for the paper's
+//! GTX 970 GPU, FX-8120 CPU and Virtex UltraScale XCVU440 FPGA testbeds
+//! (see DESIGN.md "Substitutions"). The paper's hardware results are
+//! *ratios* — speedups, energy-efficiency gaps, iso-throughput PE counts —
+//! driven by path counts, per-path workload, occupancy and resource/power
+//! composition. These models capture exactly those drivers and are
+//! calibrated against the paper's published absolute anchors (Table 3,
+//! the 5.14× 8-thread OpenMP speedup, the 19× GPU headline).
+//!
+//! * [`gpu`] — a SIMT occupancy model (threads → warps → SMs) plus an
+//!   OpenMP-style multicore model and PCIe transfer costs → Fig. 11/12;
+//! * [`fpga`] — per-engine resource/latency/power composition anchored on
+//!   Table 3 → Table 3 and Fig. 13;
+//! * [`lte`] — LTE frame timing (1.25–20 MHz modes, 500 µs slots) and the
+//!   "how many paths fit in the budget" solver → Fig. 12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fpga;
+pub mod gpu;
+pub mod lte;
+
+pub use fpga::{EngineKind, FpgaDevice, FpgaModel, PeResources};
+pub use gpu::{CpuModel, GpuModel};
+pub use lte::{LteMode, LTE_MODES};

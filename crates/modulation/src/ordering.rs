@@ -1,0 +1,417 @@
+//! Finding the k-th closest constellation symbol to an effective received
+//! point.
+//!
+//! FlexCore's position vectors say "take the node with the k-th smallest
+//! Euclidean distance at level l" (§3.1). Finding that node naively costs
+//! |Q| distance computations plus a sort *per tree level per path* — the
+//! exact waste the paper eliminates. This module provides both:
+//!
+//! * [`exact_order`] / [`kth_nearest_exact`] — the exhaustive oracle;
+//! * [`OrderingLut`] — the paper's approximate predefined ordering (Fig. 6):
+//!   the effective point is reduced to (a) the nearest *infinite-lattice*
+//!   grid point and (b) one of eight triangles inside the minimum-distance
+//!   square around it; a per-triangle table then maps `k` directly to a
+//!   lattice offset. Offsets that leave the constellation mean the
+//!   corresponding processing element is *deactivated* (`None`), exactly as
+//!   in the paper's FPGA design.
+//!
+//! The per-triangle orders are derived by Monte-Carlo, as in the paper
+//! ("via computer simulations, compute the most frequent sorted order"):
+//! we sample points uniformly inside each triangle and rank lattice offsets
+//! by mean distance rank, which converges to the same modal order. We store
+//! all eight triangles explicitly rather than rotating a single stored
+//! triangle — a negligible-memory software simplification (see DESIGN.md).
+
+use crate::qam::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples per triangle when deriving the predefined order.
+const LUT_SAMPLES: usize = 600;
+/// Fixed seed: the LUT is part of the algorithm definition, so it must be
+/// identical across runs and machines.
+const LUT_SEED: u64 = 0x5EED_F1EC;
+
+/// Returns all symbol indices sorted by ascending distance to `y`
+/// (ties broken by index for determinism).
+pub fn exact_order(c: &Constellation, y: Cx) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..c.order()).collect();
+    idx.sort_by(|&a, &b| {
+        let da = c.point(a).dist_sqr(y);
+        let db = c.point(b).dist_sqr(y);
+        da.partial_cmp(&db).expect("NaN distance").then(a.cmp(&b))
+    });
+    idx
+}
+
+/// The symbol index with the `k`-th smallest distance to `y` (`k` is
+/// 1-based). Returns `None` if `k > |Q|`.
+pub fn kth_nearest_exact(c: &Constellation, y: Cx, k: usize) -> Option<usize> {
+    if k == 0 || k > c.order() {
+        return None;
+    }
+    // Partial selection would do; |Q| ≤ 256 so a full sort is fine for the
+    // oracle (the fast path is the LUT, not this function).
+    Some(exact_order(c, y)[k - 1])
+}
+
+/// Classifies an offset within the minimum-distance square into one of the
+/// eight triangles of Fig. 6.
+///
+/// `dx`, `dy` are the coordinates of the effective point relative to the
+/// square's centre, in *grid units* (square side = 2, so `dx, dy ∈ [−1, 1]`).
+/// Triangles are octants: index `i ∈ 0..8` covers angles
+/// `[i·45°, (i+1)·45°)`.
+pub fn triangle_index(dx: f64, dy: f64) -> usize {
+    let a = dy.atan2(dx); // (−π, π]
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let norm = if a < 0.0 { a + two_pi } else { a };
+    ((norm / (std::f64::consts::PI / 4.0)) as usize).min(7)
+}
+
+/// The approximate predefined symbol ordering of §3.2.
+///
+/// Built once per (modulation, depth) — the paper computes it offline and
+/// stores it in a look-up table; the FPGA keeps it in non-pipelined
+/// registers. `depth` bounds the largest `k` the table can answer.
+#[derive(Clone, Debug)]
+pub struct OrderingLut {
+    modulation: Modulation,
+    depth: usize,
+    /// `orders[t][k-1]` = lattice offset `(Δcol, Δrow)` of the k-th closest
+    /// lattice point for effective points inside triangle `t`.
+    orders: Vec<Vec<(i32, i32)>>,
+}
+
+impl OrderingLut {
+    /// Builds the table for `modulation`, answering `k ≤ depth`
+    /// (`depth` is clamped to `|Q|`).
+    pub fn new(modulation: Modulation, depth: usize) -> Self {
+        let depth = depth.clamp(1, modulation.order());
+        if modulation == Modulation::Bpsk {
+            // Degenerate 1-D case: closest, then the other point.
+            return OrderingLut {
+                modulation,
+                depth: depth.min(2),
+                orders: (0..8).map(|_| vec![(0, 0), (1, 0)]).collect(),
+            };
+        }
+        // Candidate lattice offsets: a neighbourhood comfortably larger
+        // than `depth` points, and always wide enough to reach every
+        // constellation symbol from any in-grid centre (needed by the
+        // skip-outside lookup mode).
+        let radius = {
+            let mut r = 1i32;
+            while ((2 * r + 1) * (2 * r + 1)) < depth as i32 + 8 {
+                r += 1;
+            }
+            r.max(modulation.grid_side() as i32)
+        };
+        let mut candidates = Vec::new();
+        for dj in -radius..=radius {
+            for di in -radius..=radius {
+                candidates.push((di, dj));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(LUT_SEED);
+        let mut orders = Vec::with_capacity(8);
+        for tri in 0..8 {
+            let mut rank_sum = vec![0.0f64; candidates.len()];
+            let mut taken = 0usize;
+            while taken < LUT_SAMPLES {
+                // Rejection-sample a point in the target triangle.
+                let dx: f64 = rng.gen_range(-1.0..1.0);
+                let dy: f64 = rng.gen_range(-1.0..1.0);
+                if triangle_index(dx, dy) != tri {
+                    continue;
+                }
+                taken += 1;
+                // Rank every candidate by distance from this sample.
+                // Lattice points sit at even grid coordinates (2di, 2dj).
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let da = dist2(dx, dy, candidates[a]);
+                    let db = dist2(dx, dy, candidates[b]);
+                    da.partial_cmp(&db).expect("NaN").then(a.cmp(&b))
+                });
+                for (rank, &ci) in order.iter().enumerate() {
+                    rank_sum[ci] += rank as f64;
+                }
+            }
+            let mut by_rank: Vec<usize> = (0..candidates.len()).collect();
+            by_rank.sort_by(|&a, &b| {
+                rank_sum[a]
+                    .partial_cmp(&rank_sum[b])
+                    .expect("NaN")
+                    .then(a.cmp(&b))
+            });
+            // Store the full candidate ordering (not just `depth` entries):
+            // the skip-outside lookup mode may need to pass over many
+            // out-of-constellation offsets near the grid edge.
+            orders.push(by_rank.iter().map(|&i| candidates[i]).collect());
+        }
+        OrderingLut {
+            modulation,
+            depth,
+            orders,
+        }
+    }
+
+    /// The modulation this table was built for.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Largest `k` this table can answer.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Raw lattice offset for triangle `tri` and rank `k` (1-based).
+    pub fn kth_offset(&self, tri: usize, k: usize) -> Option<(i32, i32)> {
+        self.orders.get(tri)?.get(k - 1).copied()
+    }
+
+    /// The approximate `k`-th closest symbol index to the effective point
+    /// `y` (1-based `k`), with the paper's **strict** semantics.
+    ///
+    /// Returns `None` when the predefined order points outside the
+    /// constellation (the paper deactivates the corresponding Euclidean
+    /// distance unit) or when `k` exceeds the table depth.
+    pub fn kth_nearest(&self, c: &Constellation, y: Cx, k: usize) -> Option<usize> {
+        debug_assert_eq!(c.modulation(), self.modulation);
+        if k == 0 || k > self.depth {
+            return None;
+        }
+        if self.modulation == Modulation::Bpsk {
+            return self.bpsk_kth(c, y, k);
+        }
+        let (ci, cj, tri) = self.locate(c, y);
+        let side = c.grid_side() as i32;
+        let (di, dj) = self.orders[tri][k - 1];
+        let col = ci + di;
+        let row = cj + dj;
+        if col < 0 || col >= side || row < 0 || row >= side {
+            return None; // outside the constellation: PE deactivated
+        }
+        Some(c.grid_to_index(col as usize, row as usize))
+    }
+
+    /// The approximate `k`-th closest **constellation** symbol, skipping
+    /// predefined-order entries that fall outside the grid instead of
+    /// deactivating.
+    ///
+    /// This matches the semantics of the probabilistic path model (ranks
+    /// are over constellation symbols, since the transmitted symbol is
+    /// always in the grid) at the cost of a short in-bounds scan — still no
+    /// Euclidean distances or sorting. The strict variant
+    /// [`OrderingLut::kth_nearest`] reproduces the paper's FPGA
+    /// deactivation behaviour; the `ordering` bench compares both against
+    /// the exact oracle. Returns `None` only when `k` exceeds the table
+    /// depth or the constellation size.
+    pub fn kth_nearest_skip(&self, c: &Constellation, y: Cx, k: usize) -> Option<usize> {
+        debug_assert_eq!(c.modulation(), self.modulation);
+        if k == 0 || k > self.depth {
+            return None;
+        }
+        if self.modulation == Modulation::Bpsk {
+            return self.bpsk_kth(c, y, k);
+        }
+        let (ci, cj, tri) = self.locate(c, y);
+        let side = c.grid_side() as i32;
+        let mut valid = 0usize;
+        for &(di, dj) in &self.orders[tri] {
+            let col = ci + di;
+            let row = cj + dj;
+            if col >= 0 && col < side && row >= 0 && row < side {
+                valid += 1;
+                if valid == k {
+                    return Some(c.grid_to_index(col as usize, row as usize));
+                }
+            }
+        }
+        None
+    }
+
+    /// Shared BPSK degenerate lookup.
+    fn bpsk_kth(&self, c: &Constellation, y: Cx, k: usize) -> Option<usize> {
+        let first = c.slice(y);
+        match k {
+            1 => Some(first),
+            2 => Some(1 - first),
+            _ => None,
+        }
+    }
+
+    /// Locates the effective point: nearest infinite-lattice centre
+    /// `(ci, cj)` in level-index units and the triangle index within its
+    /// minimum-distance square.
+    fn locate(&self, c: &Constellation, y: Cx) -> (i32, i32, usize) {
+        let side = c.grid_side() as i32;
+        let u = y.re / c.scale();
+        let v = y.im / c.scale();
+        // Nearest INFINITE-lattice point (not clamped): levels at 2i−(side−1).
+        let ci = ((u + (side - 1) as f64) / 2.0).round() as i32;
+        let cj = ((v + (side - 1) as f64) / 2.0).round() as i32;
+        let dx = u - level_value_i(ci, side);
+        let dy = v - level_value_i(cj, side);
+        (ci, cj, triangle_index(dx, dy))
+    }
+}
+
+#[inline]
+fn dist2(dx: f64, dy: f64, (di, dj): (i32, i32)) -> f64 {
+    let ex = dx - 2.0 * di as f64;
+    let ey = dy - 2.0 * dj as f64;
+    ex * ex + ey * ey
+}
+
+#[inline]
+fn level_value_i(i: i32, side: i32) -> f64 {
+    (2 * i - (side - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_numeric::rng::CxRng;
+
+    #[test]
+    fn exact_order_is_a_permutation_sorted_by_distance() {
+        let c = Constellation::new(Modulation::Qam16);
+        let y = Cx::new(0.3, -0.7);
+        let ord = exact_order(&c, y);
+        let mut sorted = ord.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        for w in ord.windows(2) {
+            assert!(c.point(w[0]).dist_sqr(y) <= c.point(w[1]).dist_sqr(y) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn kth_exact_bounds() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let y = Cx::new(0.1, 0.1);
+        assert!(kth_nearest_exact(&c, y, 0).is_none());
+        assert!(kth_nearest_exact(&c, y, 5).is_none());
+        assert_eq!(kth_nearest_exact(&c, y, 1), Some(c.slice(y)));
+    }
+
+    #[test]
+    fn triangle_index_covers_octants() {
+        // One representative point per octant, at angle (i+0.5)·45°.
+        for i in 0..8 {
+            let a = (i as f64 + 0.5) * std::f64::consts::PI / 4.0;
+            let t = triangle_index(0.5 * a.cos(), 0.5 * a.sin());
+            assert_eq!(t, i, "angle {}°", (i as f64 + 0.5) * 45.0);
+        }
+    }
+
+    #[test]
+    fn lut_first_entry_is_center() {
+        // The nearest lattice point to any point inside the square is the
+        // square's own centre, so k=1 must map to offset (0,0).
+        for &m in &[Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let lut = OrderingLut::new(m, 8);
+            for tri in 0..8 {
+                assert_eq!(lut.kth_offset(tri, 1), Some((0, 0)), "{:?} tri {tri}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_slice_for_k1() {
+        let c = Constellation::new(Modulation::Qam64);
+        let lut = OrderingLut::new(Modulation::Qam64, 16);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let y = rng.cx_normal(1.0);
+            if let Some(idx) = lut.kth_nearest(&c, y, 1) {
+                assert_eq!(idx, c.slice(y), "y = {y:?}");
+            } else {
+                // k=1 deactivation only happens when the nearest lattice
+                // point is outside the constellation; slice clamps instead.
+                let far = y.re.abs() / c.scale() > 7.0 || y.im.abs() / c.scale() > 7.0;
+                assert!(far, "unexpected deactivation at {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_agrees_with_exact_for_interior_points() {
+        // For effective points well inside the constellation, the first few
+        // predefined candidates should usually be the true k-th nearest.
+        let c = Constellation::new(Modulation::Qam16);
+        let lut = OrderingLut::new(Modulation::Qam16, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            // Constrain to the interior cell region (levels ±1).
+            let y = Cx::new(
+                rng.gen_range(-1.0..1.0) * c.scale(),
+                rng.gen_range(-1.0..1.0) * c.scale(),
+            );
+            for k in 1..=4 {
+                let (a, b) = (lut.kth_nearest(&c, y, k), kth_nearest_exact(&c, y, k));
+                if let Some(a) = a {
+                    total += 1;
+                    if Some(a) == b {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.85, "agreement rate {rate}");
+    }
+
+    #[test]
+    fn lut_entries_unique_per_triangle() {
+        let lut = OrderingLut::new(Modulation::Qam64, 32);
+        for tri in 0..8 {
+            let mut seen = std::collections::HashSet::new();
+            for k in 1..=32 {
+                let off = lut.kth_offset(tri, k).unwrap();
+                assert!(seen.insert(off), "duplicate offset {off:?} in tri {tri}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_deactivates_outside_constellation() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let lut = OrderingLut::new(Modulation::Qpsk, 4);
+        // Effective point far outside: center lattice point beyond the grid,
+        // so most candidates must deactivate.
+        let y = Cx::new(50.0 * c.scale(), 50.0 * c.scale());
+        let mut nones = 0;
+        for k in 1..=4 {
+            if lut.kth_nearest(&c, y, k).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 0);
+    }
+
+    #[test]
+    fn bpsk_ordering() {
+        let c = Constellation::new(Modulation::Bpsk);
+        let lut = OrderingLut::new(Modulation::Bpsk, 2);
+        let y = Cx::new(0.4, 0.0);
+        assert_eq!(lut.kth_nearest(&c, y, 1), Some(1));
+        assert_eq!(lut.kth_nearest(&c, y, 2), Some(0));
+        assert_eq!(lut.kth_nearest(&c, y, 3), None);
+    }
+
+    #[test]
+    fn depth_clamps_to_order() {
+        let lut = OrderingLut::new(Modulation::Qpsk, 1000);
+        assert_eq!(lut.depth(), 4);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+}

@@ -1,0 +1,146 @@
+//! Singular-value extrema and condition numbers.
+//!
+//! The paper repeatedly reasons about channel conditioning (a low condition
+//! number indicates a favourable channel; the testbed scheduler keeps
+//! per-user SNR spreads within 3 dB partly to control it). This module
+//! estimates the largest/smallest singular values of a channel matrix by
+//! power iteration on the Gram matrix `G = H*H` (and on `G⁻¹`), which is
+//! robust and plenty fast for the ≤ 16×16 matrices of interest.
+
+use crate::cx::Cx;
+use crate::mat::{norm, norm_sqr, CMat};
+use crate::solve::hermitian_inverse;
+
+/// Iterations used by the power method; generous for tiny matrices.
+const POWER_ITERS: usize = 300;
+
+/// Largest eigenvalue of a Hermitian PSD matrix via power iteration.
+fn largest_eig_hermitian(g: &CMat) -> f64 {
+    let n = g.rows();
+    assert!(g.is_square());
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<Cx> = (0..n)
+        .map(|i| Cx::new(1.0 + (i as f64) * 0.3, 0.7 - (i as f64) * 0.1))
+        .collect();
+    let nv = norm(&v);
+    for x in &mut v {
+        *x = *x / nv;
+    }
+    let mut lambda = 0.0;
+    for _ in 0..POWER_ITERS {
+        let w = g.mul_vec(&v);
+        let nw = norm(&w);
+        if nw == 0.0 {
+            return 0.0;
+        }
+        lambda = nw; // since v is unit-norm, ‖G v‖ → λ_max
+        for (vi, wi) in v.iter_mut().zip(&w) {
+            *vi = *wi / nw;
+        }
+    }
+    // Rayleigh quotient for a final polish.
+    let w = g.mul_vec(&v);
+    let rq = v
+        .iter()
+        .zip(&w)
+        .fold(Cx::ZERO, |acc, (&vi, &wi)| acc + wi.mul_conj(vi));
+    if rq.re.is_finite() && rq.re > 0.0 {
+        rq.re / norm_sqr(&v)
+    } else {
+        lambda
+    }
+}
+
+/// Largest singular value `σ_max(H)`.
+pub fn sigma_max(h: &CMat) -> f64 {
+    largest_eig_hermitian(&h.gram()).max(0.0).sqrt()
+}
+
+/// Smallest singular value `σ_min(H)` (requires full column rank).
+pub fn sigma_min(h: &CMat) -> f64 {
+    let gi = hermitian_inverse(&h.gram());
+    let lam_inv = largest_eig_hermitian(&gi);
+    if lam_inv <= 0.0 {
+        0.0
+    } else {
+        (1.0 / lam_inv).sqrt()
+    }
+}
+
+/// 2-norm condition number `κ(H) = σ_max/σ_min`.
+pub fn condition_number(h: &CMat) -> f64 {
+    let smin = sigma_min(h);
+    if smin == 0.0 {
+        f64::INFINITY
+    } else {
+        sigma_max(h) / smin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CxRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let mut d = CMat::zeros(3, 3);
+        d[(0, 0)] = Cx::real(5.0);
+        d[(1, 1)] = Cx::real(2.0);
+        d[(2, 2)] = Cx::real(0.5);
+        assert!((sigma_max(&d) - 5.0).abs() < 1e-6);
+        assert!((sigma_min(&d) - 0.5).abs() < 1e-6);
+        assert!((condition_number(&d) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn unitary_matrix_has_condition_one() {
+        // DFT-like unitary matrix.
+        let n = 4;
+        let f = CMat::from_fn(n, n, |r, c| {
+            Cx::from_polar(
+                1.0 / (n as f64).sqrt(),
+                -2.0 * std::f64::consts::PI * (r * c) as f64 / n as f64,
+            )
+        });
+        assert!((condition_number(&f) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_one_column_raises_condition() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let h = CMat::from_fn(6, 6, |_, _| rng.cx_normal(1.0));
+        let k0 = condition_number(&h);
+        let mut bad = h.clone();
+        for r in 0..6 {
+            bad[(r, 3)] = bad[(r, 3)].scale(1e-3);
+        }
+        let k1 = condition_number(&bad);
+        assert!(k1 > 10.0 * k0, "k0={k0}, k1={k1}");
+    }
+
+    #[test]
+    fn sigma_bounds_frobenius() {
+        // σ_max ≤ ‖H‖_F ≤ √n·σ_max for an n-column matrix.
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = CMat::from_fn(8, 8, |_, _| rng.cx_normal(1.0));
+        let smax = sigma_max(&h);
+        let fro = h.fro_norm();
+        assert!(smax <= fro + 1e-9);
+        assert!(fro <= (8.0f64).sqrt() * smax + 1e-9);
+    }
+
+    #[test]
+    fn sigma_min_is_min_gain() {
+        // For any unit vector x, ‖Hx‖ ≥ σ_min; test with basis vectors.
+        let mut rng = StdRng::seed_from_u64(10);
+        let h = CMat::from_fn(5, 5, |_, _| rng.cx_normal(1.0));
+        let smin = sigma_min(&h);
+        for c in 0..5 {
+            let gain = norm(&h.col(c));
+            assert!(gain >= smin - 1e-9);
+        }
+    }
+}

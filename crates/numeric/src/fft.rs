@@ -1,0 +1,166 @@
+//! Radix-2 FFT / IFFT.
+//!
+//! The OFDM substrate (`flexcore-phy`) uses this pair for the time-domain
+//! transmit/receive path (64-point transforms in the 802.11-like
+//! configuration the paper evaluates). The implementation is the classic
+//! iterative Cooley–Tukey with bit-reversal permutation; power-of-two sizes
+//! only, which is all OFDM needs.
+
+use crate::cx::Cx;
+
+/// In-place forward DFT: `X[k] = Σ_n x[n]·e^{−2πi·kn/N}`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(x: &mut [Cx]) {
+    transform(x, -1.0);
+}
+
+/// In-place inverse DFT with `1/N` normalisation:
+/// `x[n] = (1/N)·Σ_k X[k]·e^{+2πi·kn/N}`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(x: &mut [Cx]) {
+    transform(x, 1.0);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+/// Convenience wrapper returning a new vector.
+pub fn fft(x: &[Cx]) -> Vec<Cx> {
+    let mut out = x.to_vec();
+    fft_in_place(&mut out);
+    out
+}
+
+/// Convenience wrapper returning a new vector.
+pub fn ifft(x: &[Cx]) -> Vec<Cx> {
+    let mut out = x.to_vec();
+    ifft_in_place(&mut out);
+    out
+}
+
+fn transform(x: &mut [Cx], sign: f64) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Cx::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cx::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(N²) DFT used as a test oracle.
+pub fn dft_naive(x: &[Cx]) -> Vec<Cx> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    x[j] * Cx::from_polar(1.0, ang)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CxRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close_vec(a: &[Cx], b: &[Cx], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &n in &[2usize, 4, 8, 64, 128] {
+            let x: Vec<Cx> = (0..n).map(|_| rng.cx_normal(1.0)).collect();
+            assert!(
+                close_vec(&fft(&x), &dft_naive(&x), 1e-9),
+                "FFT mismatch at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<Cx> = (0..64).map(|_| rng.cx_normal(1.0)).collect();
+        let back = ifft(&fft(&x));
+        assert!(close_vec(&x, &back, 1e-10));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Cx::ZERO; 16];
+        x[0] = Cx::ONE;
+        let y = fft(&x);
+        assert!(y.iter().all(|&v| (v - Cx::ONE).abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<Cx> = (0..n)
+            .map(|t| Cx::from_polar(1.0, 2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, &v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v - Cx::real(n as f64)).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x: Vec<Cx> = (0..64).map(|_| rng.cx_normal(1.0)).collect();
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let y = fft(&x);
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Cx::ZERO; 12];
+        fft_in_place(&mut x);
+    }
+}

@@ -1,0 +1,47 @@
+//! # flexcore-numeric
+//!
+//! Self-contained complex-valued numerical substrate for the FlexCore
+//! reproduction.
+//!
+//! The paper's entire signal-processing chain operates on complex baseband
+//! samples and complex channel matrices. Mainstream Rust DSP crates for this
+//! are thin, so this crate implements everything FlexCore needs from scratch:
+//!
+//! * [`Cx`] — a `f64` complex scalar with full arithmetic (module [`cx`]);
+//! * [`CMat`] / [`CVec`] — dense row-major complex matrices and vectors
+//!   (module [`mat`]);
+//! * QR decompositions: Householder and modified Gram–Schmidt, plus the two
+//!   *sorted* QR variants the paper evaluates — Wübben's SQRD and the
+//!   Barbero–Thompson FCSD ordering (module [`qr`]);
+//! * triangular solvers, matrix inversion and the MMSE filter kernel
+//!   (module [`solve`]);
+//! * singular-value extrema / condition numbers via power iteration
+//!   (module [`eig`]);
+//! * `erf`/`erfc` and the Gaussian Q-function (module [`special`]) — needed
+//!   by FlexCore's Eq. (4) symbol-error model;
+//! * a radix-2 FFT/IFFT pair (module [`fft`]) for the time-domain OFDM path;
+//! * seeded Gaussian / complex-Gaussian / Rayleigh sampling via Box–Muller
+//!   (module [`rng`]);
+//! * a lightweight FLOP-accounting helper (module [`flops`]) used to
+//!   regenerate Table 1 and Table 2 of the paper.
+//!
+//! Everything is deterministic given a caller-supplied RNG seed; nothing in
+//! this crate performs I/O or allocation beyond `Vec`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cx;
+pub mod eig;
+pub mod fft;
+pub mod flops;
+pub mod mat;
+pub mod qr;
+pub mod rng;
+pub mod solve;
+pub mod special;
+
+pub use cx::Cx;
+pub use flops::FlopCounter;
+pub use mat::{CMat, CVec};
+pub use qr::{fcsd_sorted_qr, householder_qr, mgs_qr, sorted_qr_sqrd, Qr};

@@ -1,0 +1,466 @@
+//! Dense complex matrices and vectors.
+//!
+//! [`CMat`] is a row-major dense matrix of [`Cx`]; [`CVec`] is a plain
+//! `Vec<Cx>` alias with free-function helpers. MIMO dimensions are small
+//! (≤ 16×16 in the paper's experiments), so the implementation optimises for
+//! clarity and cache-friendly row-major access rather than blocking or SIMD.
+
+use crate::cx::Cx;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A complex column vector, stored as a flat `Vec`.
+pub type CVec = Vec<Cx>;
+
+/// Dense row-major complex matrix.
+///
+/// Indexing is `(row, col)`:
+///
+/// ```
+/// use flexcore_numeric::{CMat, Cx};
+/// let mut m = CMat::zeros(2, 3);
+/// m[(0, 2)] = Cx::new(1.0, -1.0);
+/// assert_eq!(m[(0, 2)].im, -1.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Cx>,
+}
+
+impl CMat {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Cx::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Cx::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[Cx]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "CMat::from_rows: need {} entries, got {}",
+            rows * cols,
+            data.len()
+        );
+        CMat {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Cx) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Cx] {
+        &self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Cx] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Cx] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> CVec {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Overwrites column `c` with `v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn set_col(&mut self, c: usize, v: &[Cx]) {
+        assert_eq!(v.len(), self.rows, "set_col: length mismatch");
+        for (r, &x) in v.iter().enumerate() {
+            self[(r, c)] = x;
+        }
+    }
+
+    /// Conjugate (Hermitian) transpose `A*`.
+    pub fn hermitian(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Plain transpose `Aᵀ` (no conjugation).
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn mul_mat(&self, other: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, other.rows,
+            "mul_mat: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = CMat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Cx::ZERO {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(r);
+                for c in 0..other.cols {
+                    orow[c] += a * brow[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Cx]) -> CVec {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .fold(Cx::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
+            .collect()
+    }
+
+    /// Entry-wise sum `A + B`.
+    pub fn add_mat(&self, other: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Entry-wise difference `A − B`.
+    pub fn sub_mat(&self, other: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&self, k: f64) -> CMat {
+        let mut out = self.clone();
+        for a in &mut out.data {
+            *a = a.scale(k);
+        }
+        out
+    }
+
+    /// Gram matrix `A*·A` (Hermitian, positive semi-definite).
+    pub fn gram(&self) -> CMat {
+        self.hermitian().mul_mat(self)
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry difference to `other` — a convenient
+    /// "matrices are equal up to tolerance" metric for tests.
+    pub fn max_abs_diff(&self, other: &CMat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns a copy with the columns permuted: column `j` of the result is
+    /// column `perm[j]` of `self`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..cols`.
+    pub fn permute_cols(&self, perm: &[usize]) -> CMat {
+        assert_eq!(perm.len(), self.cols, "permute_cols: length mismatch");
+        let mut seen = vec![false; self.cols];
+        for &p in perm {
+            assert!(p < self.cols && !seen[p], "permute_cols: not a permutation");
+            seen[p] = true;
+        }
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, perm[c])])
+    }
+
+    /// True if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|z| z.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Cx;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Cx {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Cx {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}×{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Inner product `⟨a, b⟩ = Σ a_i · b_i*` (conjugate-linear in `b`).
+pub fn dot(a: &[Cx], b: &[Cx]) -> Cx {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(Cx::ZERO, |acc, (&x, &y)| acc + x.mul_conj(y))
+}
+
+/// Squared Euclidean norm `‖v‖²`.
+pub fn norm_sqr(v: &[Cx]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Euclidean norm `‖v‖`.
+pub fn norm(v: &[Cx]) -> f64 {
+    norm_sqr(v).sqrt()
+}
+
+/// Entry-wise difference `a − b` as a new vector.
+pub fn sub(a: &[Cx], b: &[Cx]) -> CVec {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Entry-wise sum `a + b` as a new vector.
+pub fn add(a: &[Cx], b: &[Cx]) -> CVec {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Scales a vector by a real factor.
+pub fn scale(v: &[Cx], k: f64) -> CVec {
+    v.iter().map(|&z| z.scale(k)).collect()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+pub fn dist_sqr(a: &[Cx], b: &[Cx]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sqr: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> CMat {
+        CMat::from_rows(
+            2,
+            2,
+            &[Cx::real(a), Cx::real(b), Cx::real(c), Cx::real(d)],
+        )
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let i = CMat::identity(2);
+        assert_eq!(a.mul_mat(&i), a);
+        assert_eq!(i.mul_mat(&a), a);
+    }
+
+    #[test]
+    fn mul_mat_known_product() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        assert_eq!(a.mul_mat(&b), m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn hermitian_conjugates_and_transposes() {
+        let a = CMat::from_rows(
+            1,
+            2,
+            &[Cx::new(1.0, 2.0), Cx::new(3.0, -4.0)],
+        );
+        let h = a.hermitian();
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 1);
+        assert_eq!(h[(0, 0)], Cx::new(1.0, -2.0));
+        assert_eq!(h[(1, 0)], Cx::new(3.0, 4.0));
+        // (A*)* = A
+        assert_eq!(h.hermitian(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul_mat() {
+        let a = m22(1.0, -1.0, 2.0, 0.5);
+        let x = vec![Cx::new(1.0, 1.0), Cx::new(0.0, -2.0)];
+        let as_mat = CMat::from_rows(2, 1, &x);
+        let via_mat = a.mul_mat(&as_mat);
+        let via_vec = a.mul_vec(&x);
+        assert_eq!(via_vec[0], via_mat[(0, 0)]);
+        assert_eq!(via_vec[1], via_mat[(1, 0)]);
+    }
+
+    #[test]
+    fn gram_is_hermitian_psd() {
+        let a = CMat::from_rows(
+            3,
+            2,
+            &[
+                Cx::new(1.0, 0.5),
+                Cx::new(0.0, -1.0),
+                Cx::new(2.0, 0.0),
+                Cx::new(1.0, 1.0),
+                Cx::new(-1.0, 0.25),
+                Cx::new(0.5, -0.5),
+            ],
+        );
+        let g = a.gram();
+        assert_eq!(g.max_abs_diff(&g.hermitian()), 0.0);
+        // Diagonal of a Gram matrix is real and non-negative.
+        for i in 0..2 {
+            assert!(g[(i, i)].im.abs() < 1e-15);
+            assert!(g[(i, i)].re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn permute_cols_permutes() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let p = a.permute_cols(&[1, 0]);
+        assert_eq!(p, m22(2.0, 1.0, 4.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_cols_rejects_duplicates() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let _ = a.permute_cols(&[0, 0]);
+    }
+
+    #[test]
+    fn dot_is_conjugate_linear() {
+        let a = vec![Cx::new(1.0, 1.0)];
+        let b = vec![Cx::new(0.0, 1.0)];
+        // ⟨a,b⟩ = (1+i)·(−i) = 1 − i
+        assert_eq!(dot(&a, &b), Cx::new(1.0, -1.0));
+        // ⟨v,v⟩ = ‖v‖² (real).
+        let v = vec![Cx::new(3.0, -4.0), Cx::new(1.0, 2.0)];
+        let d = dot(&v, &v);
+        assert!((d.re - norm_sqr(&v)).abs() < 1e-12);
+        assert!(d.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let a = vec![Cx::real(3.0), Cx::real(4.0)];
+        assert_eq!(norm(&a), 5.0);
+        let b = vec![Cx::real(1.0), Cx::real(1.0)];
+        assert_eq!(sub(&a, &b), vec![Cx::real(2.0), Cx::real(3.0)]);
+        assert_eq!(add(&a, &b), vec![Cx::real(4.0), Cx::real(5.0)]);
+        assert_eq!(scale(&b, 2.0), vec![Cx::real(2.0), Cx::real(2.0)]);
+        assert_eq!(dist_sqr(&a, &b), 4.0 + 9.0);
+    }
+
+    #[test]
+    fn fro_norm_and_finiteness() {
+        let a = m22(3.0, 0.0, 0.0, 4.0);
+        assert_eq!(a.fro_norm(), 5.0);
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = Cx::new(f64::NAN, 0.0);
+        assert!(!b.is_finite());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.row(1), &[Cx::real(3.0), Cx::real(4.0)]);
+        assert_eq!(a.col(0), vec![Cx::real(1.0), Cx::real(3.0)]);
+        let mut b = a.clone();
+        b.set_col(1, &[Cx::real(9.0), Cx::real(8.0)]);
+        assert_eq!(b[(0, 1)], Cx::real(9.0));
+        assert_eq!(b[(1, 1)], Cx::real(8.0));
+    }
+}

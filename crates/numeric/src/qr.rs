@@ -1,0 +1,501 @@
+//! QR decompositions for MIMO detection.
+//!
+//! Sphere-decoder-family detectors transform the maximum-likelihood search
+//! `argmin ‖y − Hs‖²` into a tree search via `H = QR` (§2 of the paper).
+//! The *column order* of `H` at decomposition time decides which stream maps
+//! to which tree level, and has a large performance impact:
+//!
+//! * [`mgs_qr`] / [`householder_qr`] — plain decompositions (natural order);
+//! * [`sorted_qr_sqrd`] — Wübben et al.'s SQRD \[13\]: at each Gram–Schmidt
+//!   step the remaining column with the *smallest* residual norm is chosen,
+//!   pushing reliable streams to the top tree levels (detected first);
+//! * [`fcsd_sorted_qr`] — the Barbero–Thompson FCSD ordering \[4\]: the `L`
+//!   *least* reliable streams (largest post-detection noise amplification)
+//!   are placed at the top, fully-enumerated levels, and the rest are ordered
+//!   best-first.
+//!
+//! The paper evaluates both orderings for FlexCore and FCSD and reports the
+//! better of the two (§5.1); `flexcore-sim` does the same.
+//!
+//! All decompositions return a [`Qr`] whose `R` has a real, non-negative
+//! diagonal (diagonal phases are absorbed into `Q`), which the FlexCore
+//! probability model (Eq. 4 uses `|R(l,l)|`) and the slicer rely on.
+
+use crate::cx::Cx;
+use crate::mat::{dot, norm_sqr, CMat};
+use crate::solve::{hermitian_inverse, pseudo_inverse};
+
+/// Result of a (possibly sorted) QR decomposition of the channel matrix.
+///
+/// Invariant: `q · r ≈ h.permute_cols(&perm)`, `q* q = I`, `r` upper
+/// triangular with real non-negative diagonal.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Orthonormal factor, `Nr × Nt`.
+    pub q: CMat,
+    /// Upper-triangular factor, `Nt × Nt`, real non-negative diagonal.
+    pub r: CMat,
+    /// Column permutation: column `j` of `q·r` is column `perm[j]` of the
+    /// original `H`. Equivalently, detected stream `j` (tree level `j+1`,
+    /// counting from the bottom) is original stream `perm[j]`.
+    pub perm: Vec<usize>,
+}
+
+impl Qr {
+    /// Rotates a received vector into the triangular domain: `ȳ = Q*·y`.
+    pub fn rotate(&self, y: &[Cx]) -> Vec<Cx> {
+        self.q.hermitian().mul_vec(y)
+    }
+
+    /// Undoes the column permutation on a detected symbol vector:
+    /// `out[perm[j]] = s_detected[j]`.
+    pub fn unpermute<T: Copy + Default>(&self, s: &[T]) -> Vec<T> {
+        assert_eq!(s.len(), self.perm.len(), "unpermute: length mismatch");
+        let mut out = vec![T::default(); s.len()];
+        for (j, &p) in self.perm.iter().enumerate() {
+            out[p] = s[j];
+        }
+        out
+    }
+
+    /// Reconstructs `Q·R` (for testing / validation).
+    pub fn reconstruct(&self) -> CMat {
+        self.q.mul_mat(&self.r)
+    }
+}
+
+/// Modified Gram–Schmidt QR with an explicit, caller-supplied column order.
+///
+/// `order[k]` is the original column placed at position `k`. This is the
+/// shared kernel behind all public decompositions.
+fn mgs_qr_with_order(h: &CMat, order: &[usize]) -> Qr {
+    let (nr, nt) = (h.rows(), h.cols());
+    assert!(nr >= nt, "QR requires Nr >= Nt (got {nr}x{nt})");
+    assert_eq!(order.len(), nt);
+    let mut q = CMat::zeros(nr, nt);
+    let mut r = CMat::zeros(nt, nt);
+    // Working copy of the permuted columns.
+    let mut cols: Vec<Vec<Cx>> = order.iter().map(|&j| h.col(j)).collect();
+    for k in 0..nt {
+        // Re-orthogonalise against previous q's (classical MGS update order).
+        for j in 0..k {
+            let qj = q.col(j);
+            let rjk = dot(&cols[k], &qj); // ⟨v, q_j⟩ = Σ v_i q_j_i*
+            r[(j, k)] = rjk;
+            for (vi, qi) in cols[k].iter_mut().zip(&qj) {
+                *vi -= rjk * *qi;
+            }
+        }
+        let nrm = norm_sqr(&cols[k]).sqrt();
+        r[(k, k)] = Cx::real(nrm);
+        if nrm > 0.0 {
+            let qk: Vec<Cx> = cols[k].iter().map(|&v| v / nrm).collect();
+            q.set_col(k, &qk);
+        }
+    }
+    Qr {
+        q,
+        r,
+        perm: order.to_vec(),
+    }
+}
+
+/// Plain modified Gram–Schmidt QR (no column sorting).
+pub fn mgs_qr(h: &CMat) -> Qr {
+    let order: Vec<usize> = (0..h.cols()).collect();
+    mgs_qr_with_order(h, &order)
+}
+
+/// Householder QR (no column sorting).
+///
+/// Numerically more robust than Gram–Schmidt; used as the reference
+/// implementation in tests. Diagonal phases are normalised so that
+/// `diag(R)` is real and non-negative.
+pub fn householder_qr(h: &CMat) -> Qr {
+    let (nr, nt) = (h.rows(), h.cols());
+    assert!(nr >= nt, "QR requires Nr >= Nt (got {nr}x{nt})");
+    let mut r_full = h.clone(); // will be reduced in place (Nr × Nt)
+    let mut q_full = CMat::identity(nr);
+    for k in 0..nt {
+        // Build the Householder reflector for column k, rows k..nr.
+        let mut x: Vec<Cx> = (k..nr).map(|i| r_full[(i, k)]).collect();
+        let xnorm = norm_sqr(&x).sqrt();
+        if xnorm == 0.0 {
+            continue;
+        }
+        // alpha = -e^{i·arg(x0)}·‖x‖ ensures v = x − alpha·e1 is well scaled.
+        let phase = if x[0] == Cx::ZERO {
+            Cx::ONE
+        } else {
+            x[0] / x[0].abs()
+        };
+        let alpha = -(phase * xnorm);
+        x[0] -= alpha;
+        let vnorm2 = norm_sqr(&x);
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // Apply P = I − 2vv*/‖v‖² to R (rows k..) and accumulate into Q.
+        for c in k..nt {
+            let col: Vec<Cx> = (k..nr).map(|i| r_full[(i, c)]).collect();
+            let coef = dot(&col, &x).scale(2.0 / vnorm2); // ⟨col, v⟩·2/‖v‖²
+            for (idx, i) in (k..nr).enumerate() {
+                r_full[(i, c)] -= coef * x[idx];
+            }
+        }
+        for c in 0..nr {
+            let col: Vec<Cx> = (k..nr).map(|i| q_full[(i, c)]).collect();
+            let coef = dot(&col, &x).scale(2.0 / vnorm2);
+            for (idx, i) in (k..nr).enumerate() {
+                q_full[(i, c)] -= coef * x[idx];
+            }
+        }
+    }
+    // q_full now holds P_{nt}···P_1 so that q_full·H = R; hence Q = q_full*.
+    let qh = q_full.hermitian();
+    // Thin factors.
+    let mut q = CMat::zeros(nr, nt);
+    let mut r = CMat::zeros(nt, nt);
+    for c in 0..nt {
+        for i in 0..nr {
+            q[(i, c)] = qh[(i, c)];
+        }
+        for i in 0..=c {
+            r[(i, c)] = r_full[(i, c)];
+        }
+    }
+    // Normalise diagonal phases to real non-negative.
+    for k in 0..nt {
+        let d = r[(k, k)];
+        if d == Cx::ZERO {
+            continue;
+        }
+        let ph = d / d.abs(); // e^{iφ}
+        let ph_conj = ph.conj();
+        for c in k..nt {
+            r[(k, c)] = ph_conj * r[(k, c)];
+        }
+        for i in 0..nr {
+            q[(i, k)] *= ph;
+        }
+    }
+    Qr {
+        q,
+        r,
+        perm: (0..nt).collect(),
+    }
+}
+
+/// Wübben et al.'s sorted QR decomposition (SQRD) \[13\].
+///
+/// At each Gram–Schmidt step the remaining column with the **smallest**
+/// residual norm is processed next, so the weakest streams land at the
+/// *bottom* tree levels (detected last, with the most interference already
+/// cancelled) — an efficient approximation of the V-BLAST ordering.
+pub fn sorted_qr_sqrd(h: &CMat) -> Qr {
+    let (nr, nt) = (h.rows(), h.cols());
+    assert!(nr >= nt, "QR requires Nr >= Nt (got {nr}x{nt})");
+    let mut cols: Vec<Vec<Cx>> = (0..nt).map(|j| h.col(j)).collect();
+    let mut norms: Vec<f64> = cols.iter().map(|c| norm_sqr(c)).collect();
+    let mut order: Vec<usize> = (0..nt).collect();
+    let mut q = CMat::zeros(nr, nt);
+    let mut r = CMat::zeros(nt, nt);
+    for k in 0..nt {
+        // Pick the remaining column with minimum residual norm.
+        let (kmin, _) = norms
+            .iter()
+            .enumerate()
+            .skip(k)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN column norm"))
+            .expect("non-empty");
+        cols.swap(k, kmin);
+        norms.swap(k, kmin);
+        order.swap(k, kmin);
+        // Already-computed projections in rows 0..k refer to column
+        // *positions*, so they must follow the swap.
+        for i in 0..k {
+            let tmp = r[(i, k)];
+            r[(i, k)] = r[(i, kmin)];
+            r[(i, kmin)] = tmp;
+        }
+        let nrm = norm_sqr(&cols[k]).sqrt();
+        r[(k, k)] = Cx::real(nrm);
+        if nrm > 0.0 {
+            let qk: Vec<Cx> = cols[k].iter().map(|&v| v / nrm).collect();
+            q.set_col(k, &qk);
+            // Project q_k out of the remaining columns, updating norms.
+            for j in k + 1..nt {
+                let rkj = dot(&cols[j], &qk);
+                r[(k, j)] = rkj;
+                for (vi, qi) in cols[j].iter_mut().zip(&qk) {
+                    *vi -= rkj * *qi;
+                }
+                norms[j] = (norms[j] - rkj.norm_sqr()).max(0.0);
+            }
+        }
+    }
+    Qr { q, r, perm: order }
+}
+
+/// Barbero–Thompson FCSD ordering \[4\] followed by QR.
+///
+/// Detection proceeds from tree level `Nt` (position `Nt−1` of `R`) downward.
+/// The first `l_full` detected levels are *fully enumerated* by the FCSD, so
+/// their reliability is irrelevant — the ordering therefore assigns them the
+/// streams with the **largest** post-detection noise amplification
+/// (`argmax_j ‖(H_i^+)_j‖²`), and assigns the remaining single-expansion
+/// levels best-first (`argmin`), exactly as in the FCSD paper's V-BLAST-style
+/// recursion on the pseudo-inverse of the deflated channel.
+///
+/// With `l_full = 0` this degenerates to a (pinv-based) V-BLAST ordering.
+pub fn fcsd_sorted_qr(h: &CMat, l_full: usize) -> Qr {
+    let (nr, nt) = (h.rows(), h.cols());
+    assert!(nr >= nt, "QR requires Nr >= Nt (got {nr}x{nt})");
+    assert!(l_full <= nt, "l_full must be <= Nt");
+    // Detection-order selection on the deflated channel.
+    let mut remaining: Vec<usize> = (0..nt).collect(); // original column ids
+    let mut det_order: Vec<usize> = Vec::with_capacity(nt); // first-detected first
+    let mut hw = h.clone(); // working channel with zeroed (removed) columns
+    for i in 0..nt {
+        // Row norms of the pseudo-inverse of the remaining columns measure
+        // post-detection noise amplification per stream.
+        let sub = gather_cols(&hw, &remaining);
+        let pinv = pseudo_inverse(&sub);
+        let amp: Vec<f64> = (0..remaining.len())
+            .map(|r| norm_sqr(pinv.row(r)))
+            .collect();
+        let pick_local = if i < l_full {
+            argmax(&amp)
+        } else {
+            argmin(&amp)
+        };
+        let picked = remaining.remove(pick_local);
+        det_order.push(picked);
+        // Null this stream out of the working channel.
+        for r in 0..nr {
+            hw[(r, picked)] = Cx::ZERO;
+        }
+    }
+    // det_order[0] is detected first → occupies the LAST position of R.
+    let order: Vec<usize> = det_order.into_iter().rev().collect();
+    mgs_qr_with_order(h, &order)
+}
+
+/// Gathers a sub-matrix of the selected columns.
+fn gather_cols(h: &CMat, cols: &[usize]) -> CMat {
+    CMat::from_fn(h.rows(), cols.len(), |r, c| h[(r, cols[c])])
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+        .expect("non-empty")
+        .0
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+        .expect("non-empty")
+        .0
+}
+
+/// ZF-SQRD MMSE-style *extended channel* sorted QR.
+///
+/// Runs SQRD on the `(Nr+Nt) × Nt` extended matrix `[H; σ·I]`, which yields
+/// the MMSE-SQRD ordering used by SIC detectors for improved robustness at
+/// low SNR. The returned `Q` contains only the top `Nr` rows (the part that
+/// multiplies `y`); `R` retains the regularised triangular factor.
+pub fn mmse_sorted_qr(h: &CMat, sigma: f64) -> Qr {
+    let (nr, nt) = (h.rows(), h.cols());
+    let ext = CMat::from_fn(nr + nt, nt, |r, c| {
+        if r < nr {
+            h[(r, c)]
+        } else if r - nr == c {
+            Cx::real(sigma)
+        } else {
+            Cx::ZERO
+        }
+    });
+    let full = sorted_qr_sqrd(&ext);
+    let mut q = CMat::zeros(nr, nt);
+    for r in 0..nr {
+        for c in 0..nt {
+            q[(r, c)] = full.q[(r, c)];
+        }
+    }
+    Qr {
+        q,
+        r: full.r,
+        perm: full.perm,
+    }
+}
+
+/// Condition-number-friendly helper: `(H*H)^{-1}` through the shared
+/// Hermitian inverse (re-exported here because orderings and detectors both
+/// need it).
+pub fn gram_inverse(h: &CMat) -> CMat {
+    hermitian_inverse(&h.gram())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CxRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_h(nr: usize, nt: usize, seed: u64) -> CMat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMat::from_fn(nr, nt, |_, _| rng.cx_normal(1.0))
+    }
+
+    fn check_qr(h: &CMat, qr: &Qr, tol: f64) {
+        // Q·R reproduces the permuted H.
+        let hp = h.permute_cols(&qr.perm);
+        assert!(
+            qr.reconstruct().max_abs_diff(&hp) < tol,
+            "QR does not reconstruct permuted H"
+        );
+        // Q is orthonormal.
+        let qtq = qr.q.gram();
+        assert!(
+            qtq.max_abs_diff(&CMat::identity(h.cols())) < tol,
+            "Q not orthonormal"
+        );
+        // R upper triangular with real non-negative diagonal.
+        for r in 0..h.cols() {
+            for c in 0..r {
+                assert!(qr.r[(r, c)].abs() < tol, "R not upper triangular");
+            }
+            assert!(qr.r[(r, r)].im.abs() < tol, "R diagonal not real");
+            assert!(qr.r[(r, r)].re >= -tol, "R diagonal negative");
+        }
+    }
+
+    #[test]
+    fn mgs_qr_reconstructs() {
+        for seed in 0..5 {
+            let h = random_h(8, 8, seed);
+            check_qr(&h, &mgs_qr(&h), 1e-9);
+        }
+    }
+
+    #[test]
+    fn mgs_qr_tall_matrix() {
+        let h = random_h(12, 8, 7);
+        check_qr(&h, &mgs_qr(&h), 1e-9);
+    }
+
+    #[test]
+    fn householder_qr_reconstructs() {
+        for seed in 0..5 {
+            let h = random_h(8, 8, 100 + seed);
+            check_qr(&h, &householder_qr(&h), 1e-9);
+        }
+        let h = random_h(12, 6, 999);
+        check_qr(&h, &householder_qr(&h), 1e-9);
+    }
+
+    #[test]
+    fn householder_and_mgs_agree_on_r() {
+        // Both produce the unique QR with positive real diagonal, so R must
+        // match (up to numerical noise) for a full-rank matrix.
+        let h = random_h(6, 6, 42);
+        let a = mgs_qr(&h);
+        let b = householder_qr(&h);
+        assert!(a.r.max_abs_diff(&b.r) < 1e-8);
+    }
+
+    #[test]
+    fn sqrd_reconstructs_and_orders() {
+        for seed in 0..8 {
+            let h = random_h(8, 8, 200 + seed);
+            let qr = sorted_qr_sqrd(&h);
+            check_qr(&h, &qr, 1e-9);
+        }
+    }
+
+    #[test]
+    fn sqrd_puts_weakest_column_first() {
+        // Construct a channel with one very weak column; SQRD must place it
+        // at position 0 (bottom tree level).
+        let mut h = random_h(4, 4, 5);
+        for r in 0..4 {
+            h[(r, 2)] = h[(r, 2)].scale(1e-3);
+        }
+        let qr = sorted_qr_sqrd(&h);
+        assert_eq!(qr.perm[0], 2, "weak column should be processed first");
+    }
+
+    #[test]
+    fn fcsd_ordering_puts_weakest_on_top() {
+        // With one very weak column and l_full = 1, the FCSD ordering must
+        // place the weak stream at the TOP level (last position of R).
+        let mut h = random_h(4, 4, 11);
+        for r in 0..4 {
+            h[(r, 1)] = h[(r, 1)].scale(1e-3);
+        }
+        let qr = fcsd_sorted_qr(&h, 1);
+        check_qr(&h, &qr, 1e-9);
+        assert_eq!(
+            qr.perm[3], 1,
+            "weak column should occupy the fully-enumerated top level"
+        );
+    }
+
+    #[test]
+    fn fcsd_ordering_zero_full_levels_is_vblast_like() {
+        let h = random_h(6, 6, 23);
+        let qr = fcsd_sorted_qr(&h, 0);
+        check_qr(&h, &qr, 1e-9);
+    }
+
+    #[test]
+    fn unpermute_inverts_permutation() {
+        let h = random_h(5, 5, 3);
+        let qr = sorted_qr_sqrd(&h);
+        let vals: Vec<usize> = (10..15).collect(); // payload tied to position
+        let unp = qr.unpermute(&vals);
+        for (j, &p) in qr.perm.iter().enumerate() {
+            assert_eq!(unp[p], vals[j]);
+        }
+    }
+
+    #[test]
+    fn rotate_matches_manual() {
+        let h = random_h(4, 4, 77);
+        let qr = mgs_qr(&h);
+        let mut rng = StdRng::seed_from_u64(1);
+        let y: Vec<Cx> = (0..4).map(|_| rng.cx_normal(1.0)).collect();
+        let manual = qr.q.hermitian().mul_vec(&y);
+        assert_eq!(qr.rotate(&y), manual);
+    }
+
+    #[test]
+    fn mmse_sorted_qr_regularises() {
+        let h = random_h(8, 8, 31);
+        let qr = mmse_sorted_qr(&h, 0.5);
+        // R should be square Nt×Nt, upper triangular, non-singular.
+        assert_eq!(qr.r.rows(), 8);
+        for k in 0..8 {
+            assert!(qr.r[(k, k)].re > 0.0);
+        }
+        // The triangular factor of the extended system satisfies
+        // R*R = H*H + σ²I.
+        let rtr = qr.r.gram();
+        let hp = h.permute_cols(&qr.perm);
+        let expect = hp.gram().add_mat(&CMat::identity(8).scale(0.25));
+        assert!(rtr.max_abs_diff(&expect) < 1e-8);
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        let h = random_h(8, 8, 1);
+        let wide = h.transpose(); // 8x8 still square; build a truly wide one
+        let wide = CMat::from_fn(3, 5, |r, c| wide[(r, c)]);
+        assert!(std::panic::catch_unwind(|| mgs_qr(&wide)).is_err());
+    }
+}

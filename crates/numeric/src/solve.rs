@@ -1,0 +1,241 @@
+//! Triangular solvers, matrix inversion and linear-detector kernels.
+//!
+//! Linear MIMO detectors (ZF, MMSE) and the FCSD/V-BLAST orderings all need
+//! small dense inversions. Everything here targets the well-conditioned,
+//! tiny (≤ 16×16) matrices of the MIMO setting; no pivoted LU is required —
+//! the Hermitian positive-definite path goes through Cholesky, and general
+//! square inversion goes through Householder QR.
+
+use crate::cx::Cx;
+use crate::mat::{CMat, CVec};
+use crate::qr::householder_qr;
+
+/// Solves the upper-triangular system `R·x = b` by back-substitution.
+///
+/// # Panics
+/// Panics on dimension mismatch or an exactly-zero diagonal entry.
+pub fn back_substitute(r: &CMat, b: &[Cx]) -> CVec {
+    let n = r.cols();
+    assert!(r.is_square() && b.len() == n, "back_substitute: bad dims");
+    let mut x = vec![Cx::ZERO; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in i + 1..n {
+            acc -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        assert!(d != Cx::ZERO, "back_substitute: singular R at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solves the lower-triangular system `L·x = b` by forward-substitution.
+pub fn forward_substitute(l: &CMat, b: &[Cx]) -> CVec {
+    let n = l.cols();
+    assert!(l.is_square() && b.len() == n, "forward_substitute: bad dims");
+    let mut x = vec![Cx::ZERO; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for j in 0..i {
+            acc -= l[(i, j)] * x[j];
+        }
+        let d = l[(i, i)];
+        assert!(d != Cx::ZERO, "forward_substitute: singular L at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Cholesky factorisation `A = L·L*` of a Hermitian positive-definite matrix.
+///
+/// Returns the lower-triangular `L` with real positive diagonal, or `None`
+/// if the matrix is not (numerically) positive definite.
+pub fn cholesky(a: &CMat) -> Option<CMat> {
+    let n = a.rows();
+    assert!(a.is_square(), "cholesky: matrix must be square");
+    let mut l = CMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)].mul_conj(l[(j, k)]);
+            }
+            if i == j {
+                // Diagonal of a Hermitian PD matrix is real positive.
+                if sum.re <= 0.0 || sum.re.is_nan() {
+                    return None;
+                }
+                l[(i, j)] = Cx::real(sum.re.sqrt());
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Inverse of a Hermitian positive-definite matrix via Cholesky.
+///
+/// # Panics
+/// Panics if the matrix is not positive definite (callers in this workspace
+/// only pass Gram matrices of full-rank channels, possibly regularised).
+pub fn hermitian_inverse(a: &CMat) -> CMat {
+    let n = a.rows();
+    let l = cholesky(a).expect("hermitian_inverse: matrix not positive definite");
+    // Solve L·L*·X = I column by column.
+    let mut inv = CMat::zeros(n, n);
+    let lh = l.hermitian();
+    for c in 0..n {
+        let mut e = vec![Cx::ZERO; n];
+        e[c] = Cx::ONE;
+        let y = forward_substitute(&l, &e);
+        let x = back_substitute(&lh, &y);
+        inv.set_col(c, &x);
+    }
+    inv
+}
+
+/// Inverse of a general square matrix via Householder QR.
+///
+/// # Panics
+/// Panics if the matrix is numerically singular.
+pub fn inverse(a: &CMat) -> CMat {
+    let n = a.rows();
+    assert!(a.is_square(), "inverse: matrix must be square");
+    let qr = householder_qr(a);
+    let qh = qr.q.hermitian();
+    let mut inv = CMat::zeros(n, n);
+    for c in 0..n {
+        let mut e = vec![Cx::ZERO; n];
+        e[c] = Cx::ONE;
+        let qe = qh.mul_vec(&e);
+        let x = back_substitute(&qr.r, &qe);
+        inv.set_col(c, &x);
+    }
+    inv
+}
+
+/// Moore–Penrose pseudo-inverse `H⁺ = (H*H)^{-1}·H*` for a full-column-rank
+/// (tall or square) matrix.
+pub fn pseudo_inverse(h: &CMat) -> CMat {
+    hermitian_inverse(&h.gram()).mul_mat(&h.hermitian())
+}
+
+/// The MMSE equalisation filter `W = (H*H + σ²·I)^{-1}·H*`.
+///
+/// `sigma2` is the complex-noise variance per receive antenna. Applying the
+/// returned `Nt × Nr` matrix to `y` yields soft symbol estimates.
+pub fn mmse_filter(h: &CMat, sigma2: f64) -> CMat {
+    let nt = h.cols();
+    let reg = h.gram().add_mat(&CMat::identity(nt).scale(sigma2));
+    hermitian_inverse(&reg).mul_mat(&h.hermitian())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CxRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_h(nr: usize, nt: usize, seed: u64) -> CMat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMat::from_fn(nr, nt, |_, _| rng.cx_normal(1.0))
+    }
+
+    #[test]
+    fn back_substitute_solves_triangular() {
+        let r = CMat::from_rows(
+            2,
+            2,
+            &[Cx::real(2.0), Cx::real(1.0), Cx::ZERO, Cx::real(4.0)],
+        );
+        let b = vec![Cx::real(5.0), Cx::real(8.0)];
+        let x = back_substitute(&r, &b);
+        assert_eq!(x[1], Cx::real(2.0));
+        assert_eq!(x[0], Cx::real(1.5));
+    }
+
+    #[test]
+    fn forward_substitute_solves_triangular() {
+        let l = CMat::from_rows(
+            2,
+            2,
+            &[Cx::real(2.0), Cx::ZERO, Cx::real(1.0), Cx::real(4.0)],
+        );
+        let b = vec![Cx::real(4.0), Cx::real(10.0)];
+        let x = forward_substitute(&l, &b);
+        assert_eq!(x[0], Cx::real(2.0));
+        assert_eq!(x[1], Cx::real(2.0));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let h = random_h(6, 4, 9);
+        let g = h.gram();
+        let l = cholesky(&g).expect("gram of full-rank H is PD");
+        let rec = l.mul_mat(&l.hermitian());
+        assert!(rec.max_abs_diff(&g) < 1e-9);
+        // L is lower triangular with real positive diagonal.
+        for r in 0..4 {
+            for c in r + 1..4 {
+                assert_eq!(l[(r, c)], Cx::ZERO);
+            }
+            assert!(l[(r, r)].re > 0.0 && l[(r, r)].im == 0.0);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            &[Cx::real(1.0), Cx::real(3.0), Cx::real(3.0), Cx::real(1.0)],
+        );
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn hermitian_inverse_is_inverse() {
+        let h = random_h(8, 8, 21);
+        let g = h.gram();
+        let gi = hermitian_inverse(&g);
+        assert!(g.mul_mat(&gi).max_abs_diff(&CMat::identity(8)) < 1e-8);
+    }
+
+    #[test]
+    fn general_inverse_is_inverse() {
+        for seed in 0..4 {
+            let a = random_h(6, 6, 50 + seed);
+            let ai = inverse(&a);
+            assert!(a.mul_mat(&ai).max_abs_diff(&CMat::identity(6)) < 1e-8);
+            assert!(ai.mul_mat(&a).max_abs_diff(&CMat::identity(6)) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_left_inverts_tall() {
+        let h = random_h(8, 4, 13);
+        let p = pseudo_inverse(&h);
+        assert!(p.mul_mat(&h).max_abs_diff(&CMat::identity(4)) < 1e-8);
+    }
+
+    #[test]
+    fn mmse_filter_reduces_to_pinv_at_zero_noise() {
+        let h = random_h(6, 4, 17);
+        let w0 = mmse_filter(&h, 0.0);
+        let p = pseudo_inverse(&h);
+        assert!(w0.max_abs_diff(&p) < 1e-8);
+    }
+
+    #[test]
+    fn mmse_filter_shrinks_with_noise() {
+        // With heavy regularisation the filter norm must drop (it trades
+        // interference suppression for noise robustness).
+        let h = random_h(6, 4, 19);
+        let w0 = mmse_filter(&h, 1e-6);
+        let w1 = mmse_filter(&h, 10.0);
+        assert!(w1.fro_norm() < w0.fro_norm());
+    }
+}

@@ -1,0 +1,28 @@
+//! # flexcore-parallel
+//!
+//! The *processing element* (PE) abstraction.
+//!
+//! FlexCore's defining property is that it can exploit **any** number of
+//! available processing elements (§1): pre-processing emits exactly `N_PE`
+//! tree paths and detection maps each path to one PE. This crate decouples
+//! the algorithm from the execution substrate:
+//!
+//! * [`SequentialPool`] — a *simulated* pool: executes tasks in order on the
+//!   calling thread while accounting for how many PEs the workload would
+//!   occupy and how many sequential rounds it would need. This is what the
+//!   experiment harness uses — detection results are bit-identical to
+//!   parallel execution, and latency is modelled, not measured.
+//! * [`CrossbeamPool`] — a real thread pool built on `crossbeam::thread`
+//!   scoped threads (workers = PEs), demonstrating that FlexCore's path
+//!   parallelism is "nearly embarrassingly parallel": tasks share nothing
+//!   and results are reduced with a single `min` pass at the end.
+//!
+//! Both implement [`PePool`], so every detector in the workspace runs
+//! unmodified on either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{schedule_rounds, CrossbeamPool, PePool, SequentialPool, WorkStats};

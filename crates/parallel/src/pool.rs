@@ -1,0 +1,263 @@
+//! Processing-element pools.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sequential *rounds* needed to run `n_tasks` on `n_pes`
+/// processing elements when each PE executes one task at a time
+/// (`ceil(n_tasks / n_pes)`).
+///
+/// The paper's minimum-latency evaluations (Fig. 9) assume one task per PE,
+/// i.e. one round; LTE-budget evaluations (Fig. 12) let PEs run several
+/// tasks back-to-back, paying `schedule_rounds` in latency.
+pub fn schedule_rounds(n_tasks: usize, n_pes: usize) -> usize {
+    assert!(n_pes > 0, "schedule_rounds: zero PEs");
+    n_tasks.div_ceil(n_pes)
+}
+
+/// Cumulative work accounting for a pool.
+#[derive(Debug, Default)]
+pub struct WorkStats {
+    tasks: AtomicU64,
+    batches: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl WorkStats {
+    fn record(&self, n_tasks: usize, n_pes: usize) {
+        self.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.rounds
+            .fetch_add(schedule_rounds(n_tasks, n_pes) as u64, Ordering::Relaxed);
+    }
+
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Total `run` invocations.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Total modelled sequential rounds (latency units).
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Clears the counters.
+    pub fn reset(&self) {
+        self.tasks.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.rounds.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A pool of processing elements that can run a batch of independent tasks.
+///
+/// Implementations must return results **in task order** regardless of
+/// execution order, so detector outputs do not depend on the substrate.
+pub trait PePool {
+    /// Number of processing elements this pool models or owns.
+    fn n_pes(&self) -> usize;
+
+    /// Runs every task and returns their results in order.
+    fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send;
+
+    /// Work accounting (tasks, batches, modelled rounds).
+    fn stats(&self) -> &WorkStats;
+}
+
+/// Deterministic in-order execution with PE accounting — the "simulated
+/// processing elements" used throughout the experiment harness.
+#[derive(Debug)]
+pub struct SequentialPool {
+    n_pes: usize,
+    stats: WorkStats,
+}
+
+impl SequentialPool {
+    /// A simulated pool of `n_pes` elements.
+    pub fn new(n_pes: usize) -> Self {
+        assert!(n_pes > 0, "SequentialPool: zero PEs");
+        SequentialPool {
+            n_pes,
+            stats: WorkStats::default(),
+        }
+    }
+}
+
+impl PePool for SequentialPool {
+    fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.stats.record(tasks.len(), self.n_pes);
+        tasks.into_iter().map(|t| t()).collect()
+    }
+
+    fn stats(&self) -> &WorkStats {
+        &self.stats
+    }
+}
+
+/// Real parallel execution on `n_pes` OS threads via `crossbeam` scoped
+/// threads. Tasks are distributed round-robin; each worker owns a disjoint
+/// slice of the task list, so no synchronisation is needed beyond the final
+/// join — mirroring FlexCore's claim of near-embarrassing parallelism.
+#[derive(Debug)]
+pub struct CrossbeamPool {
+    n_pes: usize,
+    stats: WorkStats,
+}
+
+impl CrossbeamPool {
+    /// A pool backed by `n_pes` worker threads per batch.
+    pub fn new(n_pes: usize) -> Self {
+        assert!(n_pes > 0, "CrossbeamPool: zero PEs");
+        CrossbeamPool {
+            n_pes,
+            stats: WorkStats::default(),
+        }
+    }
+}
+
+impl PePool for CrossbeamPool {
+    fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        self.stats.record(n, self.n_pes);
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.n_pes.min(n);
+        // Result slots, protected per-slot by a single mutex each would be
+        // heavy; instead each worker computes (index, value) pairs into its
+        // own vec and we scatter at the end.
+        let shared: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        // Hand each worker a strided subset of the (indexed) tasks.
+        let mut buckets: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            buckets[i % workers].push((i, t));
+        }
+        crossbeam::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(bucket.len());
+                    for (i, task) in bucket {
+                        local.push((i, task()));
+                    }
+                    let mut guard = shared.lock();
+                    for (i, v) in local {
+                        guard[i] = Some(v);
+                    }
+                });
+            }
+        })
+        .expect("PE worker panicked");
+        shared
+            .into_inner()
+            .into_iter()
+            .map(|v| v.expect("missing task result"))
+            .collect()
+    }
+
+    fn stats(&self) -> &WorkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_rounds_ceiling() {
+        assert_eq!(schedule_rounds(0, 8), 0);
+        assert_eq!(schedule_rounds(1, 8), 1);
+        assert_eq!(schedule_rounds(8, 8), 1);
+        assert_eq!(schedule_rounds(9, 8), 2);
+        assert_eq!(schedule_rounds(4096, 64), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PEs")]
+    fn schedule_rejects_zero_pes() {
+        schedule_rounds(1, 0);
+    }
+
+    fn square_tasks(n: usize) -> Vec<impl FnOnce() -> usize + Send> {
+        (0..n).map(|i| move || i * i).collect()
+    }
+
+    #[test]
+    fn sequential_pool_preserves_order() {
+        let pool = SequentialPool::new(4);
+        let out = pool.run(square_tasks(10));
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.stats().tasks(), 10);
+        assert_eq!(pool.stats().batches(), 1);
+        assert_eq!(pool.stats().rounds(), 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn crossbeam_pool_preserves_order() {
+        let pool = CrossbeamPool::new(8);
+        let out = pool.run(square_tasks(100));
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.stats().tasks(), 100);
+    }
+
+    #[test]
+    fn crossbeam_matches_sequential_results() {
+        let seq = SequentialPool::new(3);
+        let par = CrossbeamPool::new(3);
+        let a = seq.run(square_tasks(37));
+        let b = par.run(square_tasks(37));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pools_handle_empty_and_single() {
+        let pool = CrossbeamPool::new(4);
+        let empty: Vec<fn() -> usize> = Vec::new();
+        assert!(pool.run(empty).is_empty());
+        let one = pool.run(vec![|| 42usize]);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn more_tasks_than_pes_works() {
+        let pool = CrossbeamPool::new(2);
+        let out = pool.run(square_tasks(33));
+        assert_eq!(out.len(), 33);
+        assert_eq!(pool.stats().rounds(), 17);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let pool = SequentialPool::new(4);
+        pool.run(square_tasks(4));
+        pool.run(square_tasks(8));
+        assert_eq!(pool.stats().tasks(), 12);
+        assert_eq!(pool.stats().batches(), 2);
+        pool.stats().reset();
+        assert_eq!(pool.stats().tasks(), 0);
+    }
+}

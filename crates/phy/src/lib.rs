@@ -1,0 +1,27 @@
+//! # flexcore-phy
+//!
+//! The OFDM-MIMO uplink the paper evaluates on (§5.1): an 802.11-like
+//! system with 64 subcarriers (48 data), 4 µs OFDM symbols over 20 MHz,
+//! rate-1/2 convolutional coding, and one independently-coded packet per
+//! user.
+//!
+//! * [`ofdm`] — OFDM configuration, subcarrier maps, and the time-domain
+//!   IFFT + cyclic-prefix path;
+//! * [`link`] — the end-to-end coded uplink: per-user encode → interleave →
+//!   modulate → MIMO channel → detect (any [`flexcore_detect::Detector`]) →
+//!   deinterleave → Viterbi → packet check;
+//! * [`throughput`] — PER → network-throughput mapping (the y-axis of
+//!   Figs. 9 and 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod ofdm;
+pub mod soft_link;
+pub mod throughput;
+
+pub use link::{LinkConfig, LinkOutcome, simulate_packet, packet_error_rate};
+pub use ofdm::OfdmConfig;
+pub use soft_link::simulate_packet_soft;
+pub use throughput::network_throughput_mbps;

@@ -1,0 +1,22 @@
+//! # flexcore-sim
+//!
+//! The experiment harness: one driver per table/figure of the paper's
+//! evaluation (§5), each emitting a small CSV-like table whose rows mirror
+//! the published result. `flexcore-bench` wraps each driver in a binary
+//! (`cargo run -p flexcore-bench --bin fig9`), and EXPERIMENTS.md records
+//! paper-vs-measured for every experiment.
+//!
+//! * [`table`] — the tiny result-table type and CSV emitter;
+//! * [`calibrate`] — SNR operating-point calibration (find the SNR where
+//!   ML detection reaches a target error rate, §5.1's PER_ML ∈ {0.1, 0.01})
+//!   plus uncoded SER sweeps;
+//! * [`experiments`] — the per-figure drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod experiments;
+pub mod table;
+
+pub use table::ResultTable;

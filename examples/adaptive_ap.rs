@@ -1,0 +1,63 @@
+//! a-FlexCore at a 12-antenna AP — a miniature of the paper's Fig. 10.
+//!
+//! Run with: `cargo run --example adaptive_ap --release`
+//!
+//! Sweeps the number of simultaneously transmitting users from 4 to 12 and
+//! shows how the adaptive FlexCore scales its *activated* processing
+//! elements to the channel: near one PE when users ≪ antennas (where even
+//! linear detection is fine), growing toward the full budget as the
+//! channel fills up — complexity proportional to need.
+
+use flexcore::AdaptiveFlexCore;
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let constellation = Constellation::new(Modulation::Qam64);
+    let (nr, snr_db, budget) = (12usize, 15.0, 64usize);
+    let n_channels = 30;
+    let vectors_per_channel = 20;
+
+    println!("a-FlexCore: {budget} PEs available, target Σ Pc ≥ 0.95, SNR {snr_db} dB\n");
+    println!(
+        "{:>5} {:>16} {:>14} {:>12}",
+        "users", "mean active PEs", "vector errors", "PE savings"
+    );
+    for nt in (4..=nr).step_by(2) {
+        let mut afc = AdaptiveFlexCore::new(constellation.clone(), budget, 0.95);
+        let ens = ChannelEnsemble::iid(nr, nt);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut errs = 0usize;
+        let mut total = 0usize;
+        for _ in 0..n_channels {
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr_db);
+            afc.prepare(&h, sigma2_from_snr_db(snr_db));
+            for _ in 0..vectors_per_channel {
+                let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..64)).collect();
+                let x: Vec<Cx> = s.iter().map(|&i| constellation.point(i)).collect();
+                let y = ch.transmit(&x, &mut rng);
+                if afc.detect(&y) != s {
+                    errs += 1;
+                }
+                total += 1;
+            }
+        }
+        let active = afc.mean_active_pes();
+        println!(
+            "{:>5} {:>16.2} {:>13.1}% {:>11.0}%",
+            nt,
+            active,
+            100.0 * errs as f64 / total as f64,
+            100.0 * (1.0 - active / budget as f64)
+        );
+    }
+    println!(
+        "\nWell-conditioned channels collapse to ~1 active PE — linear-\n\
+         detection complexity with sphere-decoder accuracy on demand."
+    );
+}

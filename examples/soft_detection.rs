@@ -1,0 +1,65 @@
+//! Soft-output FlexCore — the paper's §7 future-work direction, working.
+//!
+//! Run with: `cargo run --example soft_detection --release`
+//!
+//! FlexCore's candidate list doubles as a list-sphere-decoder output:
+//! per-bit max-log LLRs feed a soft Viterbi decoder. This example runs the
+//! same coded packets through the hard-decision and soft-decision
+//! pipelines at a range of SNRs and prints delivered-packet counts —
+//! the soft pipeline extracts extra coding gain from the identical
+//! detector hardware.
+
+use flexcore::FlexCoreDetector;
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_phy::link::{simulate_packet, LinkConfig};
+use flexcore_phy::soft_link::simulate_packet_soft;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let constellation = Constellation::new(Modulation::Qam16);
+    let (nt, n_pe, n_channels) = (6usize, 24usize, 14usize);
+    let link = LinkConfig::paper_default(constellation.clone(), 50);
+    let ens = ChannelEnsemble::iid(nt, nt);
+
+    println!(
+        "{} users x {}-antenna AP, 16-QAM, rate-1/2, FlexCore N_PE={n_pe}\n",
+        nt, nt
+    );
+    println!("{:>8} {:>14} {:>14} {:>10}", "SNR (dB)", "hard packets", "soft packets", "gain");
+    for snr in [8.0f64, 9.0, 10.0, 11.0, 12.0] {
+        let sigma2 = sigma2_from_snr_db(snr);
+        let (mut hard_ok, mut soft_ok, mut total) = (0usize, 0usize, 0usize);
+        for seed in 0..n_channels as u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            let mut det = FlexCoreDetector::with_pes(constellation.clone(), n_pe);
+            det.prepare(&h, sigma2);
+            // Identical payloads and noise for both pipelines.
+            let mut rng_hard = StdRng::seed_from_u64(1000 + seed);
+            let mut rng_soft = StdRng::seed_from_u64(1000 + seed);
+            hard_ok += simulate_packet(&link, &ch, &det, &mut rng_hard)
+                .user_ok
+                .iter()
+                .filter(|&&k| k)
+                .count();
+            soft_ok += simulate_packet_soft(&link, &ch, &det, &mut rng_soft)
+                .user_ok
+                .iter()
+                .filter(|&&k| k)
+                .count();
+            total += nt;
+        }
+        println!(
+            "{snr:>8.1} {hard_ok:>10}/{total:<3} {soft_ok:>10}/{total:<3} {:>+9}",
+            soft_ok as i64 - hard_ok as i64
+        );
+    }
+    println!(
+        "\nSame detector, same channels, same noise — the soft pipeline\n\
+         turns the candidate list into coding gain (list-LLR demapping)."
+    );
+}

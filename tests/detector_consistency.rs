@@ -1,0 +1,162 @@
+//! Cross-detector consistency: exact schemes must agree with each other;
+//! approximate schemes must converge to them as their budgets grow.
+
+use flexcore::{FlexCoreConfig, FlexCoreDetector, PathOrdering};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_detect::{FcsdDetector, KBestDetector, MlDetector, SphereDecoder};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct World {
+    c: Constellation,
+    ch: MimoChannel,
+    rng: StdRng,
+}
+
+impl World {
+    fn new(m: Modulation, nt: usize, snr: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+        World {
+            c: Constellation::new(m),
+            ch: MimoChannel::new(h, snr),
+            rng,
+        }
+    }
+
+    fn observe(&mut self) -> (Vec<usize>, Vec<Cx>) {
+        let nt = self.ch.nt();
+        let q = self.c.order();
+        let s: Vec<usize> = (0..nt).map(|_| self.rng.gen_range(0..q)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| self.c.point(i)).collect();
+        let y = self.ch.transmit(&x, &mut self.rng);
+        (s, y)
+    }
+}
+
+#[test]
+fn sphere_decoder_equals_brute_force_ml_qpsk_4x4() {
+    let mut w = World::new(Modulation::Qpsk, 4, 8.0, 1);
+    let sigma2 = sigma2_from_snr_db(8.0);
+    let mut sd = SphereDecoder::new(w.c.clone());
+    let mut ml = MlDetector::new(w.c.clone());
+    sd.prepare(&w.ch.h, sigma2);
+    ml.prepare(&w.ch.h, sigma2);
+    for _ in 0..50 {
+        let (_, y) = w.observe();
+        assert_eq!(sd.detect(&y), ml.detect(&y));
+    }
+}
+
+#[test]
+fn kbest_converges_to_ml_as_k_grows() {
+    let mut w = World::new(Modulation::Qpsk, 3, 9.0, 2);
+    let sigma2 = sigma2_from_snr_db(9.0);
+    let mut ml = MlDetector::new(w.c.clone());
+    ml.prepare(&w.ch.h, sigma2);
+    let mut agreement = Vec::new();
+    for k in [1usize, 4, 16] {
+        let mut kb = KBestDetector::new(w.c.clone(), k);
+        kb.prepare(&w.ch.h, sigma2);
+        let mut agree = 0;
+        let mut w2 = World::new(Modulation::Qpsk, 3, 9.0, 2);
+        for _ in 0..60 {
+            let (_, y) = w2.observe();
+            if kb.detect(&y) == ml.detect(&y) {
+                agree += 1;
+            }
+        }
+        agreement.push(agree);
+    }
+    assert!(agreement[2] >= agreement[1]);
+    assert!(agreement[1] >= agreement[0]);
+    assert_eq!(agreement[2], 60, "K=16 on a 3-level QPSK tree is exhaustive");
+}
+
+#[test]
+fn flexcore_converges_to_ml_as_pes_grow() {
+    let sigma2 = sigma2_from_snr_db(10.0);
+    let mut ml = MlDetector::new(Constellation::new(Modulation::Qpsk));
+    let mut agreement = Vec::new();
+    for n_pe in [1usize, 8, 64] {
+        let mut w = World::new(Modulation::Qpsk, 3, 10.0, 3);
+        let mut fc = FlexCoreDetector::with_pes(w.c.clone(), n_pe);
+        fc.prepare(&w.ch.h, sigma2);
+        ml.prepare(&w.ch.h, sigma2);
+        let mut agree = 0;
+        for _ in 0..80 {
+            let (_, y) = w.observe();
+            if fc.detect(&y) == ml.detect(&y) {
+                agree += 1;
+            }
+        }
+        agreement.push(agree);
+    }
+    assert!(agreement[1] >= agreement[0]);
+    assert!(agreement[2] >= agreement[1]);
+    assert!(agreement[2] >= 76, "64-PE FlexCore should nearly match ML: {agreement:?}");
+}
+
+#[test]
+fn fcsd_paths_are_a_subset_semantics_check() {
+    // FCSD L=Nt is exhaustive → equals ML on a tiny system.
+    let mut w = World::new(Modulation::Qpsk, 2, 6.0, 4);
+    let sigma2 = sigma2_from_snr_db(6.0);
+    let mut fcsd = FcsdDetector::new(w.c.clone(), 2);
+    let mut ml = MlDetector::new(w.c.clone());
+    fcsd.prepare(&w.ch.h, sigma2);
+    ml.prepare(&w.ch.h, sigma2);
+    assert_eq!(fcsd.paths(), 16);
+    for _ in 0..40 {
+        let (_, y) = w.observe();
+        assert_eq!(fcsd.detect(&y), ml.detect(&y));
+    }
+}
+
+#[test]
+fn lut_and_exact_flexcore_agree_at_high_snr() {
+    let snr = 30.0;
+    let sigma2 = sigma2_from_snr_db(snr);
+    let mut w = World::new(Modulation::Qam16, 6, snr, 5);
+    let mk = |ord| {
+        let mut cfg = FlexCoreConfig::new(16);
+        cfg.path_ordering = ord;
+        let mut d = FlexCoreDetector::new(w.c.clone(), cfg);
+        d.prepare(&w.ch.h, sigma2);
+        d
+    };
+    let lut = mk(PathOrdering::TriangleLut);
+    let exact = mk(PathOrdering::Exact);
+    let mut agree = 0;
+    for _ in 0..100 {
+        let (_, y) = w.observe();
+        if lut.detect(&y) == exact.detect(&y) {
+            agree += 1;
+        }
+    }
+    assert!(agree >= 97, "LUT vs exact agreement {agree}/100");
+}
+
+#[test]
+fn all_detectors_recover_noiseless_transmissions() {
+    let m = Modulation::Qam16;
+    let c = Constellation::new(m);
+    let mut rng = StdRng::seed_from_u64(6);
+    let h = ChannelEnsemble::iid(5, 5).draw(&mut rng);
+    let s: Vec<usize> = (0..5).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    let y = h.mul_vec(&x);
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(SphereDecoder::new(c.clone())),
+        Box::new(KBestDetector::new(c.clone(), 8)),
+        Box::new(FcsdDetector::new(c.clone(), 1)),
+        Box::new(FlexCoreDetector::with_pes(c.clone(), 8)),
+    ];
+    for det in detectors.iter_mut() {
+        det.prepare(&h, 1e-9);
+        assert_eq!(det.detect(&y), s, "{}", det.name());
+    }
+}

@@ -1,0 +1,147 @@
+//! Edge-case and robustness integration tests.
+
+use flexcore::{AdaptiveKBest, FlexCoreDetector};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_detect::SphereDecoder;
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn qam256_detection_works() {
+    // The densest constellation the workspace supports, where the paper
+    // notes pre-processing latency matters most (§3.1.1).
+    let c = Constellation::new(Modulation::Qam256);
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 64);
+    det.prepare(&h, sigma2_from_snr_db(35.0));
+    for _ in 0..10 {
+        let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..256)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let ch = MimoChannel::new(h.clone(), 35.0);
+        let y = ch.transmit(&x, &mut rng);
+        let got = det.detect(&y);
+        assert_eq!(got.len(), 4);
+        // At 35 dB, 256-QAM detection should be essentially error-free.
+        assert_eq!(got, s);
+    }
+}
+
+#[test]
+fn extreme_noise_never_panics() {
+    // At 1000% noise every detector must still return a well-formed
+    // answer (garbage in, well-typed garbage out).
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(2);
+    let h = ChannelEnsemble::iid(6, 6).draw(&mut rng);
+    let snr = -20.0;
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(FlexCoreDetector::with_pes(c.clone(), 16)),
+        Box::new(AdaptiveKBest::new(c.clone(), 16)),
+        Box::new(SphereDecoder::new(c.clone())),
+    ];
+    let ch = MimoChannel::new(h.clone(), snr);
+    for det in detectors.iter_mut() {
+        det.prepare(&h, sigma2_from_snr_db(snr));
+        let s = vec![0usize; 6];
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let y = ch.transmit(&x, &mut rng);
+        let out = det.detect(&y);
+        assert_eq!(out.len(), 6, "{}", det.name());
+        assert!(out.iter().all(|&v| v < 16), "{}", det.name());
+    }
+}
+
+#[test]
+fn near_singular_channel_is_handled() {
+    // Two nearly-identical user columns: the worst conditioning FlexCore
+    // can face short of exact rank deficiency.
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut h = ChannelEnsemble::iid(6, 6).draw(&mut rng);
+    for r in 0..6 {
+        let v = h[(r, 0)];
+        h[(r, 1)] = v + v.scale(1e-4); // almost collinear
+    }
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 32);
+    det.prepare(&h, sigma2_from_snr_db(20.0));
+    let s: Vec<usize> = (0..6).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    let ch = MimoChannel::new(h, 20.0);
+    let y = ch.transmit(&x, &mut rng);
+    let out = det.detect(&y);
+    assert_eq!(out.len(), 6);
+    // The ill-conditioned pair may be confused; the other four streams
+    // should mostly survive.
+    let others_ok = (2..6).filter(|&i| out[i] == s[i]).count();
+    assert!(others_ok >= 2, "well-conditioned streams collapsed: {out:?} vs {s:?}");
+}
+
+#[test]
+fn tall_channel_more_antennas_than_users() {
+    // Receive diversity (Nr > Nt) must work across the stack.
+    let c = Constellation::new(Modulation::Qam64);
+    let mut rng = StdRng::seed_from_u64(4);
+    let h = ChannelEnsemble::iid(12, 4).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 8);
+    det.prepare(&h, sigma2_from_snr_db(18.0));
+    let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..64)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    let ch = MimoChannel::new(h, 18.0);
+    let y = ch.transmit(&x, &mut rng);
+    assert_eq!(det.detect(&y), s, "12x4 has enormous diversity at 18 dB");
+}
+
+#[test]
+fn single_user_degenerates_to_slicing() {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(5);
+    let h = ChannelEnsemble::iid(4, 1).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 4);
+    det.prepare(&h, sigma2_from_snr_db(15.0));
+    let s = vec![7usize];
+    let x = vec![c.point(7)];
+    let ch = MimoChannel::new(h, 15.0);
+    let y = ch.transmit(&x, &mut rng);
+    assert_eq!(det.detect(&y), s);
+}
+
+#[test]
+fn repeated_prepare_is_idempotent() {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(6);
+    let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 16);
+    det.prepare(&h, 0.05);
+    let paths1 = det.position_vectors();
+    let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    let ch = MimoChannel::new(h.clone(), 15.0);
+    let y = ch.transmit(&x, &mut rng);
+    let out1 = det.detect(&y);
+    det.prepare(&h, 0.05);
+    assert_eq!(det.position_vectors(), paths1);
+    assert_eq!(det.detect(&y), out1);
+}
+
+#[test]
+fn adaptive_kbest_width_tracks_conditioning() {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(7);
+    let snr = 12.0;
+    // Tall (easy) vs square (hard) channels.
+    let easy = ChannelEnsemble::iid(12, 6).draw(&mut rng);
+    let hard = ChannelEnsemble::iid(6, 6).draw(&mut rng);
+    let mut det = AdaptiveKBest::new(c, 24);
+    det.prepare(&easy, sigma2_from_snr_db(snr));
+    let w_easy = det.total_width();
+    det.prepare(&hard, sigma2_from_snr_db(snr));
+    let w_hard = det.total_width();
+    assert!(
+        w_hard >= w_easy,
+        "hard channel should widen the search: {w_hard} vs {w_easy}"
+    );
+}
