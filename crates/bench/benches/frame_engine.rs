@@ -1,0 +1,147 @@
+//! Criterion bench: frame-level detection throughput of the streaming
+//! engine.
+//!
+//! Measures whole-frame detection (48 data subcarriers × 14 OFDM symbols,
+//! the paper's 802.11-like numerology) through `flexcore-engine` on the
+//! sequential substrate and on real worker threads, and reports the two
+//! numbers an access-point operator cares about: **frames/sec** and
+//! **Mbit/s** of detected coded traffic. On a multi-core host the
+//! work-queue pool with ≥ 4 PEs should deliver ≥ 2× the single-thread
+//! frames/sec; on a single-core host the ratio degrades gracefully to ~1×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcore::FlexCoreDetector;
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble};
+use flexcore_detect::SphereDecoder;
+use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use flexcore_parallel::{CrossbeamPool, PePool, SequentialPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const N_SC: usize = 48;
+const N_SYM: usize = 14;
+const NT: usize = 8;
+const SNR_DB: f64 = 16.0;
+
+/// One prepared workload: a frequency-selective channel and one frame.
+fn workload(seed: u64) -> (FrameChannel, RxFrame) {
+    let c = Constellation::new(Modulation::Qam16);
+    let ens = ChannelEnsemble::iid(NT, NT);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hs = ens.draw_many(&mut rng, N_SC);
+    let sigma2 = sigma2_from_snr_db(SNR_DB);
+    let mut frame = RxFrame::empty(N_SC);
+    for _ in 0..N_SYM {
+        let mut row = Vec::with_capacity(N_SC);
+        for h in &hs {
+            let s: Vec<usize> = (0..NT).map(|_| rng.gen_range(0..c.order())).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let mut y = h.mul_vec(&x);
+            for v in &mut y {
+                *v += flexcore_numeric::rng::CxRng::cx_normal(&mut rng, sigma2);
+            }
+            row.push(y);
+        }
+        frame.push_symbol(row);
+    }
+    (FrameChannel::per_subcarrier(hs, sigma2), frame)
+}
+
+/// Coded bits detected per frame (the Mbit/s numerator).
+fn bits_per_frame() -> f64 {
+    let bps = Constellation::new(Modulation::Qam16).bits_per_symbol();
+    (N_SC * N_SYM * NT * bps) as f64
+}
+
+fn bench_frame_engine(crit: &mut Criterion) {
+    let (channel, frame) = workload(0xF7A);
+    let mut group = crit.benchmark_group("frame_engine");
+
+    // FlexCore, 16 paths per vector — the paper's detector as the PE kernel.
+    let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+        Constellation::new(Modulation::Qam16),
+        16,
+    ));
+    engine.prepare(&channel);
+    let seq = SequentialPool::new(1);
+    group.bench_function("flexcore16/sequential", |b| {
+        b.iter(|| engine.detect_frame(&frame, &seq))
+    });
+    for pes in [2usize, 4, 8] {
+        let pool = CrossbeamPool::work_queue(pes);
+        group.bench_with_input(
+            BenchmarkId::new("flexcore16/work_queue", pes),
+            &pes,
+            |b, _| b.iter(|| engine.detect_frame(&frame, &pool)),
+        );
+    }
+
+    // Sphere decoder: variable per-vector cost, the work queue's use case.
+    let mut sd_engine = FrameEngine::new(SphereDecoder::new(Constellation::new(Modulation::Qam16)));
+    sd_engine.prepare(&channel);
+    group.bench_function("sphere/sequential", |b| {
+        b.iter(|| sd_engine.detect_frame(&frame, &seq))
+    });
+    let pool4 = CrossbeamPool::work_queue(4);
+    group.bench_function("sphere/work_queue/4", |b| {
+        b.iter(|| sd_engine.detect_frame(&frame, &pool4))
+    });
+    group.finish();
+}
+
+/// Prints the operator-facing report: frames/sec and detected Mbit/s per
+/// substrate, plus the speedup over one thread.
+fn report_frames_per_second(_crit: &mut Criterion) {
+    let (channel, frame) = workload(0xF7B);
+    let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+        Constellation::new(Modulation::Qam16),
+        16,
+    ));
+    engine.prepare(&channel);
+    let bits = bits_per_frame();
+
+    fn measure<P: PePool>(
+        engine: &FrameEngine<FlexCoreDetector>,
+        frame: &RxFrame,
+        pool: &P,
+    ) -> f64 {
+        // Warm up, then time enough repetitions for a stable figure.
+        let _ = engine.detect_frame(frame, pool);
+        let reps = 10;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.detect_frame(frame, pool);
+        }
+        reps as f64 / t0.elapsed().as_secs_f64()
+    }
+
+    println!("\nframe_engine throughput report ({NT}x{NT} 16-QAM, {N_SC} sc x {N_SYM} sym)");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "substrate", "frames/sec", "Mbit/s", "speedup"
+    );
+    let base = measure(&engine, &frame, &SequentialPool::new(1));
+    println!(
+        "{:<28} {:>12.1} {:>12.2} {:>8.2}x",
+        "sequential/1",
+        base,
+        base * bits / 1e6,
+        1.0
+    );
+    for pes in [2usize, 4, 8] {
+        let fps = measure(&engine, &frame, &CrossbeamPool::work_queue(pes));
+        println!(
+            "{:<28} {:>12.1} {:>12.2} {:>8.2}x",
+            format!("work_queue/{pes}"),
+            fps,
+            fps * bits / 1e6,
+            fps / base
+        );
+    }
+}
+
+criterion_group!(benches, bench_frame_engine, report_frames_per_second);
+criterion_main!(benches);

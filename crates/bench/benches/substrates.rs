@@ -59,12 +59,7 @@ fn bench_ordering(crit: &mut Criterion) {
         })
     });
     group.bench_function("full_sort", |b| {
-        b.iter(|| {
-            points
-                .iter()
-                .map(|&y| exact_order(&c, y)[2])
-                .sum::<usize>()
-        })
+        b.iter(|| points.iter().map(|&y| exact_order(&c, y)[2]).sum::<usize>())
     });
     group.finish();
 }

@@ -93,9 +93,7 @@ impl ChannelEnsemble {
 /// Hermitian square root (Cholesky factor) of the exponential correlation
 /// matrix `R[i][j] = ρ^|i−j|`.
 fn correlation_sqrt(n: usize, rho: f64) -> CMat {
-    let r = CMat::from_fn(n, n, |i, j| {
-        Cx::real(rho.powi((i as i32 - j as i32).abs()))
-    });
+    let r = CMat::from_fn(n, n, |i, j| Cx::real(rho.powi((i as i32 - j as i32).abs())));
     cholesky(&r).expect("exponential correlation matrix is PD for rho in [0,1)")
 }
 
@@ -219,10 +217,7 @@ mod tests {
         };
         let k_iid = iid.mean_condition_number(&mut rng, 60);
         let k_corr = corr.mean_condition_number(&mut rng, 60);
-        assert!(
-            k_corr > 1.5 * k_iid,
-            "correlated {k_corr} vs iid {k_iid}"
-        );
+        assert!(k_corr > 1.5 * k_iid, "correlated {k_corr} vs iid {k_iid}");
     }
 
     #[test]

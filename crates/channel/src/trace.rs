@@ -114,9 +114,7 @@ pub fn write_traces<W: Write>(w: &mut W, set: &TraceSet) -> io::Result<()> {
 /// Returns an error describing the first malformed line, if any.
 pub fn read_traces<R: BufRead>(r: &mut R) -> io::Result<TraceSet> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty trace file"))??;
+    let header = lines.next().ok_or_else(|| bad("empty trace file"))??;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 5 || parts[0] != "flexcore-trace" || parts[1] != "v1" {
         return Err(bad(&format!("bad header: {header:?}")));

@@ -351,7 +351,12 @@ mod tests {
             }
             fails.push(f);
         }
-        assert!(fails[1] >= fails[0], "3/4 fails {} < 1/2 fails {}", fails[1], fails[0]);
+        assert!(
+            fails[1] >= fails[0],
+            "3/4 fails {} < 1/2 fails {}",
+            fails[1],
+            fails[0]
+        );
         assert!(fails[1] > 0, "3/4 should fail sometimes at 4% BER");
     }
 

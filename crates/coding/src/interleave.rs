@@ -129,7 +129,9 @@ mod tests {
     fn stream_roundtrip() {
         let il = Interleaver::new(48, 4);
         let mut rng = StdRng::seed_from_u64(3);
-        let bits: Vec<u8> = (0..il.block_len() * 5).map(|_| rng.gen_range(0..2)).collect();
+        let bits: Vec<u8> = (0..il.block_len() * 5)
+            .map(|_| rng.gen_range(0..2))
+            .collect();
         assert_eq!(il.deinterleave_stream(&il.interleave_stream(&bits)), bits);
     }
 

@@ -15,8 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod conv;
-pub mod soft;
 pub mod interleave;
+pub mod soft;
 
 pub use conv::{CodeRate, ConvCode};
 pub use interleave::Interleaver;

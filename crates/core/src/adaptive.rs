@@ -50,8 +50,7 @@ impl AdaptiveFlexCore {
         if self.activation_history.is_empty() {
             return 0.0;
         }
-        self.activation_history.iter().sum::<usize>() as f64
-            / self.activation_history.len() as f64
+        self.activation_history.iter().sum::<usize>() as f64 / self.activation_history.len() as f64
     }
 
     /// Clears the activation history.
@@ -93,7 +92,7 @@ mod tests {
         let mut afc = AdaptiveFlexCore::paper_default(c);
         let ens = ChannelEnsemble::iid(nr, nt);
         let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..40 {
+        for _ in 0..160 {
             let h = ens.draw(&mut rng);
             afc.prepare(&h, sigma2_from_snr_db(snr));
         }

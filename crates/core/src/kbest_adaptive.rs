@@ -106,7 +106,10 @@ impl Detector for AdaptiveKBest {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let state = self.state.as_ref().expect("AdaptiveKBest: prepare() not called");
+        let state = self
+            .state
+            .as_ref()
+            .expect("AdaptiveKBest: prepare() not called");
         let tri = &state.tri;
         let nt = tri.nt();
         let q = self.constellation.order();
@@ -187,7 +190,12 @@ mod tests {
             let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
             let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
             let y = ch.transmit(&x, &mut rng);
-            e += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+            e += det
+                .detect(&y)
+                .iter()
+                .zip(&s)
+                .filter(|(a, b)| a != b)
+                .count();
             t += nt;
         }
         e as f64 / t as f64

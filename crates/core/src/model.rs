@@ -62,13 +62,14 @@ impl LevelErrorModel {
     /// Builds the model directly from per-level error probabilities
     /// (used by tests and the independent-channel example of §3.1).
     pub fn from_pe(pe: Vec<f64>) -> Self {
-        let pe: Vec<f64> = pe
-            .into_iter()
-            .map(|p| p.clamp(PE_FLOOR, PE_CEIL))
-            .collect();
+        let pe: Vec<f64> = pe.into_iter().map(|p| p.clamp(PE_FLOOR, PE_CEIL)).collect();
         let ln_pe = pe.iter().map(|p| p.ln()).collect();
         let ln_1m_pe = pe.iter().map(|p| (1.0 - p).ln()).collect();
-        LevelErrorModel { pe, ln_pe, ln_1m_pe }
+        LevelErrorModel {
+            pe,
+            ln_pe,
+            ln_1m_pe,
+        }
     }
 
     /// Number of levels.

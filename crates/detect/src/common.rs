@@ -26,6 +26,21 @@ pub trait Detector {
     /// Implementations may panic if `prepare` was never called or if `y`
     /// has the wrong length.
     fn detect(&self, y: &[Cx]) -> Vec<usize>;
+
+    /// Detects a batch of received vectors observed under the **same**
+    /// prepared channel — e.g. every OFDM symbol of one subcarrier in a
+    /// frame — amortising the per-channel pre-processing exactly as §3 of
+    /// the paper prescribes.
+    ///
+    /// The contract is strict: the result must be **bit-identical** to
+    /// `ys.iter().map(|y| self.detect(y))`, whatever the implementation
+    /// does internally (the frame engine and its substrate-equivalence
+    /// tests rely on this). Implementations may override the default to
+    /// hoist per-batch work (filter lookups, workspace allocation) out of
+    /// the per-vector loop, never to change results.
+    fn detect_batch(&self, ys: &[Vec<Cx>]) -> Vec<Vec<usize>> {
+        ys.iter().map(|y| self.detect(y)).collect()
+    }
 }
 
 /// A prepared triangular system: `ȳ = Q*·y`, search over `‖ȳ − R·s‖²`.

@@ -57,8 +57,7 @@ impl Detector for KBestDetector {
         // Each survivor: (ped, symbols) with symbols filled from `row` up.
         let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
         for row in (0..nt).rev() {
-            let mut children: Vec<(f64, Vec<usize>)> =
-                Vec::with_capacity(survivors.len() * q);
+            let mut children: Vec<(f64, Vec<usize>)> = Vec::with_capacity(survivors.len() * q);
             for (ped, symbols) in &survivors {
                 for sym in 0..q {
                     let inc = tri.ped_increment(&ybar, symbols, row, sym);
@@ -118,7 +117,12 @@ mod tests {
             let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
             let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
             let y = ch.transmit(&x, &mut rng);
-            e += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+            e += det
+                .detect(&y)
+                .iter()
+                .zip(&s)
+                .filter(|(a, b)| a != b)
+                .count();
             t += nt;
         }
         e as f64 / t as f64

@@ -168,7 +168,12 @@ mod tests {
                 let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
                 let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
                 let y = ch.transmit(&x, &mut rng);
-                errs[ei] += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+                errs[ei] += det
+                    .detect(&y)
+                    .iter()
+                    .zip(&s)
+                    .filter(|(a, b)| a != b)
+                    .count();
                 totals[ei] += nt;
             }
         }

@@ -61,7 +61,10 @@ impl Detector for MlDetector {
         let mut best_metric = f64::INFINITY;
         let mut current = vec![0usize; nt];
         loop {
-            let x: Vec<Cx> = current.iter().map(|&i| self.constellation.point(i)).collect();
+            let x: Vec<Cx> = current
+                .iter()
+                .map(|&i| self.constellation.point(i))
+                .collect();
             let metric = dist_sqr(y, &h.mul_vec(&x));
             if metric < best_metric {
                 best_metric = metric;

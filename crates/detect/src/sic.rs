@@ -85,7 +85,10 @@ impl ParallelSicDetector {
     /// `(symbols, metric)`. Each invocation is independent — this is the
     /// unit of work one processing element executes.
     pub fn run_path(&self, y: &[Cx], top_sym: usize) -> (Vec<usize>, f64) {
-        let tri = self.tri.as_ref().expect("ParallelSIC: prepare() not called");
+        let tri = self
+            .tri
+            .as_ref()
+            .expect("ParallelSIC: prepare() not called");
         let nt = tri.nt();
         let ybar = tri.rotate(y);
         let mut symbols = vec![0usize; nt];
@@ -112,7 +115,10 @@ impl Detector for ParallelSicDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("ParallelSIC: prepare() not called");
+        let tri = self
+            .tri
+            .as_ref()
+            .expect("ParallelSIC: prepare() not called");
         let q = self.constellation.order();
         let mut best = Vec::new();
         let mut best_metric = f64::INFINITY;
@@ -150,7 +156,12 @@ mod tests {
                 let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..c.order())).collect();
                 let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
                 let y = ch.transmit(&x, &mut rng);
-                errs += det.detect(&y).iter().zip(&s).filter(|(a, b)| a != b).count();
+                errs += det
+                    .detect(&y)
+                    .iter()
+                    .zip(&s)
+                    .filter(|(a, b)| a != b)
+                    .count();
                 total += nt;
             }
         }

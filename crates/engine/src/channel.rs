@@ -1,0 +1,221 @@
+//! Per-subcarrier channel state with generation counters.
+//!
+//! In a wideband OFDM system each data subcarrier sees its own narrowband
+//! MIMO channel `H_sc`. Channel estimation updates arrive per subcarrier
+//! (or per chunk of subcarriers); everything the detector pre-computed for
+//! untouched subcarriers stays valid. [`FrameChannel`] tracks a
+//! monotonically increasing *generation* per subcarrier so the
+//! [`FrameEngine`](crate::FrameEngine) can re-run the paper's per-channel
+//! pre-processing for exactly the subcarriers that changed.
+
+use flexcore_channel::MimoChannel;
+use flexcore_numeric::CMat;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of unique [`FrameChannel`] identities. Generations are only
+/// comparable within one channel instance; the id keeps a cache from
+/// trusting generation numbers of an unrelated (e.g. freshly rebuilt)
+/// channel object.
+static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_channel_id() -> u64 {
+    NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Channel state for every data subcarrier of a frame, plus the noise
+/// variance shared by all of them.
+#[derive(Debug)]
+pub struct FrameChannel {
+    id: u64,
+    hs: Vec<CMat>,
+    generations: Vec<u64>,
+    next_generation: u64,
+    sigma2: f64,
+    /// True while every subcarrier still holds the identical matrix set by
+    /// [`FrameChannel::flat`] — lets the engine prepare once and clone.
+    flat: bool,
+}
+
+impl Clone for FrameChannel {
+    /// A clone is a *new channel instance*: it gets a fresh id so two
+    /// diverging copies can never alias each other in an engine's
+    /// preparation cache (their generation counters would collide).
+    fn clone(&self) -> Self {
+        FrameChannel {
+            id: fresh_channel_id(),
+            hs: self.hs.clone(),
+            generations: self.generations.clone(),
+            next_generation: self.next_generation,
+            sigma2: self.sigma2,
+            flat: self.flat,
+        }
+    }
+}
+
+impl FrameChannel {
+    /// A frequency-flat channel: the same `h` on all `n_subcarriers`
+    /// subcarriers (the paper's block-fading packet model, §5).
+    pub fn flat(h: CMat, sigma2: f64, n_subcarriers: usize) -> Self {
+        assert!(n_subcarriers > 0, "FrameChannel: zero subcarriers");
+        FrameChannel {
+            id: fresh_channel_id(),
+            hs: vec![h; n_subcarriers],
+            generations: vec![1; n_subcarriers],
+            next_generation: 2,
+            sigma2,
+            flat: true,
+        }
+    }
+
+    /// A frequency-flat channel taken from a [`MimoChannel`].
+    pub fn from_mimo(ch: &MimoChannel, n_subcarriers: usize) -> Self {
+        Self::flat(ch.h.clone(), ch.sigma2, n_subcarriers)
+    }
+
+    /// A frequency-selective channel: one matrix per subcarrier.
+    pub fn per_subcarrier(hs: Vec<CMat>, sigma2: f64) -> Self {
+        assert!(!hs.is_empty(), "FrameChannel: zero subcarriers");
+        let n = hs.len();
+        FrameChannel {
+            id: fresh_channel_id(),
+            hs,
+            generations: vec![1; n],
+            next_generation: 2,
+            sigma2,
+            flat: false,
+        }
+    }
+
+    /// This channel instance's unique identity. Generations are only
+    /// meaningful relative to one id; a rebuilt channel gets a fresh id so
+    /// caches never confuse it with its predecessor.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of data subcarriers.
+    pub fn n_subcarriers(&self) -> usize {
+        self.hs.len()
+    }
+
+    /// Complex noise variance per receive antenna.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// The channel matrix of one subcarrier.
+    pub fn h(&self, subcarrier: usize) -> &CMat {
+        &self.hs[subcarrier]
+    }
+
+    /// The current generation of one subcarrier (bumped on every update).
+    pub fn generation(&self, subcarrier: usize) -> u64 {
+        self.generations[subcarrier]
+    }
+
+    /// Whether all subcarriers still share one identical matrix.
+    pub fn is_flat(&self) -> bool {
+        self.flat
+    }
+
+    /// Replaces one subcarrier's channel (a narrowband estimation update);
+    /// only that subcarrier's generation is bumped.
+    pub fn update_subcarrier(&mut self, subcarrier: usize, h: CMat) {
+        self.hs[subcarrier] = h;
+        self.generations[subcarrier] = self.next_generation;
+        self.next_generation += 1;
+        self.flat = false;
+    }
+
+    /// Replaces every subcarrier with the same new matrix (whole-band
+    /// re-estimation under block fading).
+    pub fn update_flat(&mut self, h: CMat) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        for (slot, g) in self.hs.iter_mut().zip(&mut self.generations) {
+            *slot = h.clone();
+            *g = generation;
+        }
+        self.flat = true;
+    }
+
+    /// Changes the noise variance. Preparation depends on `σ²` (MMSE
+    /// filters, FlexCore's error model), so every generation is bumped.
+    pub fn set_sigma2(&mut self, sigma2: f64) {
+        self.sigma2 = sigma2;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        for g in &mut self.generations {
+            *g = generation;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_numeric::Cx;
+
+    fn mat(v: f64) -> CMat {
+        CMat::from_fn(
+            2,
+            2,
+            |i, j| {
+                if i == j {
+                    Cx::real(v)
+                } else {
+                    Cx::real(0.0)
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn flat_channel_shares_generation() {
+        let ch = FrameChannel::flat(mat(1.0), 0.1, 4);
+        assert!(ch.is_flat());
+        assert_eq!(ch.n_subcarriers(), 4);
+        assert!((0..4).all(|sc| ch.generation(sc) == 1));
+    }
+
+    #[test]
+    fn narrowband_update_bumps_one_generation() {
+        let mut ch = FrameChannel::flat(mat(1.0), 0.1, 4);
+        ch.update_subcarrier(2, mat(3.0));
+        assert!(!ch.is_flat());
+        assert_eq!(ch.generation(2), 2);
+        assert_eq!(ch.generation(0), 1);
+        assert_eq!(ch.h(2)[(0, 0)].re, 3.0);
+        assert_eq!(ch.h(0)[(0, 0)].re, 1.0);
+    }
+
+    #[test]
+    fn sigma2_change_invalidates_everything() {
+        let mut ch = FrameChannel::flat(mat(1.0), 0.1, 3);
+        ch.set_sigma2(0.2);
+        assert!((0..3).all(|sc| ch.generation(sc) == 2));
+        assert_eq!(ch.sigma2(), 0.2);
+    }
+
+    #[test]
+    fn clone_gets_a_fresh_identity() {
+        // Diverging clones share generation numbers; only a fresh id keeps
+        // an engine's cache from confusing them.
+        let a = FrameChannel::flat(mat(1.0), 0.1, 2);
+        let b = a.clone();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(b.h(0)[(0, 0)].re, 1.0);
+        assert_eq!(b.generation(0), a.generation(0));
+    }
+
+    #[test]
+    fn flat_update_restores_flatness() {
+        let mut ch = FrameChannel::flat(mat(1.0), 0.1, 3);
+        ch.update_subcarrier(0, mat(2.0));
+        assert!(!ch.is_flat());
+        ch.update_flat(mat(5.0));
+        assert!(ch.is_flat());
+        assert!((0..3).all(|sc| ch.h(sc)[(0, 0)].re == 5.0));
+        assert!((0..3).all(|sc| ch.generation(sc) == 3));
+    }
+}

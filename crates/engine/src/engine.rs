@@ -1,0 +1,410 @@
+//! The frame engine: prepared-detector cache + grid scheduling.
+
+use crate::channel::FrameChannel;
+use crate::frame::{DetectedFrame, RxFrame};
+use flexcore_detect::common::Detector;
+use flexcore_numeric::Cx;
+use flexcore_parallel::PePool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of an engine's cumulative work counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Frames pushed through [`FrameEngine::detect_frame`] /
+    /// [`FrameEngine::process_frame`].
+    pub frames: u64,
+    /// Received vectors detected.
+    pub vectors: u64,
+    /// Channel-dependent preparation executions (QR / ordering / filters).
+    /// Under a flat channel one execution can refresh many subcarriers.
+    pub prepare_runs: u64,
+    /// Subcarrier slots refreshed by [`FrameEngine::prepare`].
+    pub subcarriers_refreshed: u64,
+}
+
+struct Slot<D> {
+    detector: D,
+    channel_id: u64,
+    generation: u64,
+}
+
+/// Drives one detector design across whole OFDM frames.
+///
+/// The engine owns a clone of the template detector per subcarrier, each
+/// prepared against that subcarrier's channel. [`FrameEngine::prepare`] is
+/// the paper's pre-processing phase with a cache in front: a subcarrier is
+/// re-prepared only when its [`FrameChannel`] generation moved.
+/// [`FrameEngine::detect_frame`] is the parallel phase: the
+/// *(subcarrier × symbol)* grid is carved into per-subcarrier symbol
+/// batches and scheduled onto the given [`PePool`], each batch flowing
+/// through [`Detector::detect_batch`] on its subcarrier's prepared clone.
+pub struct FrameEngine<D> {
+    template: D,
+    slots: Vec<Option<Slot<D>>>,
+    frames: AtomicU64,
+    vectors: AtomicU64,
+    prepare_runs: AtomicU64,
+    subcarriers_refreshed: AtomicU64,
+}
+
+impl<D: Detector + Clone + Sync> FrameEngine<D> {
+    /// An engine stamping out clones of `template`; no subcarrier is
+    /// prepared yet.
+    pub fn new(template: D) -> Self {
+        FrameEngine {
+            template,
+            slots: Vec::new(),
+            frames: AtomicU64::new(0),
+            vectors: AtomicU64::new(0),
+            prepare_runs: AtomicU64::new(0),
+            subcarriers_refreshed: AtomicU64::new(0),
+        }
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            vectors: self.vectors.load(Ordering::Relaxed),
+            prepare_runs: self.prepare_runs.load(Ordering::Relaxed),
+            subcarriers_refreshed: self.subcarriers_refreshed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The prepared detector of one subcarrier.
+    ///
+    /// # Panics
+    /// Panics if [`FrameEngine::prepare`] has not covered `subcarrier`.
+    pub fn detector(&self, subcarrier: usize) -> &D {
+        &self
+            .slots
+            .get(subcarrier)
+            .and_then(Option::as_ref)
+            .expect("FrameEngine: subcarrier not prepared")
+            .detector
+    }
+
+    /// Synchronises the per-subcarrier prepared detectors with `channel`,
+    /// re-running preparation for exactly the subcarriers whose generation
+    /// changed (all of them, on first call). Returns how many were
+    /// refreshed.
+    ///
+    /// Under a frequency-flat channel ([`FrameChannel::is_flat`]) the
+    /// channel-dependent work runs **once** and the prepared state is
+    /// cloned into every stale slot — preparation is deterministic, so a
+    /// clone is bit-identical to re-preparing.
+    pub fn prepare(&mut self, channel: &FrameChannel) -> usize {
+        let n_sc = channel.n_subcarriers();
+        if self.slots.len() != n_sc {
+            self.slots = (0..n_sc).map(|_| None).collect();
+        }
+        let stale: Vec<usize> = (0..n_sc)
+            .filter(|&sc| {
+                self.slots[sc].as_ref().map_or(true, |slot| {
+                    slot.channel_id != channel.id() || slot.generation != channel.generation(sc)
+                })
+            })
+            .collect();
+        if stale.is_empty() {
+            return 0;
+        }
+        if channel.is_flat() {
+            // One preparation, cloned into every stale slot.
+            let mut detector = self.template.clone();
+            detector.prepare(channel.h(stale[0]), channel.sigma2());
+            self.prepare_runs.fetch_add(1, Ordering::Relaxed);
+            for &sc in &stale {
+                self.slots[sc] = Some(Slot {
+                    detector: detector.clone(),
+                    channel_id: channel.id(),
+                    generation: channel.generation(sc),
+                });
+            }
+        } else {
+            for &sc in &stale {
+                let mut detector = self.template.clone();
+                detector.prepare(channel.h(sc), channel.sigma2());
+                self.prepare_runs.fetch_add(1, Ordering::Relaxed);
+                self.slots[sc] = Some(Slot {
+                    detector,
+                    channel_id: channel.id(),
+                    generation: channel.generation(sc),
+                });
+            }
+        }
+        self.subcarriers_refreshed
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
+    }
+
+    /// Splits the frame's grid into `(subcarrier, symbol-range)` batches:
+    /// every subcarrier contributes `tasks_per_sc` contiguous symbol
+    /// chunks, sized so the pool sees a few tasks per PE even on narrow
+    /// frames.
+    fn plan(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
+        let n_sc = frame.n_subcarriers();
+        let n_sym = frame.n_symbols();
+        // Aim for ≥ 2 tasks per PE so the work queue can balance unequal
+        // batch costs, without slicing symbols thinner than needed.
+        let tasks_per_sc = (2 * n_pes).div_ceil(n_sc).clamp(1, n_sym.max(1));
+        let chunk = n_sym.div_ceil(tasks_per_sc).max(1);
+        let mut batches = Vec::with_capacity(n_sc * tasks_per_sc);
+        for sc in 0..n_sc {
+            let mut from = 0;
+            while from < n_sym {
+                let to = (from + chunk).min(n_sym);
+                batches.push((sc, from, to));
+                from = to;
+            }
+        }
+        batches
+    }
+
+    /// Runs `f` over every `(subcarrier, symbol-batch)` of the frame on the
+    /// pool and reassembles the per-vector outputs in symbol-major order.
+    ///
+    /// `f` receives the subcarrier's prepared detector, the subcarrier
+    /// index, and the batch of received vectors (consecutive symbols of
+    /// that subcarrier); it must return one output per vector, in order.
+    /// This is the engine's core primitive: [`FrameEngine::detect_frame`]
+    /// is `f = detect_batch`, and the soft-output uplink streams LLRs
+    /// through it.
+    ///
+    /// # Panics
+    /// Panics if a subcarrier of `frame` was never prepared, or if `f`
+    /// returns the wrong number of outputs for a batch.
+    pub fn process_frame<P, T, F>(&self, frame: &RxFrame, pool: &P, f: F) -> Vec<T>
+    where
+        P: PePool,
+        T: Send,
+        F: Fn(&D, usize, &[Vec<Cx>]) -> Vec<T> + Sync,
+    {
+        let n_sc = frame.n_subcarriers();
+        assert_eq!(
+            n_sc,
+            self.slots.len(),
+            "FrameEngine: frame has {n_sc} subcarriers, engine prepared {}",
+            self.slots.len()
+        );
+        let batches = self.plan(frame, pool.n_pes());
+        let f = &f;
+        let tasks: Vec<_> = batches
+            .iter()
+            .map(|&(sc, from, to)| {
+                let det = self.detector(sc);
+                move || {
+                    let ys = frame.column_chunk(sc, from, to);
+                    let out = f(det, sc, &ys);
+                    assert_eq!(out.len(), to - from, "batch output count mismatch");
+                    out
+                }
+            })
+            .collect();
+        let per_batch = pool.run(tasks);
+        // Scatter back to symbol-major order.
+        let mut grid: Vec<Option<T>> = (0..frame.n_vectors()).map(|_| None).collect();
+        for ((sc, from, _), outputs) in batches.into_iter().zip(per_batch) {
+            for (offset, value) in outputs.into_iter().enumerate() {
+                grid[(from + offset) * n_sc + sc] = Some(value);
+            }
+        }
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.vectors
+            .fetch_add(frame.n_vectors() as u64, Ordering::Relaxed);
+        grid.into_iter()
+            .map(|v| v.expect("frame cell never produced"))
+            .collect()
+    }
+
+    /// Detects every received vector of the frame, returning decisions in
+    /// the same grid shape. Results are bit-identical to calling
+    /// [`Detector::detect`] on each vector with that subcarrier's prepared
+    /// detector, regardless of the pool or batch shape.
+    pub fn detect_frame<P: PePool>(&self, frame: &RxFrame, pool: &P) -> DetectedFrame {
+        let symbols = self.process_frame(frame, pool, |det, _sc, ys| det.detect_batch(ys));
+        DetectedFrame::from_parts(frame.n_subcarriers(), symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+    use flexcore_detect::{MmseDetector, SphereDecoder};
+    use flexcore_modulation::{Constellation, Modulation};
+    use flexcore_parallel::{CrossbeamPool, SequentialPool};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const NT: usize = 4;
+    const SNR: f64 = 14.0;
+
+    fn build_frame(
+        n_sc: usize,
+        n_sym: usize,
+        channel: &FrameChannel,
+        seed: u64,
+    ) -> (RxFrame, Vec<Vec<usize>>) {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut frame = RxFrame::empty(n_sc);
+        let mut truth = Vec::new();
+        for _ in 0..n_sym {
+            let mut row = Vec::with_capacity(n_sc);
+            for sc in 0..n_sc {
+                let s: Vec<usize> = (0..NT).map(|_| rng.gen_range(0..16)).collect();
+                let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+                let ch = MimoChannel {
+                    h: channel.h(sc).clone(),
+                    sigma2: channel.sigma2(),
+                };
+                row.push(ch.transmit(&x, &mut rng));
+                truth.push(s);
+            }
+            frame.push_symbol(row);
+        }
+        (frame, truth)
+    }
+
+    fn selective_channel(n_sc: usize, seed: u64) -> FrameChannel {
+        let ens = ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(seed);
+        FrameChannel::per_subcarrier(ens.draw_many(&mut rng, n_sc), sigma2_from_snr_db(SNR))
+    }
+
+    #[test]
+    fn prepare_is_cached_by_generation() {
+        let mut engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        let mut ch = selective_channel(8, 1);
+        assert_eq!(engine.prepare(&ch), 8);
+        assert_eq!(engine.prepare(&ch), 0, "unchanged channel re-prepared");
+        let ens = ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(99);
+        ch.update_subcarrier(3, ens.draw(&mut rng));
+        assert_eq!(engine.prepare(&ch), 1, "only the touched subcarrier");
+        assert_eq!(engine.stats().subcarriers_refreshed, 9);
+        assert_eq!(engine.stats().prepare_runs, 9);
+    }
+
+    #[test]
+    fn flat_channel_prepares_once_and_clones() {
+        let mut engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        let ens = ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = FrameChannel::flat(ens.draw(&mut rng), sigma2_from_snr_db(SNR), 48);
+        assert_eq!(engine.prepare(&ch), 48);
+        assert_eq!(engine.stats().prepare_runs, 1, "flat prep should run once");
+
+        // The cloned slots must behave exactly like individually prepared
+        // detectors.
+        let (frame, _) = build_frame(48, 2, &ch, 3);
+        let seq = SequentialPool::new(4);
+        let out = engine.detect_frame(&frame, &seq);
+        let mut reference = MmseDetector::new(Constellation::new(Modulation::Qam16));
+        reference.prepare(ch.h(0), ch.sigma2());
+        for sym in 0..2 {
+            for sc in 0..48 {
+                assert_eq!(out.get(sym, sc), reference.detect(frame.get(sym, sc)));
+            }
+        }
+    }
+
+    #[test]
+    fn substrates_and_batch_shapes_agree() {
+        let ch = selective_channel(12, 4);
+        let mut engine =
+            FrameEngine::new(SphereDecoder::new(Constellation::new(Modulation::Qam16)));
+        engine.prepare(&ch);
+        let (frame, _) = build_frame(12, 6, &ch, 5);
+        let seq1 = SequentialPool::new(1);
+        let seq7 = SequentialPool::new(7);
+        let stat4 = CrossbeamPool::new(4);
+        let queue4 = CrossbeamPool::work_queue(4);
+        let queue9 = CrossbeamPool::work_queue(9);
+        let reference = engine.detect_frame(&frame, &seq1);
+        assert_eq!(engine.detect_frame(&frame, &seq7), reference);
+        assert_eq!(engine.detect_frame(&frame, &stat4), reference);
+        assert_eq!(engine.detect_frame(&frame, &queue4), reference);
+        assert_eq!(engine.detect_frame(&frame, &queue9), reference);
+    }
+
+    #[test]
+    fn detection_matches_per_vector_reference() {
+        let ch = selective_channel(6, 6);
+        let mut engine =
+            FrameEngine::new(SphereDecoder::new(Constellation::new(Modulation::Qam16)));
+        engine.prepare(&ch);
+        let (frame, _) = build_frame(6, 4, &ch, 7);
+        let out = engine.detect_frame(&frame, &CrossbeamPool::work_queue(3));
+        for sym in 0..4 {
+            for sc in 0..6 {
+                let mut det = SphereDecoder::new(Constellation::new(Modulation::Qam16));
+                det.prepare(ch.h(sc), ch.sigma2());
+                assert_eq!(
+                    out.get(sym, sc),
+                    det.detect(frame.get(sym, sc)),
+                    "({sym},{sc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_frame_recovered_exactly() {
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(8);
+        let hs = ens.draw_many(&mut rng, 5);
+        let ch = FrameChannel::per_subcarrier(hs.clone(), 1e-12);
+        let mut frame = RxFrame::empty(5);
+        let mut truth = Vec::new();
+        for _ in 0..3 {
+            let mut row = Vec::new();
+            for h in &hs {
+                let s: Vec<usize> = (0..NT).map(|_| rng.gen_range(0..16)).collect();
+                let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+                row.push(h.mul_vec(&x));
+                truth.push(s);
+            }
+            frame.push_symbol(row);
+        }
+        let mut engine = FrameEngine::new(SphereDecoder::new(c));
+        engine.prepare(&ch);
+        let out = engine.detect_frame(&frame, &CrossbeamPool::work_queue(4));
+        for (cell, want) in out.iter().zip(&truth) {
+            assert_eq!(cell, want.as_slice());
+        }
+        assert_eq!(engine.stats().frames, 1);
+        assert_eq!(engine.stats().vectors, 15);
+    }
+
+    #[test]
+    fn rebuilt_channel_is_never_mistaken_for_cached() {
+        // A fresh FrameChannel starts its generations at 1 just like the
+        // previous one — the instance id must force re-preparation.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut engine = FrameEngine::new(MmseDetector::new(c));
+        let a = selective_channel(4, 11);
+        let b = selective_channel(4, 12); // different H, same generations
+        assert_eq!(engine.prepare(&a), 4);
+        assert_eq!(
+            engine.prepare(&b),
+            4,
+            "new channel instance must re-prepare"
+        );
+        let mut reference = MmseDetector::new(Constellation::new(Modulation::Qam16));
+        reference.prepare(b.h(2), b.sigma2());
+        let mut rng = StdRng::seed_from_u64(13);
+        let y: Vec<Cx> = (0..NT)
+            .map(|_| Cx::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        assert_eq!(engine.detector(2).detect(&y), reference.detect(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "not prepared")]
+    fn unprepared_subcarrier_panics() {
+        let engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        let _ = engine.detector(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Frame-shaped data: the received grid and the detected grid.
+//!
+//! Both grids are *symbol-major*: entry `(symbol, subcarrier)` lives at
+//! index `symbol * n_subcarriers + subcarrier`, matching the order in which
+//! an OFDM receiver produces frequency-domain vectors.
+
+use flexcore_numeric::Cx;
+
+/// One OFDM frame's worth of received MIMO vectors.
+///
+/// `n_symbols × n_subcarriers` vectors, each of length `Nr` (one complex
+/// sample per receive antenna).
+#[derive(Clone, Debug)]
+pub struct RxFrame {
+    n_subcarriers: usize,
+    vectors: Vec<Vec<Cx>>,
+}
+
+impl RxFrame {
+    /// Builds a frame from symbol-major vectors; `vectors.len()` must be a
+    /// multiple of `n_subcarriers`.
+    pub fn from_vectors(n_subcarriers: usize, vectors: Vec<Vec<Cx>>) -> Self {
+        assert!(n_subcarriers > 0, "RxFrame: zero subcarriers");
+        assert_eq!(
+            vectors.len() % n_subcarriers,
+            0,
+            "RxFrame: vector count {} not a multiple of {} subcarriers",
+            vectors.len(),
+            n_subcarriers
+        );
+        RxFrame {
+            n_subcarriers,
+            vectors,
+        }
+    }
+
+    /// An empty frame ready for [`RxFrame::push_symbol`].
+    pub fn empty(n_subcarriers: usize) -> Self {
+        Self::from_vectors(n_subcarriers, Vec::new())
+    }
+
+    /// Appends one OFDM symbol (one received vector per subcarrier).
+    pub fn push_symbol(&mut self, per_subcarrier: Vec<Vec<Cx>>) {
+        assert_eq!(
+            per_subcarrier.len(),
+            self.n_subcarriers,
+            "push_symbol: wrong subcarrier count"
+        );
+        self.vectors.extend(per_subcarrier);
+    }
+
+    /// Number of data subcarriers per OFDM symbol.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_subcarriers
+    }
+
+    /// Number of OFDM symbols in the frame.
+    pub fn n_symbols(&self) -> usize {
+        self.vectors.len() / self.n_subcarriers
+    }
+
+    /// Total received vectors (`n_symbols × n_subcarriers`).
+    pub fn n_vectors(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The received vector at `(symbol, subcarrier)`.
+    pub fn get(&self, symbol: usize, subcarrier: usize) -> &[Cx] {
+        assert!(subcarrier < self.n_subcarriers, "subcarrier out of range");
+        &self.vectors[symbol * self.n_subcarriers + subcarrier]
+    }
+
+    /// Clones the symbol range `[from, to)` of one subcarrier's column —
+    /// the unit of work the engine hands to a processing element.
+    pub(crate) fn column_chunk(&self, subcarrier: usize, from: usize, to: usize) -> Vec<Vec<Cx>> {
+        (from..to)
+            .map(|sym| self.vectors[sym * self.n_subcarriers + subcarrier].clone())
+            .collect()
+    }
+}
+
+/// Detected symbol indices for one frame: one `Vec<usize>` (a symbol index
+/// per transmit stream, original stream order) per `(symbol, subcarrier)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectedFrame {
+    n_subcarriers: usize,
+    symbols: Vec<Vec<usize>>,
+}
+
+impl DetectedFrame {
+    pub(crate) fn from_parts(n_subcarriers: usize, symbols: Vec<Vec<usize>>) -> Self {
+        DetectedFrame {
+            n_subcarriers,
+            symbols,
+        }
+    }
+
+    /// Number of data subcarriers per OFDM symbol.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_subcarriers
+    }
+
+    /// Number of OFDM symbols in the frame.
+    pub fn n_symbols(&self) -> usize {
+        self.symbols.len() / self.n_subcarriers
+    }
+
+    /// The detected stream-symbol indices at `(symbol, subcarrier)`.
+    pub fn get(&self, symbol: usize, subcarrier: usize) -> &[usize] {
+        assert!(subcarrier < self.n_subcarriers, "subcarrier out of range");
+        &self.symbols[symbol * self.n_subcarriers + subcarrier]
+    }
+
+    /// Iterates decisions in symbol-major `(symbol, subcarrier)` order —
+    /// the order a receive chain consumes them.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.symbols.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(re: f64) -> Vec<Cx> {
+        vec![Cx::new(re, 0.0)]
+    }
+
+    #[test]
+    fn frame_geometry_and_indexing() {
+        let mut f = RxFrame::empty(3);
+        assert_eq!(f.n_symbols(), 0);
+        f.push_symbol(vec![v(0.0), v(1.0), v(2.0)]);
+        f.push_symbol(vec![v(10.0), v(11.0), v(12.0)]);
+        assert_eq!(f.n_subcarriers(), 3);
+        assert_eq!(f.n_symbols(), 2);
+        assert_eq!(f.n_vectors(), 6);
+        assert_eq!(f.get(1, 2)[0].re, 12.0);
+        let col = f.column_chunk(1, 0, 2);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col[0][0].re, 1.0);
+        assert_eq!(col[1][0].re, 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_frame_rejected() {
+        let _ = RxFrame::from_vectors(3, vec![v(0.0), v(1.0)]);
+    }
+
+    #[test]
+    fn detected_frame_round_trip() {
+        let d = DetectedFrame::from_parts(2, vec![vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(d.n_symbols(), 2);
+        assert_eq!(d.get(1, 0), &[3]);
+        let all: Vec<_> = d.iter().collect();
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! # flexcore-engine
+//!
+//! The frame-level streaming detection engine: drives any
+//! [`flexcore_detect::Detector`] across the *(subcarrier × symbol)* work
+//! grid of whole OFDM frames, on any [`flexcore_parallel::PePool`]
+//! substrate.
+//!
+//! The paper parallelises detection of a *single* received vector across
+//! processing elements (one tree path per PE, §3.2). A deployed access
+//! point additionally owns an orthogonal, perfectly independent scale axis:
+//! the 48 data subcarriers × many OFDM symbols of every frame, for every
+//! scheduled user group. This crate exploits that axis:
+//!
+//! * [`RxFrame`] / [`DetectedFrame`] — the frame-shaped input and output
+//!   grids (symbol-major, one received vector per `(symbol, subcarrier)`);
+//! * [`FrameChannel`] — per-subcarrier channel state with a monotonically
+//!   increasing *generation* per subcarrier, so narrowband channel updates
+//!   invalidate only the subcarriers they touch;
+//! * [`FrameEngine`] — owns one prepared detector clone per subcarrier
+//!   (the paper's per-channel pre-processing, run only when a subcarrier's
+//!   generation changes), carves the frame into per-subcarrier symbol
+//!   batches, and schedules them onto a PE pool. Each batch goes through
+//!   [`flexcore_detect::Detector::detect_batch`], amortising prepared
+//!   state across the whole column exactly as §3 prescribes.
+//!
+//! Results are **bit-identical** across substrates and batch shapes: the
+//! engine only reorders *scheduling*, never arithmetic, so
+//! [`SequentialPool`](flexcore_parallel::SequentialPool) and a
+//! [`CrossbeamPool`](flexcore_parallel::CrossbeamPool) in either schedule
+//! mode produce byte-for-byte the same [`DetectedFrame`] — a property the
+//! workspace tests enforce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod engine;
+pub mod frame;
+
+pub use channel::FrameChannel;
+pub use engine::{EngineStats, FrameEngine};
+pub use frame::{DetectedFrame, RxFrame};

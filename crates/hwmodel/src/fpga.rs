@@ -240,8 +240,7 @@ impl FpgaModel {
     /// Detection latency (s) for one batch of `nsc` subcarriers with `m`
     /// PEs and `paths` paths per vector: pipeline fill + streaming drain.
     pub fn batch_latency_s(&self, nsc: usize, m: usize, paths: usize) -> f64 {
-        let cycles = self.pipeline_latency_cycles()
-            + (nsc as f64 * paths as f64 / m as f64).ceil();
+        let cycles = self.pipeline_latency_cycles() + (nsc as f64 * paths as f64 / m as f64).ceil();
         cycles / self.fmax_hz()
     }
 
@@ -293,7 +292,10 @@ mod tests {
             FpgaModel::new(EngineKind::FlexCore, nt, 64).area_delay()
                 / FpgaModel::new(EngineKind::Fcsd, nt, 64).area_delay()
         };
-        assert!(over(12) < over(8), "Table 3: overhead decreases as Nt grows");
+        assert!(
+            over(12) < over(8),
+            "Table 3: overhead decreases as Nt grows"
+        );
     }
 
     #[test]
@@ -312,8 +314,10 @@ mod tests {
         let m = FpgaModel::new(EngineKind::FlexCore, 12, 64);
         let t32 = m.throughput_bps(32, 32) / 1e9;
         let t128 = m.throughput_bps(32, 128) / 1e9;
-        assert!((t32 - 22.5).abs() < 0.1 || (t32 - 13.09).abs() < 2.0,
-            "throughput at 32 paths: {t32} Gb/s");
+        assert!(
+            (t32 - 22.5).abs() < 0.1 || (t32 - 13.09).abs() < 2.0,
+            "throughput at 32 paths: {t32} Gb/s"
+        );
         assert!((t128 - t32 / 4.0).abs() < 1e-6);
     }
 

@@ -21,12 +21,30 @@ pub struct LteMode {
 
 /// The six LTE modes of Fig. 12.
 pub const LTE_MODES: [LteMode; 6] = [
-    LteMode { bandwidth_mhz: 1.25, occupied_subcarriers: 76 },
-    LteMode { bandwidth_mhz: 2.5, occupied_subcarriers: 150 },
-    LteMode { bandwidth_mhz: 5.0, occupied_subcarriers: 300 },
-    LteMode { bandwidth_mhz: 10.0, occupied_subcarriers: 600 },
-    LteMode { bandwidth_mhz: 15.0, occupied_subcarriers: 900 },
-    LteMode { bandwidth_mhz: 20.0, occupied_subcarriers: 1200 },
+    LteMode {
+        bandwidth_mhz: 1.25,
+        occupied_subcarriers: 76,
+    },
+    LteMode {
+        bandwidth_mhz: 2.5,
+        occupied_subcarriers: 150,
+    },
+    LteMode {
+        bandwidth_mhz: 5.0,
+        occupied_subcarriers: 300,
+    },
+    LteMode {
+        bandwidth_mhz: 10.0,
+        occupied_subcarriers: 600,
+    },
+    LteMode {
+        bandwidth_mhz: 15.0,
+        occupied_subcarriers: 900,
+    },
+    LteMode {
+        bandwidth_mhz: 20.0,
+        occupied_subcarriers: 1200,
+    },
 ];
 
 /// Timeslot duration (s).
@@ -104,7 +122,10 @@ mod tests {
             .map(|m| m.max_flexcore_paths(&gpu, 8, 64))
             .collect();
         for w in paths.windows(2) {
-            assert!(w[1] <= w[0], "wider band must not allow more paths: {paths:?}");
+            assert!(
+                w[1] <= w[0],
+                "wider band must not allow more paths: {paths:?}"
+            );
         }
         // Fig. 12's Nt=8 range is ~105 paths (1.25 MHz) down to ~4 (20 MHz):
         // same order of magnitude here.

@@ -251,9 +251,15 @@ impl OrderingLut {
         let side = c.grid_side() as i32;
         let u = y.re / c.scale();
         let v = y.im / c.scale();
-        // Nearest INFINITE-lattice point (not clamped): levels at 2i−(side−1).
-        let ci = ((u + (side - 1) as f64) / 2.0).round() as i32;
-        let cj = ((v + (side - 1) as f64) / 2.0).round() as i32;
+        // Nearest INFINITE-lattice point (not clamped to the grid): levels
+        // at 2i−(side−1). Ultra-far effective points (near-singular R
+        // diagonals blow `u`/`v` up to ±1e150 and beyond) are clamped to a
+        // window that is still unambiguously outside the constellation:
+        // the index arithmetic stays overflow-free and every lookup
+        // resolves to the same out-of-grid outcome it would have anyway.
+        let window = |x: f64| x.clamp(-(2 * side) as f64, (3 * side) as f64) as i32;
+        let ci = window(((u + (side - 1) as f64) / 2.0).round());
+        let cj = window(((v + (side - 1) as f64) / 2.0).round());
         let dx = u - level_value_i(ci, side);
         let dy = v - level_value_i(cj, side);
         (ci, cj, triangle_index(dx, dy))
@@ -269,7 +275,8 @@ fn dist2(dx: f64, dy: f64, (di, dj): (i32, i32)) -> f64 {
 
 #[inline]
 fn level_value_i(i: i32, side: i32) -> f64 {
-    (2 * i - (side - 1)) as f64
+    // f64 arithmetic: immune to i32 overflow for out-of-window indices.
+    2.0 * i as f64 - (side - 1) as f64
 }
 
 #[cfg(test)]

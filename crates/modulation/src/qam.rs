@@ -197,7 +197,11 @@ impl Constellation {
     /// # Panics
     /// Panics if `bits.len() != bits_per_symbol()`.
     pub fn bits_to_index(&self, bits: &[u8]) -> usize {
-        assert_eq!(bits.len(), self.bits_per_symbol(), "bits_to_index: wrong bit count");
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "bits_to_index: wrong bit count"
+        );
         if self.modulation == Modulation::Bpsk {
             return bits[0] as usize;
         }
@@ -223,7 +227,11 @@ impl Constellation {
     /// `bits_per_symbol`).
     pub fn modulate(&self, bits: &[u8]) -> Vec<Cx> {
         let bps = self.bits_per_symbol();
-        assert_eq!(bits.len() % bps, 0, "modulate: bit count not a multiple of bits/symbol");
+        assert_eq!(
+            bits.len() % bps,
+            0,
+            "modulate: bit count not a multiple of bits/symbol"
+        );
         bits.chunks(bps)
             .map(|c| self.point(self.bits_to_index(c)))
             .collect()

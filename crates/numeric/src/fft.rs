@@ -45,7 +45,10 @@ pub fn ifft(x: &[Cx]) -> Vec<Cx> {
 
 fn transform(x: &mut [Cx], sign: f64) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -333,11 +333,7 @@ mod tests {
     use super::*;
 
     fn m22(a: f64, b: f64, c: f64, d: f64) -> CMat {
-        CMat::from_rows(
-            2,
-            2,
-            &[Cx::real(a), Cx::real(b), Cx::real(c), Cx::real(d)],
-        )
+        CMat::from_rows(2, 2, &[Cx::real(a), Cx::real(b), Cx::real(c), Cx::real(d)])
     }
 
     #[test]
@@ -357,11 +353,7 @@ mod tests {
 
     #[test]
     fn hermitian_conjugates_and_transposes() {
-        let a = CMat::from_rows(
-            1,
-            2,
-            &[Cx::new(1.0, 2.0), Cx::new(3.0, -4.0)],
-        );
+        let a = CMat::from_rows(1, 2, &[Cx::new(1.0, 2.0), Cx::new(3.0, -4.0)]);
         let h = a.hermitian();
         assert_eq!(h.rows(), 2);
         assert_eq!(h.cols(), 1);

@@ -33,7 +33,10 @@ pub fn back_substitute(r: &CMat, b: &[Cx]) -> CVec {
 /// Solves the lower-triangular system `L·x = b` by forward-substitution.
 pub fn forward_substitute(l: &CMat, b: &[Cx]) -> CVec {
     let n = l.cols();
-    assert!(l.is_square() && b.len() == n, "forward_substitute: bad dims");
+    assert!(
+        l.is_square() && b.len() == n,
+        "forward_substitute: bad dims"
+    );
     let mut x = vec![Cx::ZERO; n];
     for i in 0..n {
         let mut acc = b[i];

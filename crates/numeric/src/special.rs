@@ -22,16 +22,14 @@ pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
     // Chebyshev polynomial in t, evaluated via Horner.
-    let poly = -z * z
-        - 1.26551223
+    let poly = -z * z - 1.26551223
         + t * (1.00002368
             + t * (0.37409196
                 + t * (0.09678418
                     + t * (-0.18628806
                         + t * (0.27886807
                             + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277))))))));
+                                + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277))))))));
     let ans = t * poly.exp();
     if x >= 0.0 {
         ans

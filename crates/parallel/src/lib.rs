@@ -15,14 +15,19 @@
 //! * [`CrossbeamPool`] — a real thread pool built on `crossbeam::thread`
 //!   scoped threads (workers = PEs), demonstrating that FlexCore's path
 //!   parallelism is "nearly embarrassingly parallel": tasks share nothing
-//!   and results are reduced with a single `min` pass at the end.
+//!   and results are reduced with a single `min` pass at the end. It
+//!   schedules either statically (strided pre-assignment, for uniform
+//!   micro-tasks) or through a shared work queue
+//!   ([`CrossbeamPool::work_queue`], for coarse variable-cost tasks such as
+//!   the frame engine's per-subcarrier batches) — see [`ScheduleMode`].
 //!
 //! Both implement [`PePool`], so every detector in the workspace runs
-//! unmodified on either.
+//! unmodified on either, and `flexcore-engine` drives whole OFDM frames
+//! through them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pool;
 
-pub use pool::{schedule_rounds, CrossbeamPool, PePool, SequentialPool, WorkStats};
+pub use pool::{schedule_rounds, CrossbeamPool, PePool, ScheduleMode, SequentialPool, WorkStats};

@@ -110,46 +110,73 @@ impl PePool for SequentialPool {
     }
 }
 
+/// How a [`CrossbeamPool`] distributes a batch over its workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Round-robin pre-assignment: each worker owns a fixed strided subset
+    /// of the task list. Zero scheduling overhead, but a slow task stalls
+    /// its whole stride — the right choice for many uniform micro-tasks
+    /// (e.g. one FlexCore tree path per task).
+    #[default]
+    Static,
+    /// Shared work queue: workers pull the next task as they finish the
+    /// previous one, so unequal task costs (a frame's subcarrier columns
+    /// under a sphere decoder, say) balance dynamically. Pays one lock
+    /// acquisition per task — the right choice for coarse tasks like the
+    /// frame engine's per-subcarrier symbol batches.
+    WorkQueue,
+}
+
 /// Real parallel execution on `n_pes` OS threads via `crossbeam` scoped
-/// threads. Tasks are distributed round-robin; each worker owns a disjoint
-/// slice of the task list, so no synchronisation is needed beyond the final
-/// join — mirroring FlexCore's claim of near-embarrassing parallelism.
+/// threads.
+///
+/// Two scheduling modes are available (see [`ScheduleMode`]): statically
+/// strided assignment for uniform micro-tasks, and a shared work queue for
+/// coarse, variable-cost tasks such as whole-frame detection. Results are
+/// returned in task order in both modes, so detector output never depends
+/// on the substrate — mirroring FlexCore's claim of near-embarrassing
+/// parallelism.
 #[derive(Debug)]
 pub struct CrossbeamPool {
     n_pes: usize,
+    mode: ScheduleMode,
     stats: WorkStats,
 }
 
 impl CrossbeamPool {
-    /// A pool backed by `n_pes` worker threads per batch.
+    /// A statically-scheduled pool backed by `n_pes` worker threads per
+    /// batch.
     pub fn new(n_pes: usize) -> Self {
+        Self::with_mode(n_pes, ScheduleMode::Static)
+    }
+
+    /// A work-queue pool: `n_pes` workers pulling tasks from a shared
+    /// queue. Use for coarse tasks of unequal cost (frame processing).
+    pub fn work_queue(n_pes: usize) -> Self {
+        Self::with_mode(n_pes, ScheduleMode::WorkQueue)
+    }
+
+    /// A pool with an explicit scheduling mode.
+    pub fn with_mode(n_pes: usize, mode: ScheduleMode) -> Self {
         assert!(n_pes > 0, "CrossbeamPool: zero PEs");
         CrossbeamPool {
             n_pes,
+            mode,
             stats: WorkStats::default(),
         }
     }
-}
 
-impl PePool for CrossbeamPool {
-    fn n_pes(&self) -> usize {
-        self.n_pes
+    /// The scheduling mode in use.
+    pub fn mode(&self) -> ScheduleMode {
+        self.mode
     }
 
-    fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    fn run_static<T, F>(&self, tasks: Vec<F>, workers: usize) -> Vec<T>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
         let n = tasks.len();
-        self.stats.record(n, self.n_pes);
-        if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.n_pes.min(n);
-        // Result slots, protected per-slot by a single mutex each would be
-        // heavy; instead each worker computes (index, value) pairs into its
-        // own vec and we scatter at the end.
         let shared: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
         // Hand each worker a strided subset of the (indexed) tasks.
         let mut buckets: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
@@ -176,6 +203,64 @@ impl PePool for CrossbeamPool {
             .into_iter()
             .map(|v| v.expect("missing task result"))
             .collect()
+    }
+
+    fn run_queue<T, F>(&self, tasks: Vec<F>, workers: usize) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        // The queue is the task iterator itself: one lock acquisition pops
+        // the next (index, task) pair, giving dynamic load balance.
+        let queue = Mutex::new(tasks.into_iter().enumerate());
+        let shared: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while let Some((i, task)) = {
+                        let popped = queue.lock().next();
+                        popped
+                    } {
+                        local.push((i, task()));
+                    }
+                    let mut guard = shared.lock();
+                    for (i, v) in local {
+                        guard[i] = Some(v);
+                    }
+                });
+            }
+        })
+        .expect("PE worker panicked");
+        shared
+            .into_inner()
+            .into_iter()
+            .map(|v| v.expect("missing task result"))
+            .collect()
+    }
+}
+
+impl PePool for CrossbeamPool {
+    fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        self.stats.record(n, self.n_pes);
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.n_pes.min(n);
+        match self.mode {
+            ScheduleMode::Static => self.run_static(tasks, workers),
+            ScheduleMode::WorkQueue => self.run_queue(tasks, workers),
+        }
     }
 
     fn stats(&self) -> &WorkStats {
@@ -231,6 +316,46 @@ mod tests {
         let a = seq.run(square_tasks(37));
         let b = par.run(square_tasks(37));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn work_queue_preserves_order() {
+        let pool = CrossbeamPool::work_queue(8);
+        assert_eq!(pool.mode(), ScheduleMode::WorkQueue);
+        let out = pool.run(square_tasks(100));
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.stats().tasks(), 100);
+    }
+
+    #[test]
+    fn work_queue_matches_static_under_skew() {
+        // Tasks with wildly unequal costs: results must still come back in
+        // task order, identical across modes, with every task run once.
+        let make = || -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
+            (0..40u64)
+                .map(|i| {
+                    Box::new(move || {
+                        let spins = if i % 7 == 0 { 200_000 } else { 10 };
+                        (0..spins).fold(i, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect()
+        };
+        let stat = CrossbeamPool::new(4).run(make());
+        let queue = CrossbeamPool::work_queue(4).run(make());
+        let seq = SequentialPool::new(4).run(make());
+        assert_eq!(stat, seq);
+        assert_eq!(queue, seq);
+    }
+
+    #[test]
+    fn work_queue_handles_empty_single_and_overflow() {
+        let pool = CrossbeamPool::work_queue(4);
+        let empty: Vec<fn() -> usize> = Vec::new();
+        assert!(pool.run(empty).is_empty());
+        assert_eq!(pool.run(vec![|| 7usize]), vec![7]);
+        let out = pool.run(square_tasks(33));
+        assert_eq!(out.len(), 33);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   IFFT + cyclic-prefix path;
 //! * [`link`] — the end-to-end coded uplink: per-user encode → interleave →
 //!   modulate → MIMO channel → detect (any [`flexcore_detect::Detector`]) →
-//!   deinterleave → Viterbi → packet check;
+//!   deinterleave → Viterbi → packet check. Detection runs either one
+//!   vector at a time ([`simulate_packet`]) or as whole frames on a PE
+//!   pool through `flexcore-engine` ([`simulate_packet_framed`]), with
+//!   bit-identical outcomes;
 //! * [`throughput`] — PER → network-throughput mapping (the y-axis of
 //!   Figs. 9 and 10).
 
@@ -21,7 +24,10 @@ pub mod ofdm;
 pub mod soft_link;
 pub mod throughput;
 
-pub use link::{LinkConfig, LinkOutcome, simulate_packet, packet_error_rate};
+pub use link::{
+    packet_error_rate, packet_error_rate_framed, simulate_packet, simulate_packet_framed,
+    simulate_packet_framed_prepared, LinkConfig, LinkOutcome,
+};
 pub use ofdm::OfdmConfig;
-pub use soft_link::simulate_packet_soft;
+pub use soft_link::{simulate_packet_soft, simulate_packet_soft_framed};
 pub use throughput::network_throughput_mbps;

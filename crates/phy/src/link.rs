@@ -18,8 +18,10 @@ use crate::ofdm::OfdmConfig;
 use flexcore_channel::MimoChannel;
 use flexcore_coding::{CodeRate, ConvCode, Interleaver};
 use flexcore_detect::common::Detector;
+use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::Cx;
+use flexcore_parallel::PePool;
 use rand::Rng;
 
 /// Link-level simulation parameters.
@@ -89,24 +91,20 @@ impl LinkOutcome {
     }
 }
 
-/// Simulates one packet exchange over the given channel with the given
-/// detector. The detector must already be `prepare`d for `channel.h`.
-pub fn simulate_packet<R: Rng + ?Sized>(
+/// Per-user transmit chains: random payloads → convolutional encode → pad →
+/// interleave. Returns `(payloads, interleaved coded streams)`. Shared by
+/// the sequential and frame-engine packet paths, which must consume the RNG
+/// in exactly the same order to stay bit-identical.
+pub(crate) fn transmit_chains<R: Rng + ?Sized>(
     cfg: &LinkConfig,
-    channel: &MimoChannel,
-    detector: &dyn Detector,
+    nt: usize,
     rng: &mut R,
-) -> LinkOutcome {
-    let nt = channel.nt();
-    let c = &cfg.constellation;
-    let bps = c.bits_per_symbol();
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
     let code = ConvCode::new(cfg.rate);
-    let il = Interleaver::new(cfg.ofdm.n_data, bps);
+    let il = Interleaver::new(cfg.ofdm.n_data, cfg.constellation.bits_per_symbol());
     let n_sym = cfg.ofdm_symbols_per_packet();
     let bits_per_sym = cfg.bits_per_ofdm_symbol();
     let payload_bits = cfg.payload_bytes * 8;
-
-    // Per-user transmit chains.
     let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(nt);
     let mut coded_streams: Vec<Vec<u8>> = Vec::with_capacity(nt);
     for _ in 0..nt {
@@ -118,28 +116,42 @@ pub fn simulate_packet<R: Rng + ?Sized>(
         payloads.push(payload);
         coded_streams.push(interleaved);
     }
+    (payloads, coded_streams)
+}
 
-    // Transmit symbol-by-symbol, subcarrier-by-subcarrier, detect, collect.
-    let mut detected_bits: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
-    for sym_idx in 0..n_sym {
-        for sc in 0..cfg.ofdm.n_data {
-            let bit_base = sym_idx * bits_per_sym + sc * bps;
-            // One MIMO vector: user u sends its next `bps` bits.
-            let tx: Vec<Cx> = (0..nt)
-                .map(|u| {
-                    let bits = &coded_streams[u][bit_base..bit_base + bps];
-                    c.point(c.bits_to_index(bits))
-                })
-                .collect();
-            let y = channel.transmit(&tx, rng);
-            let decided = detector.detect(&y);
-            for (u, &sym) in decided.iter().enumerate() {
-                detected_bits[u].extend(c.index_to_bits(sym));
-            }
-        }
-    }
+/// The transmitted MIMO vector at `(symbol, subcarrier)`: user `u` sends
+/// its next `bps` coded bits as one constellation point.
+pub(crate) fn tx_vector(
+    cfg: &LinkConfig,
+    coded_streams: &[Vec<u8>],
+    sym_idx: usize,
+    sc: usize,
+) -> Vec<Cx> {
+    let c = &cfg.constellation;
+    let bps = c.bits_per_symbol();
+    let bit_base = sym_idx * cfg.bits_per_ofdm_symbol() + sc * bps;
+    coded_streams
+        .iter()
+        .map(|stream| {
+            let bits = &stream[bit_base..bit_base + bps];
+            c.point(c.bits_to_index(bits))
+        })
+        .collect()
+}
 
-    // Receive chains: deinterleave → Viterbi → compare.
+/// Receive chains: deinterleave → Viterbi → compare against the payloads.
+fn receive_chains(
+    cfg: &LinkConfig,
+    payloads: &[Vec<u8>],
+    coded_streams: &[Vec<u8>],
+    detected_bits: &[Vec<u8>],
+) -> LinkOutcome {
+    let code = ConvCode::new(cfg.rate);
+    let il = Interleaver::new(cfg.ofdm.n_data, cfg.constellation.bits_per_symbol());
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+    let payload_bits = cfg.payload_bytes * 8;
+    let nt = payloads.len();
     let mut user_ok = Vec::with_capacity(nt);
     let mut raw_bit_errors = Vec::with_capacity(nt);
     for u in 0..nt {
@@ -159,6 +171,110 @@ pub fn simulate_packet<R: Rng + ?Sized>(
         raw_bit_errors,
         coded_bits_per_user: n_sym * bits_per_sym,
     }
+}
+
+/// Simulates one packet exchange over the given channel with the given
+/// detector. The detector must already be `prepare`d for `channel.h`.
+pub fn simulate_packet<R: Rng + ?Sized>(
+    cfg: &LinkConfig,
+    channel: &MimoChannel,
+    detector: &dyn Detector,
+    rng: &mut R,
+) -> LinkOutcome {
+    let nt = channel.nt();
+    let c = &cfg.constellation;
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+    let (payloads, coded_streams) = transmit_chains(cfg, nt, rng);
+
+    // Transmit symbol-by-symbol, subcarrier-by-subcarrier, detect, collect.
+    let mut detected_bits: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
+    for sym_idx in 0..n_sym {
+        for sc in 0..cfg.ofdm.n_data {
+            let tx = tx_vector(cfg, &coded_streams, sym_idx, sc);
+            let y = channel.transmit(&tx, rng);
+            let decided = detector.detect(&y);
+            for (u, &sym) in decided.iter().enumerate() {
+                detected_bits[u].extend(c.index_to_bits(sym));
+            }
+        }
+    }
+
+    receive_chains(cfg, &payloads, &coded_streams, &detected_bits)
+}
+
+/// Simulates one packet exchange through the frame engine: the whole
+/// packet's `(subcarrier × symbol)` grid is detected in one
+/// [`FrameEngine::detect_frame`] call on the given PE pool, instead of one
+/// [`Detector::detect`] call at a time.
+///
+/// Consumes the RNG in exactly [`simulate_packet`]'s order and relies on
+/// the engine's bit-identity guarantee, so with equal seeds the outcome is
+/// **bit-for-bit identical** to [`simulate_packet`] run on an equally
+/// prepared detector — on any pool.
+pub fn simulate_packet_framed<R, D, P>(
+    cfg: &LinkConfig,
+    channel: &MimoChannel,
+    engine: &mut FrameEngine<D>,
+    pool: &P,
+    rng: &mut R,
+) -> LinkOutcome
+where
+    R: Rng + ?Sized,
+    D: Detector + Clone + Sync,
+    P: PePool,
+{
+    // Block fading: one H for the whole packet, prepared at the channel's
+    // own noise variance.
+    engine.prepare(&FrameChannel::from_mimo(channel, cfg.ofdm.n_data));
+    simulate_packet_framed_prepared(cfg, channel, engine, pool, rng)
+}
+
+/// Like [`simulate_packet_framed`] but trusts the engine's existing
+/// preparation — for callers that prepare at an explicit `σ²` different
+/// from the channel's (noise-mismatch studies, [`packet_error_rate`]'s
+/// signature) or manage a persistent [`FrameChannel`] themselves.
+pub fn simulate_packet_framed_prepared<R, D, P>(
+    cfg: &LinkConfig,
+    channel: &MimoChannel,
+    engine: &FrameEngine<D>,
+    pool: &P,
+    rng: &mut R,
+) -> LinkOutcome
+where
+    R: Rng + ?Sized,
+    D: Detector + Clone + Sync,
+    P: PePool,
+{
+    let nt = channel.nt();
+    let c = &cfg.constellation;
+    let n_sc = cfg.ofdm.n_data;
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+    let (payloads, coded_streams) = transmit_chains(cfg, nt, rng);
+
+    // Build the received frame, drawing noise in simulate_packet's order.
+    let mut frame = RxFrame::empty(n_sc);
+    for sym_idx in 0..n_sym {
+        let mut row = Vec::with_capacity(n_sc);
+        for sc in 0..n_sc {
+            let tx = tx_vector(cfg, &coded_streams, sym_idx, sc);
+            row.push(channel.transmit(&tx, rng));
+        }
+        frame.push_symbol(row);
+    }
+    let detected = engine.detect_frame(&frame, pool);
+
+    let mut detected_bits: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
+    for sym_idx in 0..n_sym {
+        for sc in 0..n_sc {
+            for (u, &sym) in detected.get(sym_idx, sc).iter().enumerate() {
+                detected_bits[u].extend(c.index_to_bits(sym));
+            }
+        }
+    }
+
+    receive_chains(cfg, &payloads, &coded_streams, &detected_bits)
 }
 
 /// Measures the mean packet error rate over `n_packets` packets with a
@@ -181,6 +297,38 @@ pub fn packet_error_rate<R: Rng + ?Sized>(
         let ch = draw_channel(rng);
         detector.prepare(&ch.h, sigma2);
         let out = simulate_packet(cfg, &ch, detector, rng);
+        fails += out.user_ok.iter().filter(|&&ok| !ok).count();
+        total += out.user_ok.len();
+    }
+    fails as f64 / total as f64
+}
+
+/// Frame-parallel, drop-in counterpart of [`packet_error_rate`]: same
+/// signature semantics (preparation at the explicit `sigma2`, transmission
+/// at each drawn channel's own `sigma2`), with every packet's detection
+/// grid running on the pool through the engine. With equal seeds the
+/// measured PER is bit-identical to [`packet_error_rate`] for the same
+/// detector design.
+pub fn packet_error_rate_framed<R, D, P>(
+    cfg: &LinkConfig,
+    engine: &mut FrameEngine<D>,
+    pool: &P,
+    n_packets: usize,
+    sigma2: f64,
+    mut draw_channel: impl FnMut(&mut R) -> MimoChannel,
+    rng: &mut R,
+) -> f64
+where
+    R: Rng + ?Sized,
+    D: Detector + Clone + Sync,
+    P: PePool,
+{
+    let mut fails = 0usize;
+    let mut total = 0usize;
+    for _ in 0..n_packets {
+        let ch = draw_channel(rng);
+        engine.prepare(&FrameChannel::flat(ch.h.clone(), sigma2, cfg.ofdm.n_data));
+        let out = simulate_packet_framed_prepared(cfg, &ch, engine, pool, rng);
         fails += out.user_ok.iter().filter(|&&ok| !ok).count();
         total += out.user_ok.len();
     }
@@ -263,6 +411,80 @@ mod tests {
         }
         assert!(pers[0] >= pers[1] && pers[1] >= pers[2], "{pers:?}");
         assert!(pers[2] < 0.1, "30 dB should be nearly clean: {pers:?}");
+    }
+
+    #[test]
+    fn framed_packet_is_bit_identical_to_sequential() {
+        use flexcore_engine::FrameEngine;
+        use flexcore_parallel::{CrossbeamPool, PePool, SequentialPool};
+        let snr = 14.0;
+        // Replays the same seed for every run: identical channel draw,
+        // payloads, and noise.
+        fn framed<P: PePool>(cfg: &LinkConfig, snr: f64, seed: u64, pool: &P) -> LinkOutcome {
+            let ens = ChannelEnsemble::iid(4, 4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h, snr);
+            let mut engine = FrameEngine::new(SphereDecoder::new(cfg.constellation.clone()));
+            simulate_packet_framed(cfg, &ch, &mut engine, pool, &mut rng)
+        }
+        let cfg = cfg16(60);
+        let ens = ChannelEnsemble::iid(4, 4);
+        for seed in [1u64, 2, 3] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            let mut det = SphereDecoder::new(cfg.constellation.clone());
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            let reference = simulate_packet(&cfg, &ch, &det, &mut rng);
+
+            let outs = [
+                framed(&cfg, snr, seed, &SequentialPool::new(4)),
+                framed(&cfg, snr, seed, &CrossbeamPool::new(4)),
+                framed(&cfg, snr, seed, &CrossbeamPool::work_queue(4)),
+            ];
+            for out in &outs {
+                assert_eq!(out.user_ok, reference.user_ok, "seed {seed}");
+                assert_eq!(out.raw_bit_errors, reference.raw_bit_errors, "seed {seed}");
+                assert_eq!(out.coded_bits_per_user, reference.coded_bits_per_user);
+            }
+        }
+    }
+
+    #[test]
+    fn framed_per_matches_sequential_per() {
+        use flexcore_engine::FrameEngine;
+        use flexcore_parallel::CrossbeamPool;
+        let cfg = cfg16(40);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let snr = 14.0;
+        let sigma2 = sigma2_from_snr_db(snr);
+
+        let mut det = SphereDecoder::new(cfg.constellation.clone());
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let per_seq = packet_error_rate(
+            &cfg,
+            &mut det,
+            5,
+            sigma2,
+            |r| MimoChannel::new(ens.draw(r), snr),
+            &mut rng_a,
+        );
+
+        let mut engine = FrameEngine::new(SphereDecoder::new(cfg.constellation.clone()));
+        let pool = CrossbeamPool::work_queue(4);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let per_framed = packet_error_rate_framed(
+            &cfg,
+            &mut engine,
+            &pool,
+            5,
+            sigma2,
+            |r| MimoChannel::new(ens.draw(r), snr),
+            &mut rng_b,
+        );
+        assert_eq!(per_seq, per_framed);
+        assert_eq!(engine.stats().frames, 5);
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl OfdmConfig {
     /// Maps 48 data symbols into a 64-bin frequency grid (zeros elsewhere).
     pub fn map_symbols(&self, data: &[Cx]) -> Vec<Cx> {
         let sc = self.data_subcarriers();
-        assert_eq!(data.len(), sc.len(), "map_symbols: need {} symbols", sc.len());
+        assert_eq!(
+            data.len(),
+            sc.len(),
+            "map_symbols: need {} symbols",
+            sc.len()
+        );
         let mut grid = vec![Cx::ZERO; self.n_fft];
         for (&bin, &sym) in sc.iter().zip(data) {
             grid[bin] = sym;

@@ -11,7 +11,9 @@ use crate::link::{LinkConfig, LinkOutcome};
 use flexcore::FlexCoreDetector;
 use flexcore_channel::MimoChannel;
 use flexcore_coding::{ConvCode, Interleaver};
+use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
 use flexcore_numeric::Cx;
+use flexcore_parallel::PePool;
 use rand::Rng;
 
 /// Simulates one packet exchange with soft-output FlexCore detection.
@@ -28,22 +30,13 @@ pub fn simulate_packet_soft<R: Rng + ?Sized>(
     let nt = channel.nt();
     let c = &cfg.constellation;
     let bps = c.bits_per_symbol();
-    let code = ConvCode::new(cfg.rate);
-    let il = Interleaver::new(cfg.ofdm.n_data, bps);
     let n_sym = cfg.ofdm_symbols_per_packet();
     let bits_per_sym = cfg.bits_per_ofdm_symbol();
-    let payload_bits = cfg.payload_bytes * 8;
 
-    // Transmit chains (identical to the hard path).
-    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(nt);
-    let mut coded_streams: Vec<Vec<u8>> = Vec::with_capacity(nt);
-    for _ in 0..nt {
-        let payload: Vec<u8> = (0..payload_bits).map(|_| rng.gen_range(0..2u8)).collect();
-        let mut coded = code.encode(&payload);
-        coded.resize(n_sym * bits_per_sym, 0);
-        payloads.push(payload);
-        coded_streams.push(il.interleave_stream(&coded));
-    }
+    // Transmit chains (identical to the hard path — the shared helper
+    // keeps the RNG consumption order in lockstep with simulate_packet
+    // and the framed variants).
+    let (payloads, coded_streams) = crate::link::transmit_chains(cfg, nt, rng);
 
     // Detection with LLR output.
     let mut llr_streams: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
@@ -72,13 +65,96 @@ pub fn simulate_packet_soft<R: Rng + ?Sized>(
         }
     }
 
-    // Receive chains: deinterleave LLRs → soft Viterbi → compare.
+    soft_receive_chains(cfg, &payloads, llr_streams, raw_bit_errors)
+}
+
+/// Frame-parallel variant of [`simulate_packet_soft`]: the packet's whole
+/// `(subcarrier × symbol)` grid of soft detections runs on the given PE
+/// pool through the frame engine's generic
+/// [`FrameEngine::process_frame`] primitive.
+///
+/// Consumes the RNG in exactly [`simulate_packet_soft`]'s order and
+/// computes identical per-vector LLRs, so with equal seeds the outcome is
+/// bit-for-bit identical on any pool.
+pub fn simulate_packet_soft_framed<R, P>(
+    cfg: &LinkConfig,
+    channel: &MimoChannel,
+    engine: &mut FrameEngine<FlexCoreDetector>,
+    pool: &P,
+    rng: &mut R,
+) -> LinkOutcome
+where
+    R: Rng + ?Sized,
+    P: PePool,
+{
+    let nt = channel.nt();
+    let c = &cfg.constellation;
+    let n_sc = cfg.ofdm.n_data;
+    let bps = c.bits_per_symbol();
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+
+    // Transmit chains and received frame, in simulate_packet_soft's RNG
+    // order.
+    let (payloads, coded_streams) = crate::link::transmit_chains(cfg, nt, rng);
+    let mut frame = RxFrame::empty(n_sc);
+    for sym_idx in 0..n_sym {
+        let mut row = Vec::with_capacity(n_sc);
+        for sc in 0..n_sc {
+            let tx = crate::link::tx_vector(cfg, &coded_streams, sym_idx, sc);
+            row.push(channel.transmit(&tx, rng));
+        }
+        frame.push_symbol(row);
+    }
+
+    // Soft detection of the whole grid on the pool.
+    engine.prepare(&FrameChannel::from_mimo(channel, n_sc));
+    let sigma2 = channel.sigma2;
+    let soft_grid = engine.process_frame(&frame, pool, |det, _sc, ys| {
+        ys.iter().map(|y| det.detect_soft(y, sigma2)).collect()
+    });
+
+    // Reassemble LLR streams in (symbol, subcarrier) order.
+    let mut llr_streams: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
+    let mut raw_bit_errors = vec![0usize; nt];
+    for sym_idx in 0..n_sym {
+        for sc in 0..n_sc {
+            let bit_base = sym_idx * bits_per_sym + sc * bps;
+            let soft = &soft_grid[sym_idx * n_sc + sc];
+            for u in 0..nt {
+                llr_streams[u].extend(&soft.llrs[u]);
+                let hard_bits = c.index_to_bits(soft.hard[u]);
+                for (j, &hb) in hard_bits.iter().enumerate() {
+                    if hb != coded_streams[u][bit_base + j] {
+                        raw_bit_errors[u] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    soft_receive_chains(cfg, &payloads, llr_streams, raw_bit_errors)
+}
+
+/// Soft receive chains shared by the sequential and framed packet paths:
+/// deinterleave LLRs → soft Viterbi → compare against the payloads.
+fn soft_receive_chains(
+    cfg: &LinkConfig,
+    payloads: &[Vec<u8>],
+    llr_streams: Vec<Vec<f64>>,
+    raw_bit_errors: Vec<usize>,
+) -> LinkOutcome {
+    let code = ConvCode::new(cfg.rate);
+    let il = Interleaver::new(cfg.ofdm.n_data, cfg.constellation.bits_per_symbol());
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+    let payload_bits = cfg.payload_bytes * 8;
     let coded_len = code.coded_len(payload_bits);
-    let mut user_ok = Vec::with_capacity(nt);
-    for u in 0..nt {
-        let deinterleaved = deinterleave_f64(&il, &llr_streams[u]);
+    let mut user_ok = Vec::with_capacity(payloads.len());
+    for (payload, llrs) in payloads.iter().zip(&llr_streams) {
+        let deinterleaved = deinterleave_f64(&il, llrs);
         let decoded = code.decode_soft(&deinterleaved[..coded_len], payload_bits);
-        user_ok.push(decoded == payloads[u]);
+        user_ok.push(decoded == *payload);
     }
     LinkOutcome {
         user_ok,
@@ -162,7 +238,43 @@ mod tests {
             soft_ok + 1 >= hard_ok,
             "soft delivered {soft_ok} vs hard {hard_ok}"
         );
-        assert!(soft_ok > 30, "soft path should deliver most packets: {soft_ok}");
+        assert!(
+            soft_ok > 30,
+            "soft path should deliver most packets: {soft_ok}"
+        );
+    }
+
+    #[test]
+    fn framed_soft_packet_is_bit_identical_to_sequential() {
+        use flexcore_parallel::{CrossbeamPool, SequentialPool};
+        let c = Constellation::new(Modulation::Qam16);
+        let cfg = LinkConfig::paper_default(c.clone(), 40);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let snr = 12.0;
+        for seed in [1u64, 2] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            let mut det = FlexCoreDetector::with_pes(c.clone(), 16);
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            let reference = simulate_packet_soft(&cfg, &ch, &det, &mut rng);
+
+            let seq = SequentialPool::new(4);
+            let queue = CrossbeamPool::work_queue(4);
+            for run in 0..2 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let h = ens.draw(&mut rng);
+                let ch = MimoChannel::new(h, snr);
+                let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(c.clone(), 16));
+                let out = if run == 0 {
+                    simulate_packet_soft_framed(&cfg, &ch, &mut engine, &seq, &mut rng)
+                } else {
+                    simulate_packet_soft_framed(&cfg, &ch, &mut engine, &queue, &mut rng)
+                };
+                assert_eq!(out.user_ok, reference.user_ok, "seed {seed} run {run}");
+                assert_eq!(out.raw_bit_errors, reference.raw_bit_errors);
+            }
+        }
     }
 
     #[test]

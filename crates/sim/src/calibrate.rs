@@ -7,9 +7,9 @@
 //! sphere decoder, and provides the uncoded symbol-vector-error sweeps the
 //! algorithmic comparisons are built on.
 
+use flexcore::FlexCoreDetector;
 use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
 use flexcore_detect::common::Detector;
-use flexcore::FlexCoreDetector;
 use flexcore_detect::SphereDecoder;
 use flexcore_modulation::Constellation;
 use flexcore_numeric::Cx;
@@ -124,7 +124,13 @@ pub fn calibrate_snr_for_ml_per(
 
 /// Measures the exact-ML sphere decoder's PER at a given SNR (used to
 /// verify the proxy-calibrated operating points).
-pub fn ml_per_at(cfg: &LinkConfig, ens: &ChannelEnsemble, snr_db: f64, n_packets: usize, seed: u64) -> f64 {
+pub fn ml_per_at(
+    cfg: &LinkConfig,
+    ens: &ChannelEnsemble,
+    snr_db: f64,
+    n_packets: usize,
+    seed: u64,
+) -> f64 {
     let mut det = SphereDecoder::new(cfg.constellation.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     packet_error_rate(
@@ -215,9 +221,7 @@ mod tests {
         // constellations need more SNR.
         for nt in [8usize, 12] {
             for q in [16usize, 64] {
-                assert!(
-                    operating_point_snr_db(nt, q, 0.01) >= operating_point_snr_db(nt, q, 0.1)
-                );
+                assert!(operating_point_snr_db(nt, q, 0.01) >= operating_point_snr_db(nt, q, 0.1));
             }
             assert!(operating_point_snr_db(nt, 64, 0.1) > operating_point_snr_db(nt, 16, 0.1));
         }

@@ -89,11 +89,7 @@ pub fn run(cfg: &Cfg) -> ResultTable {
             cfg.vectors_per_channel,
             cfg.seed,
         );
-        table.push_row(vec![
-            dimension.into(),
-            variant.into(),
-            format!("{ver:.5}"),
-        ]);
+        table.push_row(vec![dimension.into(), variant.into(), format!("{ver:.5}")]);
     };
     // Symbol-ordering ablation.
     for (name, ord) in [
@@ -152,7 +148,10 @@ mod tests {
         let skip = ver("symbol_ordering", "lut_skip");
         let strict = ver("symbol_ordering", "lut_strict");
         assert!(skip <= exact * 1.4 + 0.01, "skip {skip} vs exact {exact}");
-        assert!(strict >= skip, "strict {strict} should not beat skip {skip}");
+        assert!(
+            strict >= skip,
+            "strict {strict} should not beat skip {skip}"
+        );
         // Sorted QR beats plain QR.
         let sqrd = ver("qr_ordering", "sqrd");
         let plain = ver("qr_ordering", "plain");

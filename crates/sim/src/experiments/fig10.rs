@@ -83,7 +83,13 @@ pub fn run(cfg: &Cfg) -> ResultTable {
     let snr = operating_point_snr_db(cfg.nr, c.order(), 0.01);
     let mut table = ResultTable::new(
         "Fig. 10: throughput vs active users (12-antenna AP, 64-QAM)",
-        &["users", "detector", "per", "throughput_mbps", "mean_active_pes"],
+        &[
+            "users",
+            "detector",
+            "per",
+            "throughput_mbps",
+            "mean_active_pes",
+        ],
     );
     for &nt in &cfg.users {
         let ens = ChannelEnsemble::iid(cfg.nr, nt);
@@ -125,7 +131,11 @@ pub fn run(cfg: &Cfg) -> ResultTable {
                 label,
                 format!("{per:.4}"),
                 format!("{tput:.1}"),
-                if i == 3 { format!("{active:.2}") } else { "-".into() },
+                if i == 3 {
+                    format!("{active:.2}")
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -140,7 +150,7 @@ mod tests {
     fn fig10_shape_holds() {
         let mut cfg = Cfg::quick();
         cfg.users = vec![6, 12];
-        cfg.n_packets = 3;
+        cfg.n_packets = 10;
         cfg.payload_bytes = 20;
         let t = run(&cfg);
         assert_eq!(t.len(), 8);

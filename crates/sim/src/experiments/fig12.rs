@@ -64,7 +64,14 @@ pub fn run(cfg: &Cfg) -> ResultTable {
     let q = c.order();
     let mut table = ResultTable::new(
         "Fig. 12: SNR loss vs ML under LTE timing (64-QAM)",
-        &["nt", "lte_mode_mhz", "detector", "paths", "snr_loss_db", "supported"],
+        &[
+            "nt",
+            "lte_mode_mhz",
+            "detector",
+            "paths",
+            "snr_loss_db",
+            "supported",
+        ],
     );
     for &nt in &cfg.nts {
         let ens = ChannelEnsemble::iid(nt, nt);
@@ -118,7 +125,11 @@ pub fn run(cfg: &Cfg) -> ResultTable {
                 format!("{}", mode.bandwidth_mhz),
                 "FCSD".into(),
                 format!("{q}"),
-                if l1 { format!("{:.2}", loss_for(q)) } else { "-".into() },
+                if l1 {
+                    format!("{:.2}", loss_for(q))
+                } else {
+                    "-".into()
+                },
                 if l1 { "yes".into() } else { "no".into() },
             ]);
         }
@@ -137,7 +148,7 @@ mod tests {
         cfg.cal_samples = 8;
         let t = run(&cfg);
         assert_eq!(t.len(), 18); // 6 modes × 3 detectors × 1 Nt
-        // FlexCore is supported everywhere.
+                                 // FlexCore is supported everywhere.
         for r in t.rows().iter().filter(|r| r[2] == "FlexCore") {
             assert_eq!(r[5], "yes");
         }

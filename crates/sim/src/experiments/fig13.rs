@@ -38,12 +38,42 @@ impl Cfg {
     pub fn quick() -> Self {
         Cfg {
             curves: vec![
-                Curve { kind: EngineKind::Fcsd, nt: 8, paths: 64, label: "FCSD Nt=8 L=1" },
-                Curve { kind: EngineKind::FlexCore, nt: 8, paths: 32, label: "FlexCore Nt=8 (L=1 pair)" },
-                Curve { kind: EngineKind::Fcsd, nt: 12, paths: 64, label: "FCSD Nt=12 L=1" },
-                Curve { kind: EngineKind::Fcsd, nt: 12, paths: 4096, label: "FCSD Nt=12 L=2" },
-                Curve { kind: EngineKind::FlexCore, nt: 12, paths: 32, label: "FlexCore Nt=12 (L=1 pair)" },
-                Curve { kind: EngineKind::FlexCore, nt: 12, paths: 128, label: "FlexCore Nt=12 (L=2 pair)" },
+                Curve {
+                    kind: EngineKind::Fcsd,
+                    nt: 8,
+                    paths: 64,
+                    label: "FCSD Nt=8 L=1",
+                },
+                Curve {
+                    kind: EngineKind::FlexCore,
+                    nt: 8,
+                    paths: 32,
+                    label: "FlexCore Nt=8 (L=1 pair)",
+                },
+                Curve {
+                    kind: EngineKind::Fcsd,
+                    nt: 12,
+                    paths: 64,
+                    label: "FCSD Nt=12 L=1",
+                },
+                Curve {
+                    kind: EngineKind::Fcsd,
+                    nt: 12,
+                    paths: 4096,
+                    label: "FCSD Nt=12 L=2",
+                },
+                Curve {
+                    kind: EngineKind::FlexCore,
+                    nt: 12,
+                    paths: 32,
+                    label: "FlexCore Nt=12 (L=1 pair)",
+                },
+                Curve {
+                    kind: EngineKind::FlexCore,
+                    nt: 12,
+                    paths: 128,
+                    label: "FlexCore Nt=12 (L=2 pair)",
+                },
             ],
             m_grid: vec![1, 2, 4, 8, 16, 32, 64, 100],
         }
@@ -59,7 +89,13 @@ impl Cfg {
 pub fn run(cfg: &Cfg) -> ResultTable {
     let mut table = ResultTable::new(
         "Fig. 13: FPGA energy efficiency at iso-throughput (64-QAM)",
-        &["curve", "m_pes", "extrapolated", "joules_per_bit", "throughput_gbps"],
+        &[
+            "curve",
+            "m_pes",
+            "extrapolated",
+            "joules_per_bit",
+            "throughput_gbps",
+        ],
     );
     for curve in &cfg.curves {
         let model = FpgaModel::new(curve.kind, curve.nt, 64);
@@ -81,7 +117,12 @@ pub fn run(cfg: &Cfg) -> ResultTable {
 
 /// The §5.3 summary statistic: mean FCSD-vs-FlexCore J/bit ratio across a
 /// PE grid for one iso-throughput pairing.
-pub fn mean_jpb_ratio(nt: usize, fcsd_paths: usize, flexcore_paths: usize, m_grid: &[usize]) -> f64 {
+pub fn mean_jpb_ratio(
+    nt: usize,
+    fcsd_paths: usize,
+    flexcore_paths: usize,
+    m_grid: &[usize],
+) -> f64 {
     let fcsd = FpgaModel::new(EngineKind::Fcsd, nt, 64);
     let fc = FpgaModel::new(EngineKind::FlexCore, nt, 64);
     let mut acc = 0.0;

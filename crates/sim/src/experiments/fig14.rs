@@ -83,7 +83,8 @@ pub fn run(cfg: &Cfg) -> ResultTable {
             let _ch = MimoChannel::new(h.clone(), snr);
             let top = cfg.nt - 1;
             // Model curve for this channel's top level.
-            let pe = symbol_error_probability(qr.r[(top, top)].abs(), sigma2.sqrt(), cfg.modulation);
+            let pe =
+                symbol_error_probability(qr.r[(top, top)].abs(), sigma2.sqrt(), cfg.modulation);
             for (k, acc) in model_acc.iter_mut().enumerate() {
                 *acc += (1.0 - pe) * pe.powi(k as i32);
             }
@@ -146,7 +147,10 @@ mod tests {
                 // k=1 is the mode of the distribution at any SNR (≈0.39 at
                 // 1 dB, ≈0.9+ at 15 dB in our ensemble).
                 assert!(sim > 0.3, "k=1 should dominate (snr {snr}): {sim}");
-                assert!((sim - model).abs() < 0.2, "k=1 gap: sim {sim} model {model}");
+                assert!(
+                    (sim - model).abs() < 0.2,
+                    "k=1 gap: sim {sim} model {model}"
+                );
             }
             if k <= 3 && sim > 0.01 {
                 assert!(
@@ -157,10 +161,7 @@ mod tests {
         }
         // Distribution decays in k at high SNR.
         let sim_at = |snr: &str, k: &str| -> f64 {
-            t.rows()
-                .iter()
-                .find(|r| r[0] == snr && r[1] == k)
-                .unwrap()[2]
+            t.rows().iter().find(|r| r[0] == snr && r[1] == k).unwrap()[2]
                 .parse()
                 .unwrap()
         };

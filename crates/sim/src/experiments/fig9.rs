@@ -64,8 +64,16 @@ impl Cfg {
     pub fn quick() -> Self {
         Cfg {
             scenarios: vec![
-                Scenario { nt: 8, modulation: Modulation::Qam16, per_target: 0.1 },
-                Scenario { nt: 12, modulation: Modulation::Qam64, per_target: 0.01 },
+                Scenario {
+                    nt: 8,
+                    modulation: Modulation::Qam16,
+                    per_target: 0.1,
+                },
+                Scenario {
+                    nt: 12,
+                    modulation: Modulation::Qam64,
+                    per_target: 0.01,
+                },
             ],
             pe_grid: vec![1, 4, 16, 64, 128],
             payload_bytes: 30,
@@ -80,14 +88,46 @@ impl Cfg {
     pub fn full() -> Self {
         Cfg {
             scenarios: vec![
-                Scenario { nt: 8, modulation: Modulation::Qam16, per_target: 0.1 },
-                Scenario { nt: 8, modulation: Modulation::Qam16, per_target: 0.01 },
-                Scenario { nt: 8, modulation: Modulation::Qam64, per_target: 0.1 },
-                Scenario { nt: 8, modulation: Modulation::Qam64, per_target: 0.01 },
-                Scenario { nt: 12, modulation: Modulation::Qam16, per_target: 0.1 },
-                Scenario { nt: 12, modulation: Modulation::Qam16, per_target: 0.01 },
-                Scenario { nt: 12, modulation: Modulation::Qam64, per_target: 0.1 },
-                Scenario { nt: 12, modulation: Modulation::Qam64, per_target: 0.01 },
+                Scenario {
+                    nt: 8,
+                    modulation: Modulation::Qam16,
+                    per_target: 0.1,
+                },
+                Scenario {
+                    nt: 8,
+                    modulation: Modulation::Qam16,
+                    per_target: 0.01,
+                },
+                Scenario {
+                    nt: 8,
+                    modulation: Modulation::Qam64,
+                    per_target: 0.1,
+                },
+                Scenario {
+                    nt: 8,
+                    modulation: Modulation::Qam64,
+                    per_target: 0.01,
+                },
+                Scenario {
+                    nt: 12,
+                    modulation: Modulation::Qam16,
+                    per_target: 0.1,
+                },
+                Scenario {
+                    nt: 12,
+                    modulation: Modulation::Qam16,
+                    per_target: 0.01,
+                },
+                Scenario {
+                    nt: 12,
+                    modulation: Modulation::Qam64,
+                    per_target: 0.1,
+                },
+                Scenario {
+                    nt: 12,
+                    modulation: Modulation::Qam64,
+                    per_target: 0.01,
+                },
             ],
             pe_grid: vec![1, 2, 4, 8, 16, 32, 64, 128, 196, 256],
             payload_bytes: 60,
@@ -104,7 +144,12 @@ pub fn run(cfg: &Cfg) -> ResultTable {
     let mut table = ResultTable::new(
         "Fig. 9: network throughput vs available processing elements",
         &[
-            "system", "modulation", "per_target", "detector", "n_pes", "per",
+            "system",
+            "modulation",
+            "per_target",
+            "detector",
+            "n_pes",
+            "per",
             "throughput_mbps",
         ],
     );
@@ -195,9 +240,7 @@ mod tests {
         let t = run(&tiny_cfg());
         // One ML + one MMSE + one trellis + FCSD L=1 + three FlexCore rows.
         assert_eq!(t.len(), 7);
-        let tput = |row: usize| -> f64 {
-            t.cell(row, "throughput_mbps").unwrap().parse().unwrap()
-        };
+        let tput = |row: usize| -> f64 { t.cell(row, "throughput_mbps").unwrap().parse().unwrap() };
         let name = |row: usize| t.cell(row, "detector").unwrap().to_string();
         // Row 0 is ML (the ceiling); every other detector is ≤ ML + noise.
         assert!(name(0).contains("FlexCore"), "quick mode uses the ML proxy");

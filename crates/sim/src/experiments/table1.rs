@@ -105,7 +105,8 @@ pub fn run(cfg: &Cfg) -> ResultTable {
         // operating point (uncoded VER → coded PER is ≈0 at 13 dB for the
         // small systems; report the PER-scaled figure).
         let ver = vec_errors as f64 / n as f64;
-        let tput = network_throughput_mbps(&ofdm, Modulation::Qam16, CodeRate::Half, nt, ver.min(1.0));
+        let tput =
+            network_throughput_mbps(&ofdm, Modulation::Qam16, CodeRate::Half, nt, ver.min(1.0));
         table.push_row(vec![
             format!("{nt}x{nt}"),
             format!("{tput:.0}"),
@@ -124,8 +125,8 @@ mod tests {
     #[test]
     fn complexity_grows_exponentially() {
         let mut cfg = Cfg::quick();
-        cfg.n_channels = 12;
-        cfg.vectors_per_channel = 4;
+        cfg.n_channels = 48;
+        cfg.vectors_per_channel = 8;
         let t = run(&cfg);
         assert_eq!(t.len(), 4);
         let g: Vec<f64> = (0..4)

@@ -80,7 +80,11 @@ pub fn run(cfg: &Cfg) -> ResultTable {
             "detect_npe128",
         ],
     );
-    assert_eq!(cfg.budgets, vec![32, 128], "table layout expects budgets 32/128");
+    assert_eq!(
+        cfg.budgets,
+        vec![32, 128],
+        "table layout expects budgets 32/128"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for &nt in &cfg.sizes {
         let ens = ChannelEnsemble::iid(nt, nt);

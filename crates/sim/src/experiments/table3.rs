@@ -92,8 +92,16 @@ mod tests {
     #[test]
     fn overhead_matches_caption_band() {
         let t = run(&Cfg::quick());
-        let o8: f64 = t.cell(0, "area_delay_overhead_pct").unwrap().parse().unwrap();
-        let o12: f64 = t.cell(2, "area_delay_overhead_pct").unwrap().parse().unwrap();
+        let o8: f64 = t
+            .cell(0, "area_delay_overhead_pct")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let o12: f64 = t
+            .cell(2, "area_delay_overhead_pct")
+            .unwrap()
+            .parse()
+            .unwrap();
         // Caption: 73.7% (Nt=8) and 57.8% (Nt=12), decreasing in Nt.
         assert!(o12 < o8, "overhead should shrink with Nt: {o8} vs {o12}");
         assert!((20.0..=90.0).contains(&o8));

@@ -22,8 +22,16 @@ fn main() {
         );
         for mode in LTE_MODES {
             let e = mode.max_flexcore_paths(&gpu, nt, q);
-            let l1 = if mode.fcsd_supported(&gpu, nt, q, 1) { "fits" } else { "MISSES" };
-            let l2 = if mode.fcsd_supported(&gpu, nt, q, 2) { "fits" } else { "MISSES" };
+            let l1 = if mode.fcsd_supported(&gpu, nt, q, 1) {
+                "fits"
+            } else {
+                "MISSES"
+            };
+            let l2 = if mode.fcsd_supported(&gpu, nt, q, 2) {
+                "fits"
+            } else {
+                "MISSES"
+            };
             println!(
                 "{:>7} MHz {:>18} {:>12} {:>12}",
                 mode.bandwidth_mhz, e, l1, l2

@@ -31,7 +31,10 @@ fn main() {
     flexcore.prepare(&h, sigma2);
     ml.prepare(&h, sigma2);
 
-    println!("Pre-processing selected {} tree paths:", flexcore.active_paths());
+    println!(
+        "Pre-processing selected {} tree paths:",
+        flexcore.active_paths()
+    );
     for (i, p) in flexcore.position_vectors().iter().enumerate() {
         println!("  path {i}: position vector {p}");
     }
@@ -59,7 +62,15 @@ fn main() {
     println!("ML detected       : {got_ml:?}");
     println!(
         "FlexCore {} ML, {} the transmission",
-        if got_fc == got_ml { "matches" } else { "differs from" },
-        if got_fc == sent { "recovering" } else { "missing" },
+        if got_fc == got_ml {
+            "matches"
+        } else {
+            "differs from"
+        },
+        if got_fc == sent {
+            "recovering"
+        } else {
+            "missing"
+        },
     );
 }

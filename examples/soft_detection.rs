@@ -28,7 +28,10 @@ fn main() {
         "{} users x {}-antenna AP, 16-QAM, rate-1/2, FlexCore N_PE={n_pe}\n",
         nt, nt
     );
-    println!("{:>8} {:>14} {:>14} {:>10}", "SNR (dB)", "hard packets", "soft packets", "gain");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "SNR (dB)", "hard packets", "soft packets", "gain"
+    );
     for snr in [8.0f64, 9.0, 10.0, 11.0, 12.0] {
         let sigma2 = sigma2_from_snr_db(snr);
         let (mut hard_ok, mut soft_ok, mut total) = (0usize, 0usize, 0usize);

@@ -67,6 +67,8 @@ fn main() {
         let tput = network_throughput_mbps(&link.ofdm, modulation, link.rate, nt, per);
         println!("{:<22} {:>8.3} {:>18.1}", det.name(), per, tput);
     }
-    println!("\n(ML ceiling at PER 0: {:.0} Mbit/s)",
-        network_throughput_mbps(&link.ofdm, modulation, link.rate, nt, 0.0));
+    println!(
+        "\n(ML ceiling at PER 0: {:.0} Mbit/s)",
+        network_throughput_mbps(&link.ofdm, modulation, link.rate, nt, 0.0)
+    );
 }

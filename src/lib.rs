@@ -7,6 +7,7 @@ pub use flexcore;
 pub use flexcore_channel as channel;
 pub use flexcore_coding as coding;
 pub use flexcore_detect as detect;
+pub use flexcore_engine as engine;
 pub use flexcore_hwmodel as hwmodel;
 pub use flexcore_modulation as modulation;
 pub use flexcore_numeric as numeric;

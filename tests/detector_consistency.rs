@@ -53,7 +53,7 @@ fn sphere_decoder_equals_brute_force_ml_qpsk_4x4() {
 
 #[test]
 fn kbest_converges_to_ml_as_k_grows() {
-    let mut w = World::new(Modulation::Qpsk, 3, 9.0, 2);
+    let w = World::new(Modulation::Qpsk, 3, 9.0, 2);
     let sigma2 = sigma2_from_snr_db(9.0);
     let mut ml = MlDetector::new(w.c.clone());
     ml.prepare(&w.ch.h, sigma2);
@@ -73,7 +73,10 @@ fn kbest_converges_to_ml_as_k_grows() {
     }
     assert!(agreement[2] >= agreement[1]);
     assert!(agreement[1] >= agreement[0]);
-    assert_eq!(agreement[2], 60, "K=16 on a 3-level QPSK tree is exhaustive");
+    assert_eq!(
+        agreement[2], 60,
+        "K=16 on a 3-level QPSK tree is exhaustive"
+    );
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn flexcore_converges_to_ml_as_pes_grow() {
     }
     assert!(agreement[1] >= agreement[0]);
     assert!(agreement[2] >= agreement[1]);
-    assert!(agreement[2] >= 76, "64-PE FlexCore should nearly match ML: {agreement:?}");
+    assert!(
+        agreement[2] >= 76,
+        "64-PE FlexCore should nearly match ML: {agreement:?}"
+    );
 }
 
 #[test]
@@ -138,6 +144,43 @@ fn lut_and_exact_flexcore_agree_at_high_snr() {
         }
     }
     assert!(agree >= 97, "LUT vs exact agreement {agree}/100");
+}
+
+#[test]
+fn detect_batch_is_bit_identical_to_repeated_detect_for_every_detector() {
+    // The batch API's contract: whatever a detector does internally,
+    // `detect_batch(ys)` must equal `ys.iter().map(detect)` bit for bit.
+    // Exercised for every scheme in the workspace so any future override
+    // (today they all use the trait default) is held to the contract.
+    use flexcore::{AdaptiveFlexCore, AdaptiveKBest};
+    use flexcore_detect::{MmseDetector, ParallelSicDetector, SicDetector, ZfDetector};
+    let m = Modulation::Qam16;
+    let c = Constellation::new(m);
+    let snr = 13.0;
+    let sigma2 = sigma2_from_snr_db(snr);
+    let mut w = World::new(m, 4, snr, 42);
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(MlDetector::new(c.clone())),
+        Box::new(SphereDecoder::new(c.clone())),
+        Box::new(ZfDetector::new(c.clone())),
+        Box::new(MmseDetector::new(c.clone())),
+        Box::new(SicDetector::new(c.clone())),
+        Box::new(ParallelSicDetector::new(c.clone())),
+        Box::new(KBestDetector::new(c.clone(), 6)),
+        Box::new(FcsdDetector::new(c.clone(), 1)),
+        Box::new(FlexCoreDetector::with_pes(c.clone(), 12)),
+        Box::new(AdaptiveFlexCore::paper_default(c.clone())),
+        Box::new(AdaptiveKBest::new(c.clone(), 8)),
+    ];
+    let ys: Vec<Vec<Cx>> = (0..17).map(|_| w.observe().1).collect();
+    for det in detectors.iter_mut() {
+        det.prepare(&w.ch.h, sigma2);
+        let batched = det.detect_batch(&ys);
+        let repeated: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        assert_eq!(batched, repeated, "{}", det.name());
+        // Empty batches are legal and empty.
+        assert!(det.detect_batch(&[]).is_empty(), "{}", det.name());
+    }
 }
 
 #[test]

@@ -77,7 +77,10 @@ fn near_singular_channel_is_handled() {
     // The ill-conditioned pair may be confused; the other four streams
     // should mostly survive.
     let others_ok = (2..6).filter(|&i| out[i] == s[i]).count();
-    assert!(others_ok >= 2, "well-conditioned streams collapsed: {out:?} vs {s:?}");
+    assert!(
+        others_ok >= 2,
+        "well-conditioned streams collapsed: {out:?} vs {s:?}"
+    );
 }
 
 #[test]

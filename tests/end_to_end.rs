@@ -12,7 +12,13 @@ use rand::SeedableRng;
 
 /// Runs one packet through a detector at the given SNR and returns the
 /// per-user success flags.
-fn one_packet(det: &mut dyn Detector, modulation: Modulation, nt: usize, snr: f64, seed: u64) -> Vec<bool> {
+fn one_packet(
+    det: &mut dyn Detector,
+    modulation: Modulation,
+    nt: usize,
+    snr: f64,
+    seed: u64,
+) -> Vec<bool> {
     let c = Constellation::new(modulation);
     let link = LinkConfig::paper_default(c, 40);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -57,8 +63,14 @@ fn flexcore_beats_mmse_on_packets_at_operating_snr() {
     let mut fc_ok = 0usize;
     let mut mmse_ok = 0usize;
     for seed in 0..12 {
-        fc_ok += one_packet(&mut fc, m, nt, snr, seed).iter().filter(|&&k| k).count();
-        mmse_ok += one_packet(&mut mmse, m, nt, snr, seed).iter().filter(|&&k| k).count();
+        fc_ok += one_packet(&mut fc, m, nt, snr, seed)
+            .iter()
+            .filter(|&&k| k)
+            .count();
+        mmse_ok += one_packet(&mut mmse, m, nt, snr, seed)
+            .iter()
+            .filter(|&&k| k)
+            .count();
     }
     assert!(
         fc_ok > mmse_ok,
@@ -77,8 +89,14 @@ fn flexcore_tracks_ml_on_packets() {
     let mut fc_ok = 0usize;
     let mut ml_ok = 0usize;
     for seed in 100..112 {
-        fc_ok += one_packet(&mut fc, m, nt, snr, seed).iter().filter(|&&k| k).count();
-        ml_ok += one_packet(&mut ml, m, nt, snr, seed).iter().filter(|&&k| k).count();
+        fc_ok += one_packet(&mut fc, m, nt, snr, seed)
+            .iter()
+            .filter(|&&k| k)
+            .count();
+        ml_ok += one_packet(&mut ml, m, nt, snr, seed)
+            .iter()
+            .filter(|&&k| k)
+            .count();
     }
     assert!(
         fc_ok as f64 >= 0.9 * ml_ok as f64,

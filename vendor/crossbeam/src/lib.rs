@@ -1,0 +1,58 @@
+//! Offline stand-in for `crossbeam` (the subset this workspace uses).
+//!
+//! [`thread::scope`] delegates to `std::thread::scope` (stable since Rust
+//! 1.63), preserving crossbeam's `Result`-returning signature. One
+//! difference: a panicking spawned thread makes the enclosing
+//! `std::thread::scope` panic during join rather than surfacing as `Err` —
+//! the workspace treats both identically (it `expect`s the result).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Spawns scoped threads; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Zero-sized placeholder handed to spawned closures where crossbeam
+    /// passes a nested `&Scope`. Every call site in this workspace ignores
+    /// the argument (`|_| …`); nested spawning is not supported.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SpawnArg;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing [`scope`] call.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(SpawnArg))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_join_and_borrow() {
+            let data = vec![1, 2, 3, 4];
+            let total: i32 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+    }
+}
