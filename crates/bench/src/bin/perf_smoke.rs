@@ -1,0 +1,235 @@
+//! `perf_smoke` — the tracked perf baseline for the detection hot path.
+//!
+//! Runs a fixed 8×8 16-QAM, 48-subcarrier × 14-symbol FlexCore-16 frame
+//! workload (the `frame_engine` bench numerology) through the frame engine
+//! on the sequential substrate and on real worker threads, twice per
+//! substrate:
+//!
+//! * **pr1_alloc** — a faithful re-enactment of the PR 1 hot path:
+//!   per-vector `Q*` materialisation, one heap-allocated symbol vector per
+//!   tree path, nested `Vec<Option<(Vec, f64)>>` reduction;
+//! * **scratch** — the current allocation-free path (`rotate_into`,
+//!   `PathScratch`/`SymVec`, flat grids, the prefix-sharing path trie) via
+//!   `detect_batch_refs`.
+//!
+//! Outputs are asserted bit-identical before any timing, then frames/sec
+//! and detected Mbit/s land in `BENCH_PR2.json` (path overridable with
+//! `BENCH_OUT`). `PERF_SMOKE_FAST=1` shrinks repetitions for CI, where the
+//! point is that the binary runs, not that the numbers are stable.
+
+use flexcore::FlexCoreDetector;
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble};
+use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use flexcore_parallel::{CrossbeamPool, SequentialPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N_SC: usize = 48;
+const N_SYM: usize = 14;
+const NT: usize = 8;
+const N_PE: usize = 16;
+const SNR_DB: f64 = 16.0;
+const SEED: u64 = 0xBE2C;
+
+fn workload() -> (FrameChannel, RxFrame) {
+    let c = Constellation::new(Modulation::Qam16);
+    let ens = ChannelEnsemble::iid(NT, NT);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let hs = ens.draw_many(&mut rng, N_SC);
+    let sigma2 = sigma2_from_snr_db(SNR_DB);
+    let mut frame = RxFrame::empty(N_SC);
+    for _ in 0..N_SYM {
+        let mut row = Vec::with_capacity(N_SC);
+        for h in &hs {
+            let s: Vec<usize> = (0..NT).map(|_| rng.gen_range(0..c.order())).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let mut y = h.mul_vec(&x);
+            for v in &mut y {
+                *v += flexcore_numeric::rng::CxRng::cx_normal(&mut rng, sigma2);
+            }
+            row.push(y);
+        }
+        frame.push_symbol(row);
+    }
+    (FrameChannel::per_subcarrier(hs, sigma2), frame)
+}
+
+/// The PR 1 detection hot path, re-enacted per vector: materialise `Q*`
+/// for the rotate (as `Qr::rotate` did before `rotate_into`), allocate
+/// per-path symbol vectors through the allocating `run_path` wrapper, and
+/// reduce a nested `Vec<Option<(Vec, f64)>>`.
+fn detect_pr1_style(det: &FlexCoreDetector, y: &[Cx]) -> Vec<usize> {
+    let tri = det.triangular();
+    let ybar = tri.qr.q.hermitian().mul_vec(y);
+    let results: Vec<Option<(Vec<usize>, f64)>> = det
+        .position_vectors()
+        .iter()
+        .map(|p| det.run_path(&ybar, p))
+        .collect();
+    let (symbols, _) = results
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
+        .expect("the SIC path always completes");
+    tri.unpermute(&symbols)
+}
+
+fn fps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    reps as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct Row {
+    name: &'static str,
+    pes: usize,
+    frames_per_sec: f64,
+    mbit_per_sec: f64,
+}
+
+fn main() {
+    let fast = std::env::var("PERF_SMOKE_FAST").is_ok();
+    let reps = if fast { 2 } else { 30 };
+    let bits_per_frame =
+        (N_SC * N_SYM * NT * Constellation::new(Modulation::Qam16).bits_per_symbol()) as f64;
+
+    let (channel, frame) = workload();
+    let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+        Constellation::new(Modulation::Qam16),
+        N_PE,
+    ));
+    engine.prepare(&channel);
+
+    let seq = SequentialPool::new(1);
+    let wq2 = CrossbeamPool::work_queue(2);
+    let wq4 = CrossbeamPool::work_queue(4);
+
+    // Bit-identity gate: the scratch path must reproduce the PR 1 path
+    // exactly on every cell before any number is reported.
+    let scratch_out = engine.detect_frame(&frame, &seq);
+    let pr1_out = engine.process_frame(&frame, &seq, |det, _sc, ys| {
+        ys.iter().map(|y| detect_pr1_style(det, y)).collect()
+    });
+    for (sym_idx, (a, b)) in scratch_out.iter().zip(&pr1_out).enumerate() {
+        assert_eq!(a, b.as_slice(), "scratch/pr1 mismatch at cell {sym_idx}");
+    }
+    println!(
+        "bit-identity: scratch == pr1 on all {} cells",
+        pr1_out.len()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let pr1_seq = fps(reps, || {
+        let _ = engine.process_frame(&frame, &seq, |det, _sc, ys| {
+            ys.iter().map(|y| detect_pr1_style(det, y)).collect()
+        });
+    });
+    rows.push(Row {
+        name: "pr1_alloc/sequential",
+        pes: 1,
+        frames_per_sec: pr1_seq,
+        mbit_per_sec: pr1_seq * bits_per_frame / 1e6,
+    });
+    let pr1_wq4 = fps(reps, || {
+        let _ = engine.process_frame(&frame, &wq4, |det, _sc, ys| {
+            ys.iter().map(|y| detect_pr1_style(det, y)).collect()
+        });
+    });
+    rows.push(Row {
+        name: "pr1_alloc/work_queue",
+        pes: 4,
+        frames_per_sec: pr1_wq4,
+        mbit_per_sec: pr1_wq4 * bits_per_frame / 1e6,
+    });
+    let scratch_seq = fps(reps, || {
+        let _ = engine.detect_frame(&frame, &seq);
+    });
+    rows.push(Row {
+        name: "scratch/sequential",
+        pes: 1,
+        frames_per_sec: scratch_seq,
+        mbit_per_sec: scratch_seq * bits_per_frame / 1e6,
+    });
+    for (pool, pes) in [(&wq2, 2usize), (&wq4, 4)] {
+        let v = fps(reps, || {
+            let _ = engine.detect_frame(&frame, pool);
+        });
+        rows.push(Row {
+            name: "scratch/work_queue",
+            pes,
+            frames_per_sec: v,
+            mbit_per_sec: v * bits_per_frame / 1e6,
+        });
+    }
+
+    let speedup_seq = scratch_seq / pr1_seq;
+    println!(
+        "\nperf_smoke ({NT}x{NT} 16-QAM, {N_SC} sc x {N_SYM} sym, FlexCore-{N_PE}, {reps} reps)"
+    );
+    println!(
+        "{:<24} {:>4} {:>12} {:>10}",
+        "path/substrate", "PEs", "frames/sec", "Mbit/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>4} {:>12.1} {:>10.2}",
+            r.name, r.pes, r.frames_per_sec, r.mbit_per_sec
+        );
+    }
+    println!("speedup scratch vs pr1_alloc (sequential/1): {speedup_seq:.2}x");
+
+    // Hand-rolled JSON (the workspace is offline; no serde).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"perf_smoke\",\n");
+    json.push_str("  \"pr\": 2,\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"nt\": {NT}, \"modulation\": \"16-QAM\", \"subcarriers\": {N_SC}, \
+         \"ofdm_symbols\": {N_SYM}, \"detector\": \"FlexCore-{N_PE}\", \"snr_db\": {SNR_DB}, \
+         \"reps\": {reps}, \"fast_mode\": {fast}}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"path\": \"{}\", \"pes\": {}, \"frames_per_sec\": {:.2}, \"mbit_per_sec\": {:.3}}}{}",
+            r.name,
+            r.pes,
+            r.frames_per_sec,
+            r.mbit_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_scratch_vs_pr1_sequential\": {speedup_seq:.3},"
+    );
+    json.push_str(
+        "  \"allocs_note\": \"pr1_alloc re-enacts the PR 1 hot path: per vector it allocates \
+         the materialised Q* matrix, a rotated-observation Vec, one symbol Vec per tree path \
+         (N_PE=16), and the nested Option results Vec — ~20 heap allocations per received \
+         vector. The scratch path allocates nothing per vector beyond the decision Vec the \
+         API returns (rotate_into into a reused buffer, stack SymVec decisions, flat u16/f64 \
+         result planes) and walks the prepare-time prefix-sharing path trie, so each distinct \
+         position-vector rank prefix costs one effective point + one LUT lookup instead of \
+         one per path. Both contributions are bit-identical by construction and by test.\"\n",
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_PR2.json",
+            env!("CARGO_MANIFEST_DIR").trim_end_matches('/')
+        )
+    });
+    std::fs::write(&out, &json).expect("write BENCH_PR2.json");
+    println!("wrote {out}");
+}

@@ -15,14 +15,15 @@
 //! rank-1 lookups fall back to the clamped slicer so the SIC path always
 //! completes (a software-robustness addition, see DESIGN.md).
 
+use crate::grid::PathGrid;
 use crate::model::LevelErrorModel;
 use crate::position::PositionVector;
 use crate::preprocess::Preprocessor;
-use flexcore_detect::common::{Detector, Triangular};
+use flexcore_detect::common::{first_min_metric, Detector, PathScratch, Triangular};
 use flexcore_modulation::ordering::kth_nearest_exact;
 use flexcore_modulation::{Constellation, OrderingLut};
 use flexcore_numeric::qr::{fcsd_sorted_qr, mgs_qr, sorted_qr_sqrd};
-use flexcore_numeric::{CMat, Cx};
+use flexcore_numeric::{CMat, Cx, SymVec};
 use flexcore_parallel::PePool;
 
 /// How each level finds its k-th closest symbol.
@@ -83,15 +84,119 @@ impl FlexCoreConfig {
     }
 }
 
+/// Sentinel for "no node / no path" links in the [`PathTrie`].
+const NIL: u32 = u32::MAX;
+
+/// One node of the prefix-sharing path trie: the decision "take rank `k`
+/// at row `row`" given the (shared) rank prefix above it.
+#[derive(Clone, Copy, Debug)]
+struct TrieNode {
+    row: u8,
+    rank: u32,
+    /// Index into the path list when this node completes a path
+    /// (`row == 0`), else [`NIL`].
+    path_idx: u32,
+    first_child: u32,
+    next_sibling: u32,
+}
+
+/// Prefix-sharing trie over the selected position vectors, built once in
+/// `prepare`.
+///
+/// Position vectors overwhelmingly agree on the top tree levels (SQRD
+/// places reliable streams on top, so rank bumps concentrate near the
+/// bottom), yet PR 1's hot path re-derived every shared effective point
+/// and LUT lookup once *per path*. Walking the trie evaluates each
+/// distinct `(rank-prefix, level)` node exactly once; per-level term
+/// values and the top-down metric accumulation order are unchanged, so
+/// every path's symbols and metric are bit-identical to an independent
+/// [`FlexCoreDetector::run_path_into`] evaluation — only the redundant
+/// arithmetic disappears.
+#[derive(Clone, Debug, Default)]
+struct PathTrie {
+    nodes: Vec<TrieNode>,
+    first_root: u32,
+}
+
+impl PathTrie {
+    fn build(paths: &[PositionVector], nt: usize) -> Self {
+        let mut trie = PathTrie {
+            nodes: Vec::new(),
+            first_root: NIL,
+        };
+        for (pi, p) in paths.iter().enumerate() {
+            let mut parent: Option<u32> = None;
+            for row in (0..nt).rev() {
+                let rank = p.rank(row);
+                // Scan the sibling list for an existing node; append a new
+                // node at the tail otherwise (keeps insertion order
+                // deterministic).
+                let mut slot = match parent {
+                    None => trie.first_root,
+                    Some(pa) => trie.nodes[pa as usize].first_child,
+                };
+                let mut prev = NIL;
+                let mut found = NIL;
+                while slot != NIL {
+                    if trie.nodes[slot as usize].rank == rank {
+                        found = slot;
+                        break;
+                    }
+                    prev = slot;
+                    slot = trie.nodes[slot as usize].next_sibling;
+                }
+                if found == NIL {
+                    found = trie.nodes.len() as u32;
+                    trie.nodes.push(TrieNode {
+                        row: row as u8,
+                        rank,
+                        path_idx: NIL,
+                        first_child: NIL,
+                        next_sibling: NIL,
+                    });
+                    if prev != NIL {
+                        trie.nodes[prev as usize].next_sibling = found;
+                    } else {
+                        match parent {
+                            None => trie.first_root = found,
+                            Some(pa) => trie.nodes[pa as usize].first_child = found,
+                        }
+                    }
+                }
+                if row == 0 {
+                    // The pre-processor never selects duplicate position
+                    // vectors, so a leaf is claimed at most once.
+                    trie.nodes[found as usize].path_idx = pi as u32;
+                }
+                parent = Some(found);
+            }
+        }
+        trie
+    }
+}
+
 /// Per-channel state computed by `prepare`.
 #[derive(Clone, Debug)]
 struct State {
     tri: Triangular,
     paths: Vec<PositionVector>,
+    /// Prefix-sharing evaluation order over `paths`.
+    trie: PathTrie,
     /// `Σ Pc` over the selected paths.
     cumulative_prob: f64,
     /// Pre-processing cost (Table 2).
     preprocess_mults: u64,
+}
+
+/// Reusable per-worker workspace for the sequential FlexCore hot path:
+/// per-path result planes for one trie walk, sized on first use and
+/// reused for every subsequent vector of a batch.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WalkScratch {
+    /// Path metrics, `NaN` = deactivated.
+    pub(crate) metrics: Vec<f64>,
+    /// Completed tree-order decisions per path (stack-resident copies).
+    pub(crate) syms: Vec<SymVec>,
 }
 
 /// The FlexCore detector.
@@ -156,71 +261,182 @@ impl FlexCoreDetector {
             .tri
     }
 
-    /// The selected position vectors (most promising first).
-    pub fn position_vectors(&self) -> Vec<PositionVector> {
-        self.state
-            .as_ref()
-            .map_or_else(Vec::new, |s| s.paths.clone())
+    /// The selected position vectors (most promising first), borrowed from
+    /// the prepared state (empty before `prepare`).
+    pub fn position_vectors(&self) -> &[PositionVector] {
+        self.state.as_ref().map_or(&[], |s| &s.paths)
+    }
+
+    /// Owned copy of the selected position vectors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "position_vectors() now borrows; call .to_vec() only if ownership is needed"
+    )]
+    pub fn position_vectors_cloned(&self) -> Vec<PositionVector> {
+        self.position_vectors().to_vec()
     }
 
     /// Evaluates one position vector against a rotated observation.
     /// Returns `(symbols_in_tree_order, metric)` or `None` if the path was
     /// deactivated (predefined order left the constellation).
+    ///
+    /// Thin allocating wrapper over [`FlexCoreDetector::run_path_into`]
+    /// (bit-identical results).
     pub fn run_path(&self, ybar: &[Cx], p: &PositionVector) -> Option<(Vec<usize>, f64)> {
+        let mut scratch = PathScratch::new();
+        let metric = self.run_path_into(ybar, p, &mut scratch)?;
+        Some((scratch.symbols.to_indices(), metric))
+    }
+
+    /// Allocation-free path evaluation: streams the tree path selected by
+    /// `p` for the rotated observation `ybar`, writing per-level symbol
+    /// decisions into `scratch.symbols` (tree order). Returns the path
+    /// metric, or `None` if the path was deactivated (the predefined order
+    /// left the constellation) — `scratch.symbols` is unspecified then.
+    ///
+    /// This is the software processing element of §3.2: after `prepare`,
+    /// one call touches no heap whatsoever.
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn run_path_into(
+        &self,
+        ybar: &[Cx],
+        p: &PositionVector,
+        scratch: &mut PathScratch,
+    ) -> Option<f64> {
         let state = self.state.as_ref().expect("FlexCore: prepare() not called");
         let tri = &state.tri;
         let nt = tri.nt();
-        let mut symbols = vec![0usize; nt];
+        scratch.symbols.reset(nt);
         let mut metric = 0.0f64;
         for row in (0..nt).rev() {
-            let eff = tri.effective_point(ybar, &symbols, row);
-            let k = p.rank(row) as usize;
-            let sym = match self.config.path_ordering {
-                PathOrdering::Exact => kth_nearest_exact(&self.constellation, eff, k),
-                PathOrdering::TriangleLut => {
-                    let s = self.lut.kth_nearest_skip(&self.constellation, eff, k);
-                    if s.is_none() && k == 1 {
-                        // Ultra-far effective points can out-range even the
-                        // skip table; the clamped slicer keeps the SIC path
-                        // alive (see `pick_best`).
-                        Some(self.constellation.slice(eff))
-                    } else {
-                        s
-                    }
-                }
-                PathOrdering::TriangleLutStrict => {
-                    let s = self.lut.kth_nearest(&self.constellation, eff, k);
-                    if s.is_none() && k == 1 {
-                        // Rank-1 fallback: clamped slice, so the SIC path
-                        // always completes even for far-out effective points.
-                        Some(self.constellation.slice(eff))
-                    } else {
-                        s
-                    }
-                }
-            }?;
-            symbols[row] = sym;
+            let eff = tri.effective_point_sym(ybar, scratch.symbols.as_slice(), row);
+            let sym = self.pick_symbol(eff, p.rank(row) as usize)?;
+            scratch.symbols.set(row, sym as u16);
             let rdiag = tri.qr.r[(row, row)].norm_sqr();
             metric += rdiag * self.constellation.point(sym).dist_sqr(eff);
         }
-        Some((symbols, metric))
+        Some(metric)
+    }
+
+    /// The per-level symbol choice shared by every FlexCore evaluation
+    /// path: the configured ordering's `k`-th symbol for effective point
+    /// `eff`, with the rank-1 clamped-slicer fallback that keeps the SIC
+    /// path alive for ultra-far effective points.
+    #[inline]
+    fn pick_symbol(&self, eff: Cx, k: usize) -> Option<usize> {
+        match self.config.path_ordering {
+            PathOrdering::Exact => kth_nearest_exact(&self.constellation, eff, k),
+            PathOrdering::TriangleLut => {
+                let s = self.lut.kth_nearest_skip(&self.constellation, eff, k);
+                if s.is_none() && k == 1 {
+                    // Ultra-far effective points can out-range even the
+                    // skip table; the clamped slicer keeps the SIC path
+                    // alive (see `pick_best_sym`).
+                    Some(self.constellation.slice(eff))
+                } else {
+                    s
+                }
+            }
+            PathOrdering::TriangleLutStrict => {
+                let s = self.lut.kth_nearest(&self.constellation, eff, k);
+                if s.is_none() && k == 1 {
+                    // Rank-1 fallback: clamped slice, so the SIC path
+                    // always completes even for far-out effective points.
+                    Some(self.constellation.slice(eff))
+                } else {
+                    s
+                }
+            }
+        }
+    }
+
+    /// Evaluates **all** prepared paths over one rotated observation via
+    /// the prefix-sharing trie, filling `out.metrics[i]` / `out.syms[i]`
+    /// for path `i` (`NaN` = deactivated). Each distinct rank-prefix node
+    /// costs one effective point + one LUT lookup, instead of once per
+    /// path as in PR 1; values and accumulation order are unchanged, so
+    /// every completed path's result is bit-identical to
+    /// [`FlexCoreDetector::run_path_into`].
+    pub(crate) fn walk_paths(&self, ybar: &[Cx], out: &mut WalkScratch) {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let n = state.paths.len();
+        out.metrics.clear();
+        out.metrics.resize(n, f64::NAN);
+        out.syms.clear();
+        out.syms.resize(n, SymVec::new());
+        let mut symbols = SymVec::zeroed(state.tri.nt());
+        self.walk_level(state, ybar, state.trie.first_root, &mut symbols, 0.0, out);
+    }
+
+    /// Walks one sibling chain of the trie (all at the same row, sharing
+    /// the branch state in `symbols` above that row). The effective point
+    /// and `|R(row,row)|²` are computed once for the whole chain.
+    fn walk_level(
+        &self,
+        state: &State,
+        ybar: &[Cx],
+        first: u32,
+        symbols: &mut SymVec,
+        parent_metric: f64,
+        out: &mut WalkScratch,
+    ) {
+        if first == NIL {
+            return;
+        }
+        let tri = &state.tri;
+        let row = state.trie.nodes[first as usize].row as usize;
+        let eff = tri.effective_point_sym(ybar, symbols.as_slice(), row);
+        let rdiag = tri.qr.r[(row, row)].norm_sqr();
+        let mut idx = first;
+        while idx != NIL {
+            let node = state.trie.nodes[idx as usize];
+            if let Some(sym) = self.pick_symbol(eff, node.rank as usize) {
+                symbols.set(row, sym as u16);
+                let metric = parent_metric + rdiag * self.constellation.point(sym).dist_sqr(eff);
+                if node.path_idx != NIL {
+                    out.metrics[node.path_idx as usize] = metric;
+                    out.syms[node.path_idx as usize] = *symbols;
+                }
+                self.walk_level(state, ybar, node.first_child, symbols, metric, out);
+            }
+            idx = node.next_sibling;
+        }
     }
 
     /// Detection with explicit parallelism: one task per position vector on
-    /// the given pool. Results are identical to [`Detector::detect`].
+    /// the given pool. The single rotated observation is shared by
+    /// reference across tasks, and each task returns a stack-resident
+    /// `(SymVec, metric)` — no per-path allocation. Results are identical
+    /// to [`Detector::detect`].
     pub fn detect_on_pool<P: PePool>(&self, y: &[Cx], pool: &P) -> Vec<usize> {
         let state = self.state.as_ref().expect("FlexCore: prepare() not called");
         let ybar = state.tri.rotate(y);
+        let ybar = &ybar;
         let tasks: Vec<_> = state
             .paths
             .iter()
             .map(|p| {
-                let ybar = ybar.clone();
-                move || self.run_path(&ybar, p)
+                move || {
+                    let mut scratch = PathScratch::new();
+                    self.run_path_into(ybar, p, &mut scratch)
+                        .map(|m| (scratch.symbols, m))
+                }
             })
             .collect();
         let results = pool.run(tasks);
-        self.pick_best(results)
+        // The all-ones (SIC) path is always selected first by the
+        // pre-processor and always completes thanks to the rank-1 slicing
+        // fallback, so at least one result survives.
+        let (i, _) = first_min_metric(
+            results
+                .iter()
+                .map(|r| r.as_ref().map_or(f64::NAN, |&(_, m)| m)),
+        )
+        .expect("the SIC path always completes");
+        let (symbols, _) = results[i].as_ref().expect("selected path is active");
+        state.tri.unpermute_sym(symbols.as_slice())
     }
 
     /// Batched parallel detection: one task per position vector, each
@@ -229,48 +445,75 @@ impl FlexCoreDetector {
     /// engines). This amortises task-dispatch overhead across the batch,
     /// unlike [`FlexCoreDetector::detect_on_pool`], which parallelises a
     /// single vector.
+    ///
+    /// Thin wrapper: evaluates the batch into a flat [`PathGrid`] via
+    /// [`FlexCoreDetector::detect_batch_grid_on_pool`] and reduces each
+    /// vector to its minimum-metric decision.
     pub fn detect_batch_on_pool<P: PePool>(&self, ys: &[Vec<Cx>], pool: &P) -> Vec<Vec<usize>> {
         let state = self.state.as_ref().expect("FlexCore: prepare() not called");
-        let ybars: Vec<Vec<Cx>> = ys.iter().map(|y| state.tri.rotate(y)).collect();
+        let grid = self.detect_batch_grid_on_pool(ys, pool);
+        (0..ys.len())
+            .map(|v| {
+                // The all-ones (SIC) path is always selected first by the
+                // pre-processor and always completes thanks to the rank-1
+                // slicing fallback, so at least one path survives.
+                let (symbols, _) = grid
+                    .best_for_vector(v)
+                    .expect("the SIC path always completes");
+                state.tri.unpermute_sym(symbols)
+            })
+            .collect()
+    }
+
+    /// Evaluates every (position vector × observation) pair of a batch on
+    /// the pool and returns the flat [`PathGrid`]: one `u16` symbol plane
+    /// and one `f64` metric plane (NaN = deactivated), replacing PR 1's
+    /// `Vec<Vec<Option<(Vec<usize>, f64)>>>` transpose. Each task owns one
+    /// position vector, reuses a single [`PathScratch`] across the whole
+    /// batch, and borrows the shared plane of rotated observations.
+    pub fn detect_batch_grid_on_pool<P: PePool>(&self, ys: &[Vec<Cx>], pool: &P) -> PathGrid {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let tri = &state.tri;
+        let nt = tri.nt();
+        let n_vec = ys.len();
+        // One flat plane of rotated observations, shared by every task.
+        let mut ybars = vec![Cx::ZERO; n_vec * nt];
+        for (y, out) in ys.iter().zip(ybars.chunks_mut(nt.max(1))) {
+            tri.rotate_into(y, out);
+        }
+        let ybars = &ybars;
         let tasks: Vec<_> = state
             .paths
             .iter()
             .map(|p| {
-                let ybars = &ybars;
-                move || -> Vec<Option<(Vec<usize>, f64)>> {
-                    ybars.iter().map(|yb| self.run_path(yb, p)).collect()
+                move || {
+                    let mut syms = vec![0u16; n_vec * nt];
+                    let mut mets = vec![f64::NAN; n_vec];
+                    let mut scratch = PathScratch::new();
+                    for v in 0..n_vec {
+                        let yb = &ybars[v * nt..(v + 1) * nt];
+                        if let Some(m) = self.run_path_into(yb, p, &mut scratch) {
+                            mets[v] = m;
+                            syms[v * nt..(v + 1) * nt].copy_from_slice(scratch.symbols.as_slice());
+                        }
+                    }
+                    (syms, mets)
                 }
             })
             .collect();
-        // results[path][vector] → transpose to per-vector candidate lists
-        // without cloning, then reduce.
-        let per_path = pool.run(tasks);
-        #[allow(clippy::type_complexity)]
-        let mut per_vector: Vec<Vec<Option<(Vec<usize>, f64)>>> = (0..ys.len())
-            .map(|_| Vec::with_capacity(per_path.len()))
-            .collect();
-        for path_results in per_path {
-            for (v, r) in path_results.into_iter().enumerate() {
-                per_vector[v].push(r);
-            }
-        }
-        per_vector
-            .into_iter()
-            .map(|candidates| self.pick_best(candidates))
-            .collect()
+        PathGrid::from_per_path(n_vec, nt, pool.run(tasks))
     }
 
-    fn pick_best(&self, results: Vec<Option<(Vec<usize>, f64)>>) -> Vec<usize> {
-        let state = self.state.as_ref().expect("state");
-        let best = results
-            .into_iter()
-            .flatten()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"));
-        // The all-ones (SIC) path is always selected first by the
-        // pre-processor and always completes thanks to the rank-1 slicing
-        // fallback, so at least one result survives.
-        let (symbols, _) = best.expect("the SIC path always completes");
-        state.tri.unpermute(&symbols)
+    /// Evaluates all paths over one rotated observation (trie walk) and
+    /// returns the minimum-metric decision in original stream order — the
+    /// shared allocation-free core of `detect` and `detect_batch_refs`.
+    /// Only the returned decision vector is allocated.
+    fn detect_prepared(&self, ybar: &[Cx], walk: &mut WalkScratch) -> Vec<usize> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        self.walk_paths(ybar, walk);
+        let (i, _) =
+            first_min_metric(walk.metrics.iter().copied()).expect("the SIC path always completes");
+        state.tri.unpermute_sym(walk.syms[i].as_slice())
     }
 }
 
@@ -283,6 +526,15 @@ impl Detector for FlexCoreDetector {
     }
 
     fn prepare(&mut self, h: &CMat, sigma2: f64) {
+        // The scratch hot path stores per-level decisions inline
+        // (`SymVec`); fail here with a clear message rather than deep in
+        // the first detect call. The paper's largest system is 12×12.
+        assert!(
+            h.cols() <= flexcore_numeric::symvec::MAX_STREAMS,
+            "FlexCore: {} transmit streams exceed the supported maximum of {}",
+            h.cols(),
+            flexcore_numeric::symvec::MAX_STREAMS
+        );
         let qr = match self.config.qr_ordering {
             QrOrdering::Sqrd => sorted_qr_sqrd(h),
             QrOrdering::Fcsd(l) => fcsd_sorted_qr(h, l),
@@ -295,9 +547,12 @@ impl Detector for FlexCoreDetector {
             pre = pre.with_stop_threshold(t);
         }
         let out = pre.run(&model, self.constellation.order());
+        let paths = out.position_vectors();
+        let trie = PathTrie::build(&paths, qr.r.cols());
         self.state = Some(State {
             tri: Triangular::new(qr, self.constellation.clone()),
-            paths: out.position_vectors(),
+            paths,
+            trie,
             cumulative_prob: out.cumulative_prob,
             preprocess_mults: out.real_mults,
         });
@@ -306,12 +561,24 @@ impl Detector for FlexCoreDetector {
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
         let state = self.state.as_ref().expect("FlexCore: prepare() not called");
         let ybar = state.tri.rotate(y);
-        let results: Vec<_> = state
-            .paths
-            .iter()
-            .map(|p| self.run_path(&ybar, p))
-            .collect();
-        self.pick_best(results)
+        let mut walk = WalkScratch::default();
+        self.detect_prepared(&ybar, &mut walk)
+    }
+
+    /// Scratch-based batch override: one rotate buffer and one walk
+    /// workspace serve the whole batch, so a frame-engine PE streams a
+    /// subcarrier's symbols with zero per-vector heap traffic (results
+    /// stay bit-identical to per-vector [`Detector::detect`]).
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let mut ybar = vec![Cx::ZERO; state.tri.nt()];
+        let mut walk = WalkScratch::default();
+        ys.iter()
+            .map(|y| {
+                state.tri.rotate_into(y, &mut ybar);
+                self.detect_prepared(&ybar, &mut walk)
+            })
+            .collect()
     }
 }
 
@@ -538,6 +805,45 @@ mod tests {
     }
 
     #[test]
+    fn trie_walk_matches_per_path_evaluation_under_strict_deactivation() {
+        // TriangleLutStrict at low SNR maximises deactivated paths: the
+        // prefix-sharing trie walk behind detect() must deactivate exactly
+        // the subtrees the independent per-path evaluation deactivates.
+        use flexcore_detect::common::PathScratch;
+        let c = Constellation::new(Modulation::Qam16);
+        let mut cfg = FlexCoreConfig::new(24);
+        cfg.path_ordering = PathOrdering::TriangleLutStrict;
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..20 {
+            let h = ChannelEnsemble::iid(5, 5).draw(&mut rng);
+            let mut fc = FlexCoreDetector::new(c.clone(), cfg.clone());
+            fc.prepare(&h, sigma2_from_snr_db(6.0));
+            let ch = MimoChannel::new(h, 6.0);
+            let s: Vec<usize> = (0..5).map(|_| rng.gen_range(0..16)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            let y = ch.transmit(&x, &mut rng);
+            // Reference: independent per-path scratch evaluations reduced
+            // in path order with first-min tie-breaking.
+            let ybar = fc.triangular().rotate(&y);
+            let mut scratch = PathScratch::new();
+            let mut best: Option<(Vec<usize>, f64)> = None;
+            for p in fc.position_vectors() {
+                if let Some(m) = fc.run_path_into(&ybar, p, &mut scratch) {
+                    if best.as_ref().map_or(true, |(_, bm)| m < *bm) {
+                        best = Some((scratch.symbols.to_indices(), m));
+                    }
+                }
+            }
+            let reference = fc
+                .triangular()
+                .unpermute(&best.expect("SIC always completes").0);
+            assert_eq!(fc.detect(&y), reference, "trial {trial}");
+            let seq = SequentialPool::new(4);
+            assert_eq!(fc.detect_on_pool(&y, &seq), reference, "pool {trial}");
+        }
+    }
+
+    #[test]
     fn qr_ordering_variants_all_work() {
         let c = Constellation::new(Modulation::Qam16);
         let mut rng = StdRng::seed_from_u64(9);
@@ -552,6 +858,30 @@ mod tests {
             fc.prepare(&h, 1e-6);
             assert_eq!(fc.detect(&y), s, "{ord:?}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the supported maximum")]
+    fn prepare_rejects_more_streams_than_symvec_capacity() {
+        // The scratch hot path stores decisions in a fixed [u16; 16]; a
+        // 17-stream channel must be rejected up front, not panic mid-detect.
+        let c = Constellation::new(Modulation::Qpsk);
+        let mut rng = StdRng::seed_from_u64(40);
+        let h = ChannelEnsemble::iid(17, 17).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c, 4);
+        fc.prepare(&h, 0.1);
+    }
+
+    #[test]
+    fn prepare_accepts_the_full_16_stream_capacity() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let mut rng = StdRng::seed_from_u64(41);
+        let h = ChannelEnsemble::iid(16, 16).draw(&mut rng);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 4);
+        fc.prepare(&h, 1e-9);
+        let s: Vec<usize> = (0..16).map(|_| rng.gen_range(0..4)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        assert_eq!(fc.detect(&h.mul_vec(&x)), s);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Flat result grids for batched parallel detection.
+//!
+//! PR 1's batched pool path transposed results through
+//! `Vec<Vec<Option<(Vec<usize>, f64)>>>` — three levels of heap
+//! indirection and one allocation per (path × vector) evaluation. A
+//! [`PathGrid`] stores the same information in exactly two flat planes:
+//!
+//! * a **symbol plane** (`u16`, path-major: entry
+//!   `(path · n_vectors + vector) · nt + row`), and
+//! * a **metric plane** (`f64`, entry `path · n_vectors + vector`), with
+//!   `NaN` as the deactivated-path sentinel — mirroring how the paper's
+//!   FPGA engine marks a switched-off Euclidean distance unit.
+//!
+//! Each pool task fills its own per-path slices, so the grid assembles
+//! without any per-evaluation allocation, and the per-vector reduction
+//! (`best_for_vector`) walks a contiguous stripe of the metric plane.
+
+use flexcore_detect::common::first_min_metric;
+
+/// Flat storage for every (path × vector) evaluation of one batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathGrid {
+    n_paths: usize,
+    n_vectors: usize,
+    nt: usize,
+    /// Symbol plane, path-major; entries of deactivated evaluations are 0
+    /// and must be ignored (check [`PathGrid::is_active`]).
+    symbols: Vec<u16>,
+    /// Metric plane; `NaN` marks a deactivated (path, vector) evaluation.
+    metrics: Vec<f64>,
+}
+
+impl PathGrid {
+    /// Assembles a grid from per-path planes, as produced by one pool task
+    /// per position vector: `per_path[p]` holds that path's
+    /// `n_vectors × nt` symbol plane and `n_vectors` metric plane.
+    ///
+    /// # Panics
+    /// Panics if any per-path plane has the wrong length.
+    pub fn from_per_path(n_vectors: usize, nt: usize, per_path: Vec<(Vec<u16>, Vec<f64>)>) -> Self {
+        let n_paths = per_path.len();
+        let mut symbols = Vec::with_capacity(n_paths * n_vectors * nt);
+        let mut metrics = Vec::with_capacity(n_paths * n_vectors);
+        for (syms, mets) in per_path {
+            assert_eq!(syms.len(), n_vectors * nt, "PathGrid: symbol plane size");
+            assert_eq!(mets.len(), n_vectors, "PathGrid: metric plane size");
+            symbols.extend_from_slice(&syms);
+            metrics.extend_from_slice(&mets);
+        }
+        PathGrid {
+            n_paths,
+            n_vectors,
+            nt,
+            symbols,
+            metrics,
+        }
+    }
+
+    /// Number of evaluated tree paths (position vectors).
+    pub fn n_paths(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Number of received vectors in the batch.
+    pub fn n_vectors(&self) -> usize {
+        self.n_vectors
+    }
+
+    /// Streams per vector (tree height).
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// The path metric of evaluation `(path, vector)` (`NaN` if the path
+    /// was deactivated for that vector).
+    pub fn metric(&self, path: usize, vector: usize) -> f64 {
+        self.metrics[path * self.n_vectors + vector]
+    }
+
+    /// True if path `path` completed for vector `vector`.
+    pub fn is_active(&self, path: usize, vector: usize) -> bool {
+        !self.metric(path, vector).is_nan()
+    }
+
+    /// The tree-order symbol decisions of evaluation `(path, vector)` —
+    /// meaningful only when [`PathGrid::is_active`].
+    pub fn symbols(&self, path: usize, vector: usize) -> &[u16] {
+        let base = (path * self.n_vectors + vector) * self.nt;
+        &self.symbols[base..base + self.nt]
+    }
+
+    /// The minimum-metric active path for `vector`, walking paths in
+    /// selection order and keeping the first minimum
+    /// ([`first_min_metric`] — the same tie-breaking as
+    /// `Iterator::min_by` over the old nested results). Returns `None`
+    /// when every path was deactivated.
+    pub fn best_for_vector(&self, vector: usize) -> Option<(&[u16], f64)> {
+        first_min_metric((0..self.n_paths).map(|path| self.metric(path, vector)))
+            .map(|(path, m)| (self.symbols(path, vector), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> PathGrid {
+        // 2 paths × 3 vectors × 2 streams.
+        PathGrid::from_per_path(
+            3,
+            2,
+            vec![
+                (vec![1, 2, 3, 4, 5, 6], vec![0.5, f64::NAN, 2.0]),
+                (vec![7, 8, 9, 10, 11, 12], vec![0.25, 1.0, 2.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn geometry_and_indexing() {
+        let g = sample_grid();
+        assert_eq!((g.n_paths(), g.n_vectors(), g.nt()), (2, 3, 2));
+        assert_eq!(g.symbols(0, 1), &[3, 4]);
+        assert_eq!(g.symbols(1, 2), &[11, 12]);
+        assert_eq!(g.metric(1, 1), 1.0);
+    }
+
+    #[test]
+    fn nan_marks_deactivated() {
+        let g = sample_grid();
+        assert!(!g.is_active(0, 1));
+        assert!(g.is_active(1, 1));
+        // Vector 1: only path 1 is active.
+        assert_eq!(g.best_for_vector(1), Some(([9u16, 10].as_slice(), 1.0)));
+    }
+
+    #[test]
+    fn best_keeps_first_minimum_on_ties() {
+        let g = sample_grid();
+        // Vector 2: both paths tie at 2.0; path 0 (first) must win, matching
+        // Iterator::min_by semantics of the nested reduction it replaced.
+        assert_eq!(g.best_for_vector(2), Some(([5u16, 6].as_slice(), 2.0)));
+        // Vector 0: path 1 is strictly better.
+        assert_eq!(g.best_for_vector(0), Some(([7u16, 8].as_slice(), 0.25)));
+    }
+
+    #[test]
+    fn all_deactivated_vector_yields_none() {
+        let g = PathGrid::from_per_path(1, 2, vec![(vec![0, 0], vec![f64::NAN])]);
+        assert_eq!(g.best_for_vector(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol plane size")]
+    fn wrong_plane_size_rejected() {
+        let _ = PathGrid::from_per_path(2, 2, vec![(vec![0, 0], vec![0.0, 0.0])]);
+    }
+}

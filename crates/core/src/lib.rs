@@ -34,6 +34,7 @@
 
 pub mod adaptive;
 pub mod detector;
+pub mod grid;
 pub mod kbest_adaptive;
 pub mod model;
 pub mod position;
@@ -42,6 +43,9 @@ pub mod soft;
 
 pub use adaptive::AdaptiveFlexCore;
 pub use detector::{FlexCoreConfig, FlexCoreDetector, PathOrdering, QrOrdering};
+pub use flexcore_detect::common::PathScratch;
+pub use flexcore_numeric::SymVec;
+pub use grid::PathGrid;
 pub use kbest_adaptive::AdaptiveKBest;
 pub use model::LevelErrorModel;
 pub use position::PositionVector;

@@ -19,7 +19,8 @@
 //! example). Larger `N_PE` improves both the hard decision and LLR
 //! fidelity.
 
-use crate::detector::FlexCoreDetector;
+use crate::detector::{FlexCoreDetector, WalkScratch};
+use flexcore_detect::common::first_min_metric;
 use flexcore_numeric::Cx;
 
 /// The list-sphere-decoder clip level: bound on every output LLR
@@ -51,37 +52,53 @@ impl FlexCoreDetector {
         let paths = self.position_vectors();
         let tri = self.triangular();
         let ybar = tri.rotate(y);
-        let c = tri.constellation.clone();
+        let c = &tri.constellation;
         let nt = tri.nt();
         let bps = c.bits_per_symbol();
-        // Evaluate the candidate list (original stream order + metric).
-        let mut list: Vec<(Vec<usize>, f64)> = Vec::with_capacity(paths.len());
-        for p in &paths {
-            if let Some((symbols, metric)) = self.run_path(&ybar, p) {
-                list.push((tri.unpermute(&symbols), metric));
+        let perm = &tri.qr.perm;
+        // Evaluate the candidate list into two flat planes (symbols in
+        // original stream order, one metric per completed path) — one trie
+        // walk, no per-candidate `Vec` allocations.
+        let mut walk = WalkScratch::default();
+        self.walk_paths(&ybar, &mut walk);
+        let mut cand_syms: Vec<u16> = Vec::with_capacity(paths.len() * nt);
+        let mut cand_metrics: Vec<f64> = Vec::with_capacity(paths.len());
+        for (pi, &metric) in walk.metrics.iter().enumerate() {
+            if metric.is_nan() {
+                continue; // deactivated path
             }
+            let base = cand_syms.len();
+            cand_syms.resize(base + nt, 0);
+            // Unpermute straight into the flat plane.
+            for (j, &pj) in perm.iter().enumerate() {
+                cand_syms[base + pj] = walk.syms[pi].get(j);
+            }
+            cand_metrics.push(metric);
         }
-        assert!(!list.is_empty(), "the SIC path always completes");
-        // Hard decision = min metric.
-        let best = list
+        assert!(!cand_metrics.is_empty(), "the SIC path always completes");
+        // Hard decision = first minimum metric (Iterator::min_by order).
+        let (best, _) = first_min_metric(cand_metrics.iter().copied()).expect("non-empty");
+        let hard: Vec<usize> = cand_syms[best * nt..(best + 1) * nt]
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
-            .expect("non-empty");
-        let hard = best.0.clone();
-        // Per-bit minima over the list.
-        let mut min0 = vec![vec![f64::INFINITY; bps]; nt];
-        let mut min1 = vec![vec![f64::INFINITY; bps]; nt];
-        for (symbols, metric) in &list {
-            for (stream, &sym) in symbols.iter().enumerate() {
-                let bits = c.index_to_bits(sym);
+            .map(|&s| s as usize)
+            .collect();
+        // Per-bit minima over the list, in one flat `(stream, bit)` buffer
+        // each (index `stream * bps + j`).
+        let mut min0 = vec![f64::INFINITY; nt * bps];
+        let mut min1 = vec![f64::INFINITY; nt * bps];
+        let mut bits = vec![0u8; bps];
+        for (cand, &metric) in cand_metrics.iter().enumerate() {
+            for stream in 0..nt {
+                let sym = cand_syms[cand * nt + stream] as usize;
+                c.index_to_bits_into(sym, &mut bits);
                 for (j, &b) in bits.iter().enumerate() {
                     let slot = if b == 0 {
-                        &mut min0[stream][j]
+                        &mut min0[stream * bps + j]
                     } else {
-                        &mut min1[stream][j]
+                        &mut min1[stream * bps + j]
                     };
-                    if *metric < *slot {
-                        *slot = *metric;
+                    if metric < *slot {
+                        *slot = metric;
                     }
                 }
             }
@@ -90,7 +107,7 @@ impl FlexCoreDetector {
             .map(|stream| {
                 (0..bps)
                     .map(|j| {
-                        let (m0, m1) = (min0[stream][j], min1[stream][j]);
+                        let (m0, m1) = (min0[stream * bps + j], min1[stream * bps + j]);
                         // The standard list-sphere-decoder clip (±8, cf.
                         // Hochwald & ten Brink): a small list overstates
                         // per-bit confidence (the counter-hypothesis

@@ -1,8 +1,9 @@
-//! Shared detector interface and the triangular-system helper.
+//! Shared detector interface, the triangular-system helper, and the
+//! per-path scratch workspace of the allocation-free hot path.
 
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::Qr;
-use flexcore_numeric::{CMat, Cx, FlopCounter};
+use flexcore_numeric::{CMat, Cx, FlopCounter, SymVec};
 
 /// Object-safe detector interface shared by every scheme in the workspace.
 ///
@@ -35,11 +36,84 @@ pub trait Detector {
     /// The contract is strict: the result must be **bit-identical** to
     /// `ys.iter().map(|y| self.detect(y))`, whatever the implementation
     /// does internally (the frame engine and its substrate-equivalence
-    /// tests rely on this). Implementations may override the default to
-    /// hoist per-batch work (filter lookups, workspace allocation) out of
-    /// the per-vector loop, never to change results.
+    /// tests rely on this). This method only adapts the owned-vector shape;
+    /// override [`Detector::detect_batch_refs`] to hoist per-batch work.
     fn detect_batch(&self, ys: &[Vec<Cx>]) -> Vec<Vec<usize>> {
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        self.detect_batch_refs(&refs)
+    }
+
+    /// Borrowed-slice batch detection — the shape the frame engine feeds
+    /// (its flat frame plane lends each received vector as a `&[Cx]`
+    /// without cloning).
+    ///
+    /// Same strict contract as [`Detector::detect_batch`]: results must be
+    /// bit-identical to per-vector [`Detector::detect`]. Implementations
+    /// override this (not `detect_batch`) to reuse one scratch workspace
+    /// across the whole batch, exactly as a hardware PE streams
+    /// back-to-back subcarrier symbols through one set of registers.
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
         ys.iter().map(|y| self.detect(y)).collect()
+    }
+}
+
+/// Streaming form of the workspace-wide minimum-metric reduction: `true`
+/// when a candidate metric must replace the current best-so-far.
+///
+/// Strict `<` keeps the **first** minimum on ties — the `Iterator::min_by`
+/// semantics every detector reduction in the workspace must share so that
+/// scratch-based, pool-based, and batched paths stay bit-identical. `NaN`
+/// (a deactivated path) never replaces.
+#[inline]
+pub fn replaces_best(candidate: f64, best: Option<f64>) -> bool {
+    !candidate.is_nan() && best.map_or(true, |b| candidate < b)
+}
+
+/// First strict minimum over a metric sequence, skipping `NaN`
+/// (deactivated) entries; ties keep the earliest index. The indexed form
+/// of [`replaces_best`] — the single definition of the minimum-metric
+/// tie-breaking every detection path relies on.
+pub fn first_min_metric<I: IntoIterator<Item = f64>>(metrics: I) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, m) in metrics.into_iter().enumerate() {
+        if replaces_best(m, best.map(|(_, b)| b)) {
+            best = Some((i, m));
+        }
+    }
+    best
+}
+
+/// Caller-owned workspace for one tree-path evaluation.
+///
+/// The `_into` detection kernels (`FlexCoreDetector::run_path_into`,
+/// `FcsdDetector::run_path_into`) write their per-level symbol decisions
+/// here instead of allocating a fresh `Vec` per (path × symbol-vector)
+/// evaluation — the software analogue of a processing element's private
+/// registers. The embedded rotate buffer lets batch drivers reuse one
+/// `ȳ` allocation across a whole subcarrier's symbols.
+#[derive(Clone, Debug, Default)]
+pub struct PathScratch {
+    /// Symbol decisions of the most recent evaluation, in tree (permuted)
+    /// order: `symbols.get(row)` is the decision for row `row` of `R`.
+    pub symbols: SymVec,
+    /// Reusable buffer for the rotated observation `ȳ = Q*·y` (length
+    /// `Nt` once primed by [`PathScratch::rotate`]).
+    pub ybar: Vec<Cx>,
+}
+
+impl PathScratch {
+    /// A fresh workspace. No heap allocation happens until the rotate
+    /// buffer is first primed.
+    pub fn new() -> Self {
+        PathScratch::default()
+    }
+
+    /// Rotates `y` into the workspace's `ybar` buffer via
+    /// [`Triangular::rotate_into`], resizing it only on first use (or a
+    /// dimension change).
+    pub fn rotate(&mut self, tri: &Triangular, y: &[Cx]) {
+        self.ybar.resize(tri.nt(), Cx::ZERO);
+        tri.rotate_into(y, &mut self.ybar);
     }
 }
 
@@ -76,6 +150,15 @@ impl Triangular {
         self.qr.rotate(y)
     }
 
+    /// Rotates into a caller-owned buffer of length `Nt` (bit-identical to
+    /// [`Triangular::rotate`], no allocation).
+    ///
+    /// # Panics
+    /// Panics if `y.len() != Nr` or `out.len() != Nt`.
+    pub fn rotate_into(&self, y: &[Cx], out: &mut [Cx]) {
+        self.qr.rotate_into(y, out);
+    }
+
     /// The *effective received point* at row `row` (Eq. 5):
     /// `ỹ = (ȳ_row − Σ_{p>row} R(row,p)·s_p) / R(row,row)`,
     /// where `symbols[p]` for `p > row` holds the already-decided symbol
@@ -88,6 +171,18 @@ impl Triangular {
         let mut acc = ybar[row];
         for p in row + 1..self.nt() {
             acc -= r[(row, p)] * self.constellation.point(symbols[p]);
+        }
+        acc / r[(row, row)]
+    }
+
+    /// [`Triangular::effective_point`] over the `u16` symbol storage of a
+    /// scratch workspace ([`SymVec`]). Same term values in the same order,
+    /// so the result is bit-identical to the `usize` variant.
+    pub fn effective_point_sym(&self, ybar: &[Cx], symbols: &[u16], row: usize) -> Cx {
+        let r = &self.qr.r;
+        let mut acc = ybar[row];
+        for p in row + 1..self.nt() {
+            acc -= r[(row, p)] * self.constellation.point(symbols[p] as usize);
         }
         acc / r[(row, row)]
     }
@@ -119,6 +214,17 @@ impl Triangular {
         acc.norm_sqr()
     }
 
+    /// [`Triangular::ped_increment`] over `u16` scratch storage
+    /// (bit-identical to the `usize` variant).
+    pub fn ped_increment_sym(&self, ybar: &[Cx], symbols: &[u16], row: usize, sym: usize) -> f64 {
+        let r = &self.qr.r;
+        let mut acc = ybar[row] - r[(row, row)] * self.constellation.point(sym);
+        for p in row + 1..self.nt() {
+            acc -= r[(row, p)] * self.constellation.point(symbols[p] as usize);
+        }
+        acc.norm_sqr()
+    }
+
     /// Full path metric `‖ȳ − R·s‖²` for a complete symbol-index vector.
     pub fn path_metric(&self, ybar: &[Cx], symbols: &[usize]) -> f64 {
         (0..self.nt())
@@ -126,10 +232,31 @@ impl Triangular {
             .sum()
     }
 
+    /// [`Triangular::path_metric`] over `u16` scratch storage
+    /// (bit-identical to the `usize` variant).
+    pub fn path_metric_sym(&self, ybar: &[Cx], symbols: &[u16]) -> f64 {
+        (0..self.nt())
+            .map(|row| self.ped_increment_sym(ybar, symbols, row, symbols[row] as usize))
+            .sum()
+    }
+
     /// Undoes the QR column permutation, mapping per-level symbol decisions
     /// back to original stream order.
     pub fn unpermute(&self, symbols: &[usize]) -> Vec<usize> {
         self.qr.unpermute(symbols)
+    }
+
+    /// Undoes the QR column permutation on `u16` scratch decisions (a
+    /// [`SymVec`]'s `as_slice()` or a flat-grid stripe), widening to the
+    /// `Vec<usize>` shape every detector returns. One allocation — the
+    /// output itself, which the public API owes the caller anyway.
+    pub fn unpermute_sym(&self, symbols: &[u16]) -> Vec<usize> {
+        assert_eq!(symbols.len(), self.qr.perm.len(), "unpermute_sym: length");
+        let mut out = vec![0usize; symbols.len()];
+        for (j, &p) in self.qr.perm.iter().enumerate() {
+            out[p] = symbols[j] as usize;
+        }
+        out
     }
 }
 
@@ -213,5 +340,57 @@ mod tests {
         for (j, &p) in tri.qr.perm.iter().enumerate() {
             assert_eq!(orig[p], s[j]);
         }
+    }
+
+    #[test]
+    fn sym_kernels_are_bit_identical_to_usize_kernels() {
+        use flexcore_numeric::SymVec;
+        let (tri, s, y) = setup(6, 6);
+        let ybar = tri.rotate(&y);
+        let sym = SymVec::from_indices(&s);
+        for row in 0..6 {
+            let a = tri.effective_point(&ybar, &s, row);
+            let b = tri.effective_point_sym(&ybar, sym.as_slice(), row);
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits())
+            );
+            for cand in 0..tri.constellation.order() {
+                let pa = tri.ped_increment(&ybar, &s, row, cand);
+                let pb = tri.ped_increment_sym(&ybar, sym.as_slice(), row, cand);
+                assert_eq!(pa.to_bits(), pb.to_bits());
+            }
+        }
+        assert_eq!(
+            tri.path_metric(&ybar, &s).to_bits(),
+            tri.path_metric_sym(&ybar, sym.as_slice()).to_bits()
+        );
+        assert_eq!(tri.unpermute(&s), tri.unpermute_sym(sym.as_slice()));
+    }
+
+    #[test]
+    fn rotate_into_matches_rotate_bitwise() {
+        let (tri, _, y) = setup(5, 7);
+        let a = tri.rotate(&y);
+        let mut b = vec![Cx::ZERO; tri.nt()];
+        tri.rotate_into(&y, &mut b);
+        for (x, z) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.re.to_bits(), x.im.to_bits()),
+                (z.re.to_bits(), z.im.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn path_scratch_rotate_primes_and_reuses_buffer() {
+        let (tri, _, y) = setup(4, 8);
+        let mut scratch = PathScratch::new();
+        assert!(scratch.ybar.is_empty());
+        scratch.rotate(&tri, &y);
+        assert_eq!(scratch.ybar, tri.rotate(&y));
+        let ptr = scratch.ybar.as_ptr();
+        scratch.rotate(&tri, &y);
+        assert_eq!(ptr, scratch.ybar.as_ptr(), "buffer must be reused");
     }
 }

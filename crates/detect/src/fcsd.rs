@@ -14,10 +14,10 @@
 //!
 //! These are precisely the axes along which Fig. 9 shows FlexCore winning.
 
-use crate::common::{Detector, Triangular};
+use crate::common::{first_min_metric, replaces_best, Detector, PathScratch, Triangular};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::fcsd_sorted_qr;
-use flexcore_numeric::{CMat, Cx};
+use flexcore_numeric::{CMat, Cx, SymVec};
 use flexcore_parallel::PePool;
 
 /// Fixed-complexity sphere decoder with `L` fully-enumerated levels.
@@ -49,48 +49,92 @@ impl FcsdDetector {
         self.constellation.order().pow(self.l_full as u32)
     }
 
+    /// The prepared triangular system (QR factors + constellation).
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn triangular(&self) -> &Triangular {
+        self.tri.as_ref().expect("FCSD: prepare() not called")
+    }
+
     /// Evaluates path number `path_idx ∈ 0..paths()`: the top `L` symbols
     /// are the base-`|Q|` digits of `path_idx`; the rest is a SIC descent.
     /// Returns `(symbols, metric)` in permuted (tree) order.
+    ///
+    /// Thin allocating wrapper over [`FcsdDetector::run_path_into`]
+    /// (bit-identical results).
     pub fn run_path(&self, ybar: &[Cx], path_idx: usize) -> (Vec<usize>, f64) {
+        let mut scratch = PathScratch::new();
+        let metric = self.run_path_into(ybar, path_idx, &mut scratch);
+        (scratch.symbols.to_indices(), metric)
+    }
+
+    /// Allocation-free path evaluation: writes the path's per-level symbol
+    /// decisions into `scratch.symbols` (tree order) and returns the path
+    /// metric. FCSD paths never deactivate, so the metric is unconditional.
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn run_path_into(&self, ybar: &[Cx], path_idx: usize, scratch: &mut PathScratch) -> f64 {
         let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
         let nt = tri.nt();
         let q = self.constellation.order();
-        let mut symbols = vec![0usize; nt];
+        scratch.symbols.reset(nt);
         // Fix the fully-enumerated top levels.
         let mut rem = path_idx;
         for lvl in 0..self.l_full {
-            symbols[nt - 1 - lvl] = rem % q;
+            scratch.symbols.set(nt - 1 - lvl, (rem % q) as u16);
             rem /= q;
         }
         debug_assert_eq!(rem, 0, "path_idx out of range");
         // Single-child (SIC) descent below.
         for row in (0..nt - self.l_full).rev() {
-            let eff = tri.effective_point(ybar, &symbols, row);
-            symbols[row] = self.constellation.slice(eff);
+            let eff = tri.effective_point_sym(ybar, scratch.symbols.as_slice(), row);
+            scratch
+                .symbols
+                .set(row, self.constellation.slice(eff) as u16);
         }
-        let metric = tri.path_metric(ybar, &symbols);
-        (symbols, metric)
+        tri.path_metric_sym(ybar, scratch.symbols.as_slice())
     }
 
     /// Runs all paths on a processing-element pool and returns the decision
     /// (identical to [`Detector::detect`], but demonstrating real
-    /// parallelism: each path is one task).
+    /// parallelism: each path is one task). The rotated observation is
+    /// shared by reference across tasks; each task returns a
+    /// stack-resident `(SymVec, metric)`.
     pub fn detect_on_pool<P: PePool>(&self, y: &[Cx], pool: &P) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
         let ybar = tri.rotate(y);
+        let ybar = &ybar;
         let tasks: Vec<_> = (0..self.paths())
             .map(|idx| {
-                let ybar = ybar.clone();
-                move || self.run_path(&ybar, idx)
+                move || {
+                    let mut scratch = PathScratch::new();
+                    let metric = self.run_path_into(ybar, idx, &mut scratch);
+                    (scratch.symbols, metric)
+                }
             })
             .collect();
         let results = pool.run(tasks);
-        let best = results
-            .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
-            .expect("at least one path");
-        tri.unpermute(&best.0)
+        let (i, _) = first_min_metric(results.iter().map(|&(_, m)| m)).expect("at least one path");
+        tri.unpermute_sym(results[i].0.as_slice())
+    }
+
+    /// Streams every path over one rotated observation with a shared
+    /// scratch, returning the first-minimum decision ([`replaces_best`]
+    /// semantics) — the allocation-free core of `detect` /
+    /// `detect_batch_refs`.
+    fn detect_prepared(&self, ybar: &[Cx], scratch: &mut PathScratch) -> Vec<usize> {
+        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let mut best: Option<(SymVec, f64)> = None;
+        for idx in 0..self.paths() {
+            let metric = self.run_path_into(ybar, idx, scratch);
+            if replaces_best(metric, best.map(|(_, m)| m)) {
+                best = Some((scratch.symbols, metric));
+            }
+        }
+        let (symbols, _) = best.expect("at least one path");
+        tri.unpermute_sym(symbols.as_slice())
     }
 }
 
@@ -106,6 +150,15 @@ impl Detector for FcsdDetector {
             self.l_full,
             h.cols()
         );
+        // The scratch hot path stores per-level decisions inline
+        // (`SymVec`); fail here with a clear message rather than deep in
+        // the first detect call.
+        assert!(
+            h.cols() <= flexcore_numeric::symvec::MAX_STREAMS,
+            "FCSD: {} transmit streams exceed the supported maximum of {}",
+            h.cols(),
+            flexcore_numeric::symvec::MAX_STREAMS
+        );
         self.tri = Some(Triangular::new(
             fcsd_sorted_qr(h, self.l_full),
             self.constellation.clone(),
@@ -115,11 +168,23 @@ impl Detector for FcsdDetector {
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
         let ybar = tri.rotate(y);
-        let best = (0..self.paths())
-            .map(|idx| self.run_path(&ybar, idx))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
-            .expect("at least one path");
-        tri.unpermute(&best.0)
+        let mut scratch = PathScratch::new();
+        self.detect_prepared(&ybar, &mut scratch)
+    }
+
+    /// Scratch-based batch override: one rotate buffer and one
+    /// [`PathScratch`] serve the whole batch (bit-identical to per-vector
+    /// [`Detector::detect`]).
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let mut ybar = vec![Cx::ZERO; tri.nt()];
+        let mut scratch = PathScratch::new();
+        ys.iter()
+            .map(|y| {
+                tri.rotate_into(y, &mut ybar);
+                self.detect_prepared(&ybar, &mut scratch)
+            })
+            .collect()
     }
 }
 

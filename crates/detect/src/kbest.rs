@@ -6,11 +6,35 @@
 //! grow with constellation density and antenna count to stay near-ML, and
 //! the per-level sort is a synchronisation bottleneck — both motivations
 //! for FlexCore's design.
+//!
+//! The descent keeps its survivors in two flat flip-flop buffer pairs
+//! (`KBestScratch`) instead of cloning a symbol vector per expanded
+//! child; `detect_batch_refs` reuses one workspace across a whole batch.
+//! Decisions are bit-identical to the clone-per-child implementation
+//! (enforced by `tests/scratch_identity.rs`).
 
 use crate::common::{Detector, Triangular};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::sorted_qr_sqrd;
 use flexcore_numeric::{CMat, Cx};
+
+/// Reusable flip-flop workspace for one K-best descent: survivors live in
+/// one flat `(peds, symbols)` buffer pair, children are expanded into the
+/// other, and the two swap roles each level — replacing PR 1's per-child
+/// `symbols.clone()` (which allocated `K·|Q|` vectors per level per
+/// detected vector).
+#[derive(Clone, Debug, Default)]
+struct KBestScratch {
+    /// Survivor PEDs; `surv_syms[i*nt..(i+1)*nt]` are survivor `i`'s
+    /// symbols (rows `< current row` still zero).
+    surv_peds: Vec<f64>,
+    surv_syms: Vec<u16>,
+    /// Child buffers (capacity `K·|Q|` entries per level).
+    child_peds: Vec<f64>,
+    child_syms: Vec<u16>,
+    /// Sort permutation over the children of one level.
+    order: Vec<u32>,
+}
 
 /// K-best breadth-first detector.
 #[derive(Clone, Debug)]
@@ -35,6 +59,66 @@ impl KBestDetector {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// One K-best descent over a rotated observation using the flip-flop
+    /// workspace. Children are generated survivor-major / symbol-minor and
+    /// ranked with a stable index sort, so survivor order — and therefore
+    /// the final decision — is bit-identical to PR 1's clone-and-sort
+    /// implementation.
+    fn descend(&self, ybar: &[Cx], scratch: &mut KBestScratch) -> Vec<usize> {
+        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let nt = tri.nt();
+        let q = self.constellation.order();
+        let KBestScratch {
+            surv_peds,
+            surv_syms,
+            child_peds,
+            child_syms,
+            order,
+        } = scratch;
+        // Root survivor: empty path, PED 0.
+        surv_peds.clear();
+        surv_peds.push(0.0);
+        surv_syms.clear();
+        surv_syms.resize(nt, 0);
+        for row in (0..nt).rev() {
+            let n_surv = surv_peds.len();
+            // Expand every survivor to all |Q| children.
+            child_peds.clear();
+            child_syms.clear();
+            child_syms.reserve(n_surv * q * nt);
+            for i in 0..n_surv {
+                let ped = surv_peds[i];
+                let syms = &surv_syms[i * nt..(i + 1) * nt];
+                for sym in 0..q {
+                    let inc = tri.ped_increment_sym(ybar, syms, row, sym);
+                    child_peds.push(ped + inc);
+                    child_syms.extend_from_slice(syms);
+                    let last = child_syms.len() - nt;
+                    child_syms[last + row] = sym as u16;
+                }
+            }
+            // Stable index sort by PED ≡ PR 1's stable Vec sort; keep the
+            // K best as the next survivor generation.
+            let n_children = child_peds.len();
+            order.clear();
+            order.extend(0..n_children as u32);
+            order.sort_by(|&a, &b| {
+                child_peds[a as usize]
+                    .partial_cmp(&child_peds[b as usize])
+                    .expect("NaN PED")
+            });
+            let keep = self.k.min(n_children);
+            surv_peds.clear();
+            surv_syms.clear();
+            for &ci in &order[..keep] {
+                let ci = ci as usize;
+                surv_peds.push(child_peds[ci]);
+                surv_syms.extend_from_slice(&child_syms[ci * nt..(ci + 1) * nt]);
+            }
+        }
+        tri.unpermute_sym(&surv_syms[..nt])
+    }
 }
 
 impl Detector for KBestDetector {
@@ -51,26 +135,23 @@ impl Detector for KBestDetector {
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("KBest: prepare() not called");
-        let nt = tri.nt();
-        let q = self.constellation.order();
         let ybar = tri.rotate(y);
-        // Each survivor: (ped, symbols) with symbols filled from `row` up.
-        let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
-        for row in (0..nt).rev() {
-            let mut children: Vec<(f64, Vec<usize>)> = Vec::with_capacity(survivors.len() * q);
-            for (ped, symbols) in &survivors {
-                for sym in 0..q {
-                    let inc = tri.ped_increment(&ybar, symbols, row, sym);
-                    let mut s = symbols.clone();
-                    s[row] = sym;
-                    children.push((ped + inc, s));
-                }
-            }
-            children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN PED"));
-            children.truncate(self.k);
-            survivors = children;
-        }
-        tri.unpermute(&survivors[0].1)
+        self.descend(&ybar, &mut KBestScratch::default())
+    }
+
+    /// Scratch-based batch override: the rotate buffer and the flip-flop
+    /// survivor/child buffers are allocated once and reused across the
+    /// whole batch (bit-identical to per-vector [`Detector::detect`]).
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let mut ybar = vec![Cx::ZERO; tri.nt()];
+        let mut scratch = KBestScratch::default();
+        ys.iter()
+            .map(|y| {
+                tri.rotate_into(y, &mut ybar);
+                self.descend(&ybar, &mut scratch)
+            })
+            .collect()
     }
 }
 

@@ -37,7 +37,10 @@ struct Slot<D> {
 /// [`FrameEngine::detect_frame`] is the parallel phase: the
 /// *(subcarrier × symbol)* grid is carved into per-subcarrier symbol
 /// batches and scheduled onto the given [`PePool`], each batch flowing
-/// through [`Detector::detect_batch`] on its subcarrier's prepared clone.
+/// through [`Detector::detect_batch_refs`] on its subcarrier's prepared
+/// clone — borrowed slices in, one reused scratch workspace per batch, so
+/// a software PE streams a subcarrier's symbols exactly like the paper's
+/// pipelined hardware engines (§4), with zero per-vector heap traffic.
 pub struct FrameEngine<D> {
     template: D,
     slots: Vec<Option<Slot<D>>>,
@@ -165,9 +168,11 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     ///
     /// `f` receives the subcarrier's prepared detector, the subcarrier
     /// index, and the batch of received vectors (consecutive symbols of
-    /// that subcarrier); it must return one output per vector, in order.
-    /// This is the engine's core primitive: [`FrameEngine::detect_frame`]
-    /// is `f = detect_batch`, and the soft-output uplink streams LLRs
+    /// that subcarrier, borrowed straight from the frame's flat plane); it
+    /// must return one output per vector, in order. This is the engine's
+    /// core primitive: [`FrameEngine::detect_frame`] is
+    /// `f = detect_batch_refs` — each PE reuses one scratch workspace for
+    /// its whole symbol batch — and the soft-output uplink streams LLRs
     /// through it.
     ///
     /// # Panics
@@ -177,7 +182,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     where
         P: PePool,
         T: Send,
-        F: Fn(&D, usize, &[Vec<Cx>]) -> Vec<T> + Sync,
+        F: Fn(&D, usize, &[&[Cx]]) -> Vec<T> + Sync,
     {
         let n_sc = frame.n_subcarriers();
         assert_eq!(
@@ -221,7 +226,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     /// [`Detector::detect`] on each vector with that subcarrier's prepared
     /// detector, regardless of the pool or batch shape.
     pub fn detect_frame<P: PePool>(&self, frame: &RxFrame, pool: &P) -> DetectedFrame {
-        let symbols = self.process_frame(frame, pool, |det, _sc, ys| det.detect_batch(ys));
+        let symbols = self.process_frame(frame, pool, |det, _sc, ys| det.detect_batch_refs(ys));
         DetectedFrame::from_parts(frame.n_subcarriers(), symbols)
     }
 }

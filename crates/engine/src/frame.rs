@@ -9,16 +9,22 @@ use flexcore_numeric::Cx;
 /// One OFDM frame's worth of received MIMO vectors.
 ///
 /// `n_symbols × n_subcarriers` vectors, each of length `Nr` (one complex
-/// sample per receive antenna).
+/// sample per receive antenna), stored in **one flat plane** of `Cx`
+/// (symbol-major vectors, `Nr` stride): a PE's symbol batch is handed out
+/// as borrowed `&[Cx]` slices into the plane, so scheduling a frame copies
+/// nothing.
 #[derive(Clone, Debug)]
 pub struct RxFrame {
     n_subcarriers: usize,
-    vectors: Vec<Vec<Cx>>,
+    /// Samples per received vector (`Nr`); 0 until the first vector lands.
+    nr: usize,
+    /// The flat plane: vector `v` occupies `data[v*nr .. (v+1)*nr]`.
+    data: Vec<Cx>,
 }
 
 impl RxFrame {
     /// Builds a frame from symbol-major vectors; `vectors.len()` must be a
-    /// multiple of `n_subcarriers`.
+    /// multiple of `n_subcarriers` and all vectors equally long.
     pub fn from_vectors(n_subcarriers: usize, vectors: Vec<Vec<Cx>>) -> Self {
         assert!(n_subcarriers > 0, "RxFrame: zero subcarriers");
         assert_eq!(
@@ -28,15 +34,30 @@ impl RxFrame {
             vectors.len(),
             n_subcarriers
         );
-        RxFrame {
+        let mut frame = RxFrame {
             n_subcarriers,
-            vectors,
+            nr: 0,
+            data: Vec::new(),
+        };
+        for v in &vectors {
+            frame.push_vector(v);
         }
+        frame
     }
 
     /// An empty frame ready for [`RxFrame::push_symbol`].
     pub fn empty(n_subcarriers: usize) -> Self {
         Self::from_vectors(n_subcarriers, Vec::new())
+    }
+
+    /// Appends one received vector to the flat plane.
+    fn push_vector(&mut self, v: &[Cx]) {
+        assert!(!v.is_empty(), "RxFrame: empty received vector");
+        if self.nr == 0 {
+            self.nr = v.len();
+        }
+        assert_eq!(v.len(), self.nr, "RxFrame: ragged received vector");
+        self.data.extend_from_slice(v);
     }
 
     /// Appends one OFDM symbol (one received vector per subcarrier).
@@ -46,7 +67,9 @@ impl RxFrame {
             self.n_subcarriers,
             "push_symbol: wrong subcarrier count"
         );
-        self.vectors.extend(per_subcarrier);
+        for v in &per_subcarrier {
+            self.push_vector(v);
+        }
     }
 
     /// Number of data subcarriers per OFDM symbol.
@@ -56,26 +79,31 @@ impl RxFrame {
 
     /// Number of OFDM symbols in the frame.
     pub fn n_symbols(&self) -> usize {
-        self.vectors.len() / self.n_subcarriers
+        self.n_vectors() / self.n_subcarriers
     }
 
     /// Total received vectors (`n_symbols × n_subcarriers`).
     pub fn n_vectors(&self) -> usize {
-        self.vectors.len()
+        if self.nr == 0 {
+            0
+        } else {
+            self.data.len() / self.nr
+        }
     }
 
-    /// The received vector at `(symbol, subcarrier)`.
+    /// The received vector at `(symbol, subcarrier)`, borrowed from the
+    /// flat plane.
     pub fn get(&self, symbol: usize, subcarrier: usize) -> &[Cx] {
         assert!(subcarrier < self.n_subcarriers, "subcarrier out of range");
-        &self.vectors[symbol * self.n_subcarriers + subcarrier]
+        let v = symbol * self.n_subcarriers + subcarrier;
+        &self.data[v * self.nr..(v + 1) * self.nr]
     }
 
-    /// Clones the symbol range `[from, to)` of one subcarrier's column —
-    /// the unit of work the engine hands to a processing element.
-    pub(crate) fn column_chunk(&self, subcarrier: usize, from: usize, to: usize) -> Vec<Vec<Cx>> {
-        (from..to)
-            .map(|sym| self.vectors[sym * self.n_subcarriers + subcarrier].clone())
-            .collect()
+    /// Borrows the symbol range `[from, to)` of one subcarrier's column —
+    /// the unit of work the engine hands to a processing element. Only the
+    /// slice table is allocated; no sample is copied.
+    pub(crate) fn column_chunk(&self, subcarrier: usize, from: usize, to: usize) -> Vec<&[Cx]> {
+        (from..to).map(|sym| self.get(sym, subcarrier)).collect()
     }
 }
 

@@ -213,14 +213,27 @@ impl Constellation {
 
     /// Maps a symbol index back to its bits (MSB first).
     pub fn index_to_bits(&self, idx: usize) -> Vec<u8> {
+        let mut bits = vec![0u8; self.bits_per_symbol()];
+        self.index_to_bits_into(idx, &mut bits);
+        bits
+    }
+
+    /// Writes a symbol index's bits (MSB first) into a caller-owned buffer
+    /// of length `bits_per_symbol()` — the allocation-free kernel behind
+    /// [`Constellation::index_to_bits`], used by the soft-output hot path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != bits_per_symbol()`.
+    pub fn index_to_bits_into(&self, idx: usize, out: &mut [u8]) {
+        assert_eq!(out.len(), self.bits_per_symbol(), "index_to_bits_into");
         if self.modulation == Modulation::Bpsk {
-            return vec![idx as u8];
+            out[0] = idx as u8;
+            return;
         }
         let (col, row) = self.index_to_grid(idx);
         let half = self.bits_per_symbol() / 2;
-        let mut bits = uint_to_bits(self.gray[col], half);
-        bits.extend(uint_to_bits(self.gray[row], half));
-        bits
+        uint_to_bits_into(self.gray[col], &mut out[..half]);
+        uint_to_bits_into(self.gray[row], &mut out[half..]);
     }
 
     /// Modulates a bit slice into symbols (length must be a multiple of
@@ -286,13 +299,11 @@ fn bits_to_uint(bits: &[u8]) -> usize {
     })
 }
 
-fn uint_to_bits(mut v: usize, n: usize) -> Vec<u8> {
-    let mut bits = vec![0u8; n];
-    for i in (0..n).rev() {
-        bits[i] = (v & 1) as u8;
+fn uint_to_bits_into(mut v: usize, out: &mut [u8]) {
+    for i in (0..out.len()).rev() {
+        out[i] = (v & 1) as u8;
         v >>= 1;
     }
-    bits
 }
 
 #[cfg(test)]

@@ -23,7 +23,10 @@
 //! * seeded Gaussian / complex-Gaussian / Rayleigh sampling via Box–Muller
 //!   (module [`rng`]);
 //! * a lightweight FLOP-accounting helper (module [`flops`]) used to
-//!   regenerate Table 1 and Table 2 of the paper.
+//!   regenerate Table 1 and Table 2 of the paper;
+//! * [`SymVec`] — an inline, `Copy`, allocation-free symbol-index vector
+//!   (module [`symvec`]) sized for the paper's ≤ 16-stream experiments,
+//!   the storage unit of the detectors' scratch-based `_into` hot paths.
 //!
 //! Everything is deterministic given a caller-supplied RNG seed; nothing in
 //! this crate performs I/O or allocation beyond `Vec`.
@@ -40,8 +43,10 @@ pub mod qr;
 pub mod rng;
 pub mod solve;
 pub mod special;
+pub mod symvec;
 
 pub use cx::Cx;
 pub use flops::FlopCounter;
 pub use mat::{CMat, CVec};
 pub use qr::{fcsd_sorted_qr, householder_qr, mgs_qr, sorted_qr_sqrd, Qr};
+pub use symvec::SymVec;

@@ -174,15 +174,53 @@ impl CMat {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[Cx]) -> CVec {
+        let mut out = vec![Cx::ZERO; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product written into a caller-owned buffer — the
+    /// allocation-free kernel behind [`CMat::mul_vec`]. Accumulation order
+    /// is identical to `mul_vec`, so results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[Cx], out: &mut [Cx]) {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .fold(Cx::ZERO, |acc, (&a, &b)| acc + a * b)
-            })
-            .collect()
+        assert_eq!(out.len(), self.rows, "mul_vec_into: output length");
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self
+                .row(r)
+                .iter()
+                .zip(x)
+                .fold(Cx::ZERO, |acc, (&a, &b)| acc + a * b);
+        }
+    }
+
+    /// Hermitian-transposed matrix–vector product `A*·x`, written into a
+    /// caller-owned buffer, without materialising `A*`.
+    ///
+    /// Entry `r` accumulates `Σ_c conj(A[c,r])·x[c]` in ascending `c` —
+    /// exactly the term values and order `self.hermitian().mul_vec(x)`
+    /// produces, so results are bit-identical while skipping the `A*`
+    /// matrix allocation (the old per-vector cost of the QR rotate).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn mul_vec_hermitian_into(&self, x: &[Cx], out: &mut [Cx]) {
+        assert_eq!(x.len(), self.rows, "mul_vec_hermitian: dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "mul_vec_hermitian_into: output length"
+        );
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = Cx::ZERO;
+            for (c, &b) in x.iter().enumerate() {
+                acc += self[(c, r)].conj() * b;
+            }
+            *slot = acc;
+        }
     }
 
     /// Entry-wise sum `A + B`.
@@ -372,6 +410,58 @@ mod tests {
         let via_vec = a.mul_vec(&x);
         assert_eq!(via_vec[0], via_mat[(0, 0)]);
         assert_eq!(via_vec[1], via_mat[(1, 0)]);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec_bitwise() {
+        let a = CMat::from_rows(
+            2,
+            3,
+            &[
+                Cx::new(1.0, 0.3),
+                Cx::new(-2.0, 1.1),
+                Cx::new(0.7, -0.2),
+                Cx::new(3.0, 0.0),
+                Cx::new(0.1, -1.4),
+                Cx::new(-0.6, 0.9),
+            ],
+        );
+        let x = vec![Cx::new(0.2, -0.5), Cx::new(1.3, 0.4), Cx::new(-0.9, 2.0)];
+        let want = a.mul_vec(&x);
+        let mut got = vec![Cx::ZERO; 2];
+        a.mul_vec_into(&x, &mut got);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(
+                (w.re.to_bits(), w.im.to_bits()),
+                (g.re.to_bits(), g.im.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn mul_vec_hermitian_into_matches_materialised_hermitian_bitwise() {
+        let a = CMat::from_rows(
+            3,
+            2,
+            &[
+                Cx::new(1.0, 0.3),
+                Cx::new(-2.0, 1.1),
+                Cx::new(0.7, -0.2),
+                Cx::new(3.0, 0.0),
+                Cx::new(0.1, -1.4),
+                Cx::new(-0.6, 0.9),
+            ],
+        );
+        let x = vec![Cx::new(0.2, -0.5), Cx::new(1.3, 0.4), Cx::new(-0.9, 2.0)];
+        let want = a.hermitian().mul_vec(&x);
+        let mut got = vec![Cx::ZERO; 2];
+        a.mul_vec_hermitian_into(&x, &mut got);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(
+                (w.re.to_bits(), w.im.to_bits()),
+                (g.re.to_bits(), g.im.to_bits())
+            );
+        }
     }
 
     #[test]

@@ -44,7 +44,20 @@ pub struct Qr {
 impl Qr {
     /// Rotates a received vector into the triangular domain: `ȳ = Q*·y`.
     pub fn rotate(&self, y: &[Cx]) -> Vec<Cx> {
-        self.q.hermitian().mul_vec(y)
+        let mut out = vec![Cx::ZERO; self.q.cols()];
+        self.rotate_into(y, &mut out);
+        out
+    }
+
+    /// Rotates into a caller-owned buffer of length `Nt`, without
+    /// materialising `Q*` — the allocation-free kernel behind
+    /// [`Qr::rotate`]; accumulation order matches, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != Nr` or `out.len() != Nt`.
+    pub fn rotate_into(&self, y: &[Cx], out: &mut [Cx]) {
+        self.q.mul_vec_hermitian_into(y, out);
     }
 
     /// Undoes the column permutation on a detected symbol vector:

@@ -1,0 +1,197 @@
+//! An inline, allocation-free symbol-index vector.
+//!
+//! Tree-search detectors decide one constellation-symbol index per transmit
+//! stream, and the paper's experiments never exceed 16 streams (12×12 is
+//! the largest configuration in §5). [`SymVec`] exploits that bound: a
+//! fixed `[u16; 16]` plus a length, `Copy`, fully stack-resident — the
+//! storage behind every `_into` detection kernel, letting a processing
+//! element evaluate a (path × symbol-vector) pair without touching the
+//! heap.
+
+/// Maximum number of streams a [`SymVec`] can hold (the paper's largest
+/// experiment is 12×12; 16 leaves headroom).
+pub const MAX_STREAMS: usize = 16;
+
+/// A fixed-capacity vector of per-stream symbol indices.
+///
+/// Indices are stored as `u16` (constellations up to 64-QAM need 6 bits;
+/// 16 bits leaves room for any realistic QAM order). The type is `Copy`,
+/// so pool tasks can return it by value without allocating.
+///
+/// ```
+/// use flexcore_numeric::SymVec;
+/// let mut s = SymVec::zeroed(4);
+/// s.set(2, 7);
+/// assert_eq!(s.as_slice(), &[0, 0, 7, 0]);
+/// assert_eq!(s.to_indices(), vec![0usize, 0, 7, 0]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymVec {
+    buf: [u16; MAX_STREAMS],
+    len: u8,
+}
+
+impl SymVec {
+    /// An empty vector (length 0).
+    pub const fn new() -> Self {
+        SymVec {
+            buf: [0; MAX_STREAMS],
+            len: 0,
+        }
+    }
+
+    /// An all-zero vector of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len > MAX_STREAMS`.
+    pub fn zeroed(len: usize) -> Self {
+        assert!(
+            len <= MAX_STREAMS,
+            "SymVec: {len} streams exceeds the inline capacity of {MAX_STREAMS}"
+        );
+        SymVec {
+            buf: [0; MAX_STREAMS],
+            len: len as u8,
+        }
+    }
+
+    /// Builds from a slice of symbol indices.
+    ///
+    /// # Panics
+    /// Panics if `syms.len() > MAX_STREAMS` or any index exceeds `u16`.
+    pub fn from_indices(syms: &[usize]) -> Self {
+        let mut v = SymVec::zeroed(syms.len());
+        for (i, &s) in syms.iter().enumerate() {
+            v.buf[i] = u16::try_from(s).expect("SymVec: symbol index exceeds u16");
+        }
+        v
+    }
+
+    /// Resets to an all-zero vector of length `len` (no reallocation — this
+    /// is the per-evaluation initialisation of the detection hot path).
+    ///
+    /// # Panics
+    /// Panics if `len > MAX_STREAMS`.
+    #[inline]
+    pub fn reset(&mut self, len: usize) {
+        assert!(
+            len <= MAX_STREAMS,
+            "SymVec: {len} streams exceeds the inline capacity of {MAX_STREAMS}"
+        );
+        self.buf = [0; MAX_STREAMS];
+        self.len = len as u8;
+    }
+
+    /// Number of streams held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the vector holds no streams.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored indices as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// The index at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u16 {
+        self.as_slice()[i]
+    }
+
+    /// Overwrites the index at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, sym: u16) {
+        assert!(i < self.len as usize, "SymVec: index {i} out of bounds");
+        self.buf[i] = sym;
+    }
+
+    /// Widens to the `Vec<usize>` shape of the allocating detector APIs.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.as_slice().iter().map(|&s| s as usize).collect()
+    }
+}
+
+impl Default for SymVec {
+    fn default() -> Self {
+        SymVec::new()
+    }
+}
+
+impl std::fmt::Debug for SymVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut v = SymVec::zeroed(5);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        v.set(0, 3);
+        v.set(4, 9);
+        assert_eq!(v.get(0), 3);
+        assert_eq!(v.as_slice(), &[3, 0, 0, 0, 9]);
+        assert_eq!(v.to_indices(), vec![3usize, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn reset_clears_previous_contents() {
+        let mut v = SymVec::from_indices(&[1, 2, 3]);
+        v.reset(2);
+        assert_eq!(v.as_slice(), &[0, 0]);
+        v.reset(4);
+        assert_eq!(v.as_slice(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_indices_round_trips() {
+        let idx = vec![0usize, 15, 63, 255];
+        assert_eq!(SymVec::from_indices(&idx).to_indices(), idx);
+    }
+
+    #[test]
+    fn equality_ignores_slack_capacity() {
+        let a = SymVec::from_indices(&[1, 2]);
+        let mut b = SymVec::zeroed(2);
+        b.set(0, 1);
+        b.set(1, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_capacity_works() {
+        let idx: Vec<usize> = (0..MAX_STREAMS).collect();
+        let v = SymVec::from_indices(&idx);
+        assert_eq!(v.len(), MAX_STREAMS);
+        assert_eq!(v.to_indices(), idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the inline capacity")]
+    fn over_capacity_rejected() {
+        let _ = SymVec::zeroed(MAX_STREAMS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_rejected() {
+        let mut v = SymVec::zeroed(2);
+        v.set(2, 1);
+    }
+}

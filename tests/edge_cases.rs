@@ -119,7 +119,7 @@ fn repeated_prepare_is_idempotent() {
     let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
     let mut det = FlexCoreDetector::with_pes(c.clone(), 16);
     det.prepare(&h, 0.05);
-    let paths1 = det.position_vectors();
+    let paths1 = det.position_vectors().to_vec();
     let s: Vec<usize> = (0..4).map(|_| rng.gen_range(0..16)).collect();
     let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
     let ch = MimoChannel::new(h.clone(), 15.0);

@@ -1,0 +1,272 @@
+//! Bit-identity property tests for the allocation-free detection hot path.
+//!
+//! PR 2 rebuilt every tree-search hot loop on scratch workspaces
+//! (`PathScratch`/`SymVec`), flat result grids (`PathGrid`), and `_into`
+//! kernels. The refactor's contract is *bit-identity*: for any channel,
+//! SNR, and observation, the scratch-based paths must produce exactly the
+//! symbols, metrics, and LLRs of the allocating paths they replaced.
+//! These tests enforce the contract against independent re-enactments of
+//! the PR 1 implementations, across random channels and SNRs, on the
+//! sequential and crossbeam substrates.
+
+use flexcore::{FlexCoreDetector, PathScratch};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::{Detector, Triangular};
+use flexcore_detect::{FcsdDetector, KBestDetector};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::qr::sorted_qr_sqrd;
+use flexcore_numeric::{CMat, Cx};
+use flexcore_parallel::{CrossbeamPool, SequentialPool};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one random workload: channel, noisy observations, and noise power.
+fn draw_workload(seed: u64, nt: usize, snr_db: f64, n_vecs: usize) -> (CMat, f64, Vec<Vec<Cx>>) {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+    let ch = MimoChannel::new(h.clone(), snr_db);
+    let ys: Vec<Vec<Cx>> = (0..n_vecs)
+        .map(|_| {
+            let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+            let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+            ch.transmit(&x, &mut rng)
+        })
+        .collect();
+    (h, sigma2_from_snr_db(snr_db), ys)
+}
+
+/// PR 1's nested batched reduction, re-enacted: evaluate every path with
+/// the allocating `run_path`, transpose `results[path][vector]` into
+/// per-vector candidate lists, and reduce with `Iterator::min_by`.
+fn detect_batch_pr1(det: &FlexCoreDetector, ys: &[Vec<Cx>]) -> Vec<Vec<usize>> {
+    let tri = det.triangular();
+    let ybars: Vec<Vec<Cx>> = ys.iter().map(|y| tri.rotate(y)).collect();
+    #[allow(clippy::type_complexity)]
+    let per_path: Vec<Vec<Option<(Vec<usize>, f64)>>> = det
+        .position_vectors()
+        .iter()
+        .map(|p| ybars.iter().map(|yb| det.run_path(yb, p)).collect())
+        .collect();
+    (0..ys.len())
+        .map(|v| {
+            let (symbols, _) = per_path
+                .iter()
+                .filter_map(|path_results| path_results[v].clone())
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
+                .expect("the SIC path always completes");
+            tri.unpermute(&symbols)
+        })
+        .collect()
+}
+
+/// PR 1's K-best, re-enacted with per-child `symbols.clone()` on the same
+/// SQRD front end `KBestDetector` uses.
+fn kbest_pr1(tri: &Triangular, c: &Constellation, k: usize, y: &[Cx]) -> Vec<usize> {
+    let nt = tri.nt();
+    let q = c.order();
+    let ybar = tri.rotate(y);
+    let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
+    for row in (0..nt).rev() {
+        let mut children: Vec<(f64, Vec<usize>)> = Vec::with_capacity(survivors.len() * q);
+        for (ped, symbols) in &survivors {
+            for sym in 0..q {
+                let inc = tri.ped_increment(&ybar, symbols, row, sym);
+                let mut s = symbols.clone();
+                s[row] = sym;
+                children.push((ped + inc, s));
+            }
+        }
+        children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN PED"));
+        children.truncate(k);
+        survivors = children;
+    }
+    tri.unpermute(&survivors[0].1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn run_path_into_equals_run_path(
+        seed in 0u64..1_000_000,
+        nt in 2usize..7,
+        snr in 6.0f64..24.0,
+        n_pe in 1usize..48,
+    ) {
+        let (h, sigma2, ys) = draw_workload(seed, nt, snr, 3);
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = FlexCoreDetector::with_pes(c, n_pe);
+        det.prepare(&h, sigma2);
+        let tri = det.triangular();
+        let mut scratch = PathScratch::new();
+        for y in &ys {
+            let ybar = tri.rotate(y);
+            for p in det.position_vectors() {
+                let alloc = det.run_path(&ybar, p);
+                let metric = det.run_path_into(&ybar, p, &mut scratch);
+                match (alloc, metric) {
+                    (Some((symbols, m_alloc)), Some(m_into)) => {
+                        // Exact f64 equality: the kernels must run the same
+                        // operations in the same order.
+                        prop_assert_eq!(m_alloc.to_bits(), m_into.to_bits());
+                        prop_assert_eq!(symbols, scratch.symbols.to_indices());
+                    }
+                    (None, None) => {}
+                    (a, b) => prop_assert!(false, "activation mismatch: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_grid_batch_equals_pr1_nested_grid(
+        seed in 0u64..1_000_000,
+        nt in 2usize..6,
+        snr in 6.0f64..24.0,
+        n_pe in 1usize..32,
+    ) {
+        let (h, sigma2, ys) = draw_workload(seed, nt, snr, 8);
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = FlexCoreDetector::with_pes(c, n_pe);
+        det.prepare(&h, sigma2);
+        let reference = detect_batch_pr1(&det, &ys);
+        let seq = SequentialPool::new(4);
+        let par = CrossbeamPool::new(3);
+        prop_assert_eq!(&det.detect_batch_on_pool(&ys, &seq), &reference);
+        prop_assert_eq!(&det.detect_batch_on_pool(&ys, &par), &reference);
+        // The flat grid itself must carry the allocating kernels' numbers.
+        let grid = det.detect_batch_grid_on_pool(&ys, &seq);
+        prop_assert_eq!(grid.n_vectors(), ys.len());
+        let tri = det.triangular();
+        for (pi, p) in det.position_vectors().iter().enumerate() {
+            for (v, y) in ys.iter().enumerate() {
+                let ybar = tri.rotate(y);
+                match det.run_path(&ybar, p) {
+                    Some((symbols, metric)) => {
+                        prop_assert!(grid.is_active(pi, v));
+                        prop_assert_eq!(grid.metric(pi, v).to_bits(), metric.to_bits());
+                        let flat: Vec<usize> =
+                            grid.symbols(pi, v).iter().map(|&s| s as usize).collect();
+                        prop_assert_eq!(flat, symbols);
+                    }
+                    None => prop_assert!(!grid.is_active(pi, v)),
+                }
+            }
+        }
+        // And the per-vector decisions match plain detect on every pool.
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        prop_assert_eq!(&per_vector, &reference);
+    }
+
+    #[test]
+    fn kbest_flat_survivors_equal_cloning_reference(
+        seed in 0u64..1_000_000,
+        nt in 2usize..6,
+        snr in 6.0f64..24.0,
+        k in 1usize..9,
+    ) {
+        let (h, sigma2, ys) = draw_workload(seed, nt, snr, 6);
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = KBestDetector::new(c.clone(), k);
+        det.prepare(&h, sigma2);
+        // Same front end as KBestDetector::prepare.
+        let tri = Triangular::new(sorted_qr_sqrd(&h), c.clone());
+        for y in &ys {
+            prop_assert_eq!(det.detect(y), kbest_pr1(&tri, &c, k, y));
+        }
+        // The batch override (shared flip-flop scratch) must not drift.
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        let batched = det.detect_batch_refs(&refs);
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        prop_assert_eq!(batched, per_vector);
+    }
+
+    #[test]
+    fn fcsd_scratch_equals_allocating_paths(
+        seed in 0u64..1_000_000,
+        nt in 2usize..6,
+        snr in 6.0f64..24.0,
+        l_full in 0usize..3,
+    ) {
+        let (h, sigma2, ys) = draw_workload(seed, nt, snr, 5);
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = FcsdDetector::new(c, l_full.min(nt));
+        det.prepare(&h, sigma2);
+        let tri = det.triangular();
+        let seq = SequentialPool::new(8);
+        for y in &ys {
+            // Reference: allocating run_path over all paths + min_by.
+            let ybar = tri.rotate(y);
+            let best = (0..det.paths())
+                .map(|idx| det.run_path(&ybar, idx))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
+                .expect("at least one path");
+            let reference = tri.unpermute(&best.0);
+            prop_assert_eq!(&det.detect(y), &reference);
+            prop_assert_eq!(&det.detect_on_pool(y, &seq), &reference);
+        }
+    }
+
+    #[test]
+    fn soft_llrs_flat_buffers_equal_nested_reference(
+        seed in 0u64..1_000_000,
+        nt in 2usize..5,
+        snr in 6.0f64..24.0,
+        n_pe in 1usize..24,
+    ) {
+        let (h, sigma2, ys) = draw_workload(seed, nt, snr, 4);
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = FlexCoreDetector::with_pes(c.clone(), n_pe);
+        det.prepare(&h, sigma2);
+        let tri = det.triangular();
+        let bps = c.bits_per_symbol();
+        for y in &ys {
+            let soft = det.detect_soft(y, sigma2);
+            // PR 1's nested min0/min1 reference, from the allocating paths.
+            let ybar = tri.rotate(y);
+            let mut list: Vec<(Vec<usize>, f64)> = Vec::new();
+            for p in det.position_vectors() {
+                if let Some((symbols, metric)) = det.run_path(&ybar, p) {
+                    list.push((tri.unpermute(&symbols), metric));
+                }
+            }
+            let hard = list
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
+                .expect("non-empty")
+                .0
+                .clone();
+            prop_assert_eq!(&soft.hard, &hard);
+            let mut min0 = vec![vec![f64::INFINITY; bps]; nt];
+            let mut min1 = vec![vec![f64::INFINITY; bps]; nt];
+            for (symbols, metric) in &list {
+                for (stream, &sym) in symbols.iter().enumerate() {
+                    for (j, &b) in c.index_to_bits(sym).iter().enumerate() {
+                        let slot = if b == 0 {
+                            &mut min0[stream][j]
+                        } else {
+                            &mut min1[stream][j]
+                        };
+                        if *metric < *slot {
+                            *slot = *metric;
+                        }
+                    }
+                }
+            }
+            for stream in 0..nt {
+                for j in 0..bps {
+                    let (m0, m1) = (min0[stream][j], min1[stream][j]);
+                    let want = match (m0.is_finite(), m1.is_finite()) {
+                        (true, true) => ((m1 - m0) / sigma2).clamp(-8.0, 8.0),
+                        (true, false) => 8.0,
+                        (false, true) => -8.0,
+                        (false, false) => 0.0,
+                    };
+                    prop_assert_eq!(soft.llrs[stream][j].to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+}
