@@ -1,0 +1,292 @@
+//! `streaming` — the PR 3 perf datapoint: channel-adaptive frame detection
+//! on a time-varying streaming workload.
+//!
+//! Drives the frame engine through a `ChannelStream`: every subcarrier's
+//! channel ages per frame under first-order Gauss–Markov fading (ρ from the
+//! Doppler via the proper Bessel `J₀`), estimates refresh round-robin so
+//! the engine's generation cache re-prepares only the moved slice of the
+//! band, and two detector templates run the identical workload:
+//!
+//! * **fixed** — FlexCore-`N_PE`, spending the full path budget on every
+//!   subcarrier (PR 2's configuration);
+//! * **adaptive** — a-FlexCore with the paper's 0.95 stopping threshold
+//!   (§5.1 / Fig. 10), activating only the paths each subcarrier's channel
+//!   needs — at high SNR most subcarriers collapse to ~1 path.
+//!
+//! Before any timing, a bit-identity gate checks that adaptive detection
+//! with the stopping criterion effectively disabled reproduces fixed
+//! FlexCore cell-for-cell wherever the selected path sets coincide.
+//! Reported per Doppler rate: frames/sec (preparation *included* — this is
+//! a streaming number, not a detection-only number), mean per-subcarrier
+//! effort, effort saved vs fixed, uncoded SER, and the any-cell-wrong frame
+//! error rate. Results land in `BENCH_PR3.json` (path overridable with
+//! `BENCH_OUT`); `STREAMING_FAST=1` shrinks the frame count for CI smoke.
+
+use flexcore::{AdaptiveFlexCore, FlexCoreDetector};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, GaussMarkovChannel};
+use flexcore_detect::common::Detector;
+use flexcore_engine::{ChannelStream, FrameEngine};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::Cx;
+use flexcore_parallel::SequentialPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N_SC: usize = 48;
+const N_SYM: usize = 14;
+const NT: usize = 8;
+const N_PE: usize = 16;
+const STOP: f64 = 0.95;
+const SNR_DB: f64 = 30.0;
+const REFRESH_PERIOD: usize = 4;
+const SEED: u64 = 0x5EED_0003;
+
+/// One variant's streaming run: `n_frames` of advance → cache re-prepare →
+/// transmit through truth → detect against estimates. Returns
+/// (frames/sec, mean effort, SER, frame error rate).
+fn run_stream<D: Detector + Clone + Sync>(
+    template: D,
+    rho: f64,
+    n_frames: usize,
+    seed: u64,
+) -> (f64, f64, f64, f64) {
+    let c = Constellation::new(Modulation::Qam16);
+    let ens = ChannelEnsemble::iid(NT, NT);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = ChannelStream::new(
+        &ens,
+        N_SC,
+        rho,
+        REFRESH_PERIOD,
+        sigma2_from_snr_db(SNR_DB),
+        &mut rng,
+    );
+    let mut engine = FrameEngine::new(template);
+    engine.prepare(stream.estimate());
+    let pool = SequentialPool::new(1);
+
+    let mut sym_errs = 0u64;
+    let mut frame_errs = 0u64;
+    let mut effort_acc = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..n_frames {
+        stream.advance(&mut rng);
+        engine.prepare(stream.estimate());
+        // Truth symbols for this frame, drawn cell-major like the frame.
+        let mut truth: Vec<usize> = Vec::with_capacity(N_SYM * N_SC * NT);
+        let frame = stream.transmit_frame(
+            N_SYM,
+            |_, _| {
+                let x: Vec<Cx> = (0..NT)
+                    .map(|_| {
+                        let s = rng.gen_range(0..c.order());
+                        truth.push(s);
+                        c.point(s)
+                    })
+                    .collect();
+                x
+            },
+            &mut StdRng::seed_from_u64(seed ^ stream.frames_elapsed()),
+        );
+        let detected = engine.detect_frame(&frame, &pool);
+        let mut any_wrong = false;
+        for (cell_idx, cell) in detected.iter().enumerate() {
+            let want = &truth[cell_idx * NT..(cell_idx + 1) * NT];
+            for (a, b) in cell.iter().zip(want) {
+                if a != b {
+                    sym_errs += 1;
+                    any_wrong = true;
+                }
+            }
+        }
+        if any_wrong {
+            frame_errs += 1;
+        }
+        effort_acc += engine.stats().mean_effort();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let vectors = (n_frames * N_SYM * N_SC) as f64;
+    (
+        n_frames as f64 / dt,
+        effort_acc / n_frames as f64,
+        sym_errs as f64 / (vectors * NT as f64),
+        frame_errs as f64 / n_frames as f64,
+    )
+}
+
+/// Bit-identity gate: with the stopping criterion effectively disabled
+/// (threshold 1.0) on a moderate-SNR selective channel, a-FlexCore selects
+/// the same path sets as fixed FlexCore and the detected grids must agree
+/// cell-for-cell wherever the per-subcarrier path counts coincide.
+fn identity_gate() {
+    let c = Constellation::new(Modulation::Qam16);
+    let gate_snr = 14.0;
+    let ens = ChannelEnsemble::iid(NT, NT);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut stream = ChannelStream::new(
+        &ens,
+        N_SC,
+        0.98,
+        REFRESH_PERIOD,
+        sigma2_from_snr_db(gate_snr),
+        &mut rng,
+    );
+    let mut fixed = FrameEngine::new(FlexCoreDetector::with_pes(c.clone(), N_PE));
+    let mut adaptive = FrameEngine::new(AdaptiveFlexCore::new(c.clone(), N_PE, 1.0));
+    stream.advance(&mut rng);
+    fixed.prepare(stream.estimate());
+    adaptive.prepare(stream.estimate());
+    let mut tx_rng = StdRng::seed_from_u64(SEED + 1);
+    let frame = stream.transmit_frame(
+        4,
+        |_, _| {
+            (0..NT)
+                .map(|_| c.point(tx_rng.gen_range(0..c.order())))
+                .collect()
+        },
+        &mut StdRng::seed_from_u64(SEED + 2),
+    );
+    let pool = SequentialPool::new(1);
+    let out_fixed = fixed.detect_frame(&frame, &pool);
+    let out_adaptive = adaptive.detect_frame(&frame, &pool);
+    let mut coinciding = 0;
+    for sc in 0..N_SC {
+        if adaptive.detector(sc).inner().active_paths() != fixed.detector(sc).active_paths() {
+            continue; // stopping fired (probability mass saturated) — sets differ by design
+        }
+        coinciding += 1;
+        for sym in 0..4 {
+            assert_eq!(
+                out_adaptive.get(sym, sc),
+                out_fixed.get(sym, sc),
+                "adaptive/fixed mismatch at ({sym},{sc})"
+            );
+        }
+    }
+    assert!(
+        coinciding >= N_SC / 2,
+        "gate too weak: only {coinciding}/{N_SC} subcarriers coincide"
+    );
+    println!(
+        "bit-identity gate: adaptive == fixed on all {coinciding}/{N_SC} coinciding subcarriers"
+    );
+}
+
+struct Point {
+    fd_dt: f64,
+    rho: f64,
+    fixed: (f64, f64, f64, f64),
+    adaptive: (f64, f64, f64, f64),
+}
+
+fn main() {
+    let fast = std::env::var("STREAMING_FAST").is_ok();
+    let n_frames = if fast { 4 } else { 40 };
+
+    identity_gate();
+
+    let dopplers = [0.005, 0.05, 0.2, 0.4];
+    let c = Constellation::new(Modulation::Qam16);
+    let mut points = Vec::new();
+    for (i, &fd_dt) in dopplers.iter().enumerate() {
+        let rho = GaussMarkovChannel::rho_from_doppler(fd_dt);
+        let seed = SEED + 100 * i as u64;
+        let fixed = run_stream(
+            FlexCoreDetector::with_pes(c.clone(), N_PE),
+            rho,
+            n_frames,
+            seed,
+        );
+        let adaptive = run_stream(
+            AdaptiveFlexCore::new(c.clone(), N_PE, STOP),
+            rho,
+            n_frames,
+            seed,
+        );
+        println!(
+            "fd·Δt {fd_dt:>5}: rho {rho:.4} | fixed {:7.1} f/s (effort {:5.2}, SER {:.2e}) | \
+             adaptive {:7.1} f/s (effort {:5.2}, SER {:.2e}) | speedup {:.2}x",
+            fixed.0,
+            fixed.1,
+            fixed.2,
+            adaptive.0,
+            adaptive.1,
+            adaptive.2,
+            adaptive.0 / fixed.0
+        );
+        points.push(Point {
+            fd_dt,
+            rho,
+            fixed,
+            adaptive,
+        });
+    }
+
+    // The headline: adaptive vs fixed at the slow-fading, high-SNR point.
+    let headline = points[0].adaptive.0 / points[0].fixed.0;
+    println!("speedup adaptive vs fixed (slow fading, {SNR_DB} dB): {headline:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"streaming\",\n  \"pr\": 3,\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"nt\": {NT}, \"modulation\": \"16-QAM\", \"subcarriers\": {N_SC}, \
+         \"ofdm_symbols\": {N_SYM}, \"fixed_detector\": \"FlexCore-{N_PE}\", \
+         \"adaptive_detector\": \"a-FlexCore(N_PE={N_PE}, t={STOP})\", \"snr_db\": {SNR_DB}, \
+         \"refresh_period\": {REFRESH_PERIOD}, \"frames\": {n_frames}, \"pool\": \"sequential/1\", \
+         \"fast_mode\": {fast}}},"
+    );
+    json.push_str("  \"doppler_sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"fd_dt\": {}, \"rho\": {:.6},\n     \"fixed\": {{\"frames_per_sec\": {:.2}, \
+             \"mean_effort\": {:.3}, \"uncoded_ser\": {:.6}, \"frame_error_rate\": {:.4}}},\n     \
+             \"adaptive\": {{\"frames_per_sec\": {:.2}, \"mean_effort\": {:.3}, \
+             \"uncoded_ser\": {:.6}, \"frame_error_rate\": {:.4}, \
+             \"effort_saved_vs_fixed\": {:.4}}},\n     \
+             \"speedup_adaptive_vs_fixed\": {:.3}}}{}",
+            p.fd_dt,
+            p.rho,
+            p.fixed.0,
+            p.fixed.1,
+            p.fixed.2,
+            p.fixed.3,
+            p.adaptive.0,
+            p.adaptive.1,
+            p.adaptive.2,
+            p.adaptive.3,
+            1.0 - p.adaptive.1 / p.fixed.1,
+            p.adaptive.0 / p.fixed.0,
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_adaptive_vs_fixed_high_snr\": {headline:.3},"
+    );
+    json.push_str(
+        "  \"note\": \"Streaming numbers: each frame ages every subcarrier's Gauss-Markov truth \
+         channel, refreshes estimates for 1/refresh_period of the band (the engine's generation \
+         cache re-prepares exactly that slice), then detects the whole (subcarrier x symbol) grid \
+         against the possibly-stale estimates, so frames/sec includes pre-processing. At 30 dB \
+         the a-FlexCore stopping criterion (cumulative path probability >= 0.95) collapses most \
+         subcarriers to ~1 active path versus the fixed 16-path budget — the paper's Fig. 10 \
+         effect lifted to the frame grid. Rising Doppler decorrelates truth from estimate \
+         between refreshes, so SER/frame-error-rate grow with fd*dt for both variants; detection \
+         where the selected path sets coincide is bit-identical (asserted before timing).\"\n",
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_PR3.json",
+            env!("CARGO_MANIFEST_DIR").trim_end_matches('/')
+        )
+    });
+    std::fs::write(&out, &json).expect("write BENCH_PR3.json");
+    println!("wrote {out}");
+}

@@ -42,11 +42,17 @@ impl GaussMarkovChannel {
         }
     }
 
-    /// Correlation coefficient from normalised Doppler `f_D·Δt`, using the
-    /// small-argument Bessel approximation `J₀(x) ≈ 1 − x²/4 + x⁴/64`.
+    /// Correlation coefficient from normalised Doppler `f_D·Δt`, via the
+    /// Jakes model `ρ = J₀(2π·f_D·Δt)` with a proper Bessel evaluation
+    /// ([`flexcore_numeric::special::j0`]).
+    ///
+    /// A first-order Gauss–Markov step only admits `ρ ∈ [0, 1]`, so the
+    /// oscillatory tail of `J₀` (negative lobes beyond `x ≈ 2.405`, i.e.
+    /// `f_D·Δt ≳ 0.38`) clamps to 0 — fully decorrelated per step, the
+    /// right limit for fading faster than the update interval.
     pub fn rho_from_doppler(fd_dt: f64) -> f64 {
         let x = 2.0 * std::f64::consts::PI * fd_dt;
-        (1.0 - x * x / 4.0 + x.powi(4) / 64.0).clamp(0.0, 1.0)
+        flexcore_numeric::special::j0(x).clamp(0.0, 1.0)
     }
 
     /// The current channel matrix.
@@ -161,6 +167,24 @@ mod tests {
         assert!(slow > fast);
         assert!(slow > 0.999);
         assert!((0.0..1.0).contains(&fast));
+    }
+
+    #[test]
+    fn doppler_mapping_handles_fast_fading() {
+        use std::f64::consts::PI;
+        // At the first Bessel zero (x ≈ 2.4048) the channel decorrelates
+        // completely in one step. The old x⁴-truncated series gave 0.078
+        // here.
+        let at_zero = GaussMarkovChannel::rho_from_doppler(2.404825557695773 / (2.0 * PI));
+        assert!(at_zero < 1e-6, "rho at the J₀ zero: {at_zero}");
+        // Beyond the zero the series *diverged*: at x = 4 it evaluated to
+        // exactly 1.0 (a frozen channel!) where J₀(4) ≈ −0.397 — the clamp
+        // must now land at 0 (full per-step decorrelation), not 1.
+        let beyond = GaussMarkovChannel::rho_from_doppler(4.0 / (2.0 * PI));
+        assert_eq!(beyond, 0.0, "negative J₀ lobe must clamp to 0");
+        // And x = 8 sits on a positive lobe: ρ small but non-zero, < 1.
+        let lobe = GaussMarkovChannel::rho_from_doppler(8.0 / (2.0 * PI));
+        assert!(lobe > 0.0 && lobe < 0.3, "positive lobe: {lobe}");
     }
 
     #[test]

@@ -12,14 +12,43 @@ use crate::detector::{FlexCoreConfig, FlexCoreDetector};
 use flexcore_detect::common::Detector;
 use flexcore_modulation::Constellation;
 use flexcore_numeric::{CMat, Cx};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Adaptive FlexCore: FlexCore plus the stopping criterion, with
 /// bookkeeping of how many PEs each channel actually activated.
-#[derive(Clone, Debug)]
+///
+/// Activation bookkeeping is O(1) — a running sum and count, not a
+/// history vector — so a long-running engine can prepare millions of
+/// channels without the detector growing. A [`Clone`] starts its own
+/// bookkeeping from zero: the frame engine stamps one clone per
+/// subcarrier, and each clone's [`AdaptiveFlexCore::mean_active_pes`]
+/// must describe *its* channels, not drag along the template's.
+#[derive(Debug)]
 pub struct AdaptiveFlexCore {
     inner: FlexCoreDetector,
-    /// Running history of active-PE counts, one entry per `prepare` call.
-    activation_history: Vec<usize>,
+    /// Σ active-PE counts over every `prepare` call since the last reset.
+    activation_sum: u64,
+    /// Number of `prepare` calls since the last reset.
+    activation_count: u64,
+    /// `detect_batch_refs` invocations — the engine's scratch-reuse path.
+    batch_calls: AtomicU64,
+    /// Single-vector `detect` invocations — the allocating fallback.
+    vector_calls: AtomicU64,
+}
+
+impl Clone for AdaptiveFlexCore {
+    /// Clones the detector (configuration + prepared state) with **fresh
+    /// activation bookkeeping**: counters start at zero so per-slot means
+    /// are not skewed by whatever the template accumulated.
+    fn clone(&self) -> Self {
+        AdaptiveFlexCore {
+            inner: self.inner.clone(),
+            activation_sum: 0,
+            activation_count: 0,
+            batch_calls: AtomicU64::new(0),
+            vector_calls: AtomicU64::new(0),
+        }
+    }
 }
 
 impl AdaptiveFlexCore {
@@ -30,7 +59,10 @@ impl AdaptiveFlexCore {
         config.stop_threshold = Some(threshold);
         AdaptiveFlexCore {
             inner: FlexCoreDetector::new(constellation, config),
-            activation_history: Vec::new(),
+            activation_sum: 0,
+            activation_count: 0,
+            batch_calls: AtomicU64::new(0),
+            vector_calls: AtomicU64::new(0),
         }
     }
 
@@ -44,18 +76,34 @@ impl AdaptiveFlexCore {
         self.inner.active_paths()
     }
 
-    /// Mean active PEs across every `prepare` call so far — the line
-    /// plotted in Fig. 10.
+    /// Mean active PEs across every `prepare` call since construction,
+    /// clone, or [`AdaptiveFlexCore::reset_history`] — the line plotted in
+    /// Fig. 10.
     pub fn mean_active_pes(&self) -> f64 {
-        if self.activation_history.is_empty() {
+        if self.activation_count == 0 {
             return 0.0;
         }
-        self.activation_history.iter().sum::<usize>() as f64 / self.activation_history.len() as f64
+        self.activation_sum as f64 / self.activation_count as f64
     }
 
-    /// Clears the activation history.
+    /// Clears the activation bookkeeping.
     pub fn reset_history(&mut self) {
-        self.activation_history.clear();
+        self.activation_sum = 0;
+        self.activation_count = 0;
+    }
+
+    /// How many batch detections ([`Detector::detect_batch_refs`]) this
+    /// instance has served — the scratch-reuse path the frame engine
+    /// schedules. Tests use the pair of counters to prove the engine never
+    /// falls back to per-vector detection.
+    pub fn batch_calls(&self) -> u64 {
+        self.batch_calls.load(Ordering::Relaxed)
+    }
+
+    /// How many single-vector detections ([`Detector::detect`]) this
+    /// instance has served — the allocating per-vector path.
+    pub fn vector_calls(&self) -> u64 {
+        self.vector_calls.load(Ordering::Relaxed)
     }
 
     /// Access to the wrapped detector (e.g. for `detect_on_pool`).
@@ -71,11 +119,28 @@ impl Detector for AdaptiveFlexCore {
 
     fn prepare(&mut self, h: &CMat, sigma2: f64) {
         self.inner.prepare(h, sigma2);
-        self.activation_history.push(self.inner.active_paths());
+        self.activation_sum += self.inner.active_paths() as u64;
+        self.activation_count += 1;
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        self.vector_calls.fetch_add(1, Ordering::Relaxed);
         self.inner.detect(y)
+    }
+
+    /// Forwards to the inner FlexCore's scratch-reuse batch path (one
+    /// rotate buffer + one trie-walk workspace for the whole batch).
+    /// Without this override the trait default falls back to per-vector
+    /// [`Detector::detect`], re-allocating both per observation — the PR 3
+    /// bug. The trait's default `detect_batch` routes through here, so one
+    /// override covers both batch shapes.
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.detect_batch_refs(ys)
+    }
+
+    fn effort(&self) -> usize {
+        self.inner.effort()
     }
 }
 
@@ -153,6 +218,77 @@ mod tests {
         assert!(afc.mean_active_pes() >= 1.0);
         afc.reset_history();
         assert_eq!(afc.mean_active_pes(), 0.0);
+    }
+
+    #[test]
+    fn clone_starts_fresh_bookkeeping() {
+        // A frame engine stamps one clone per subcarrier: each clone's mean
+        // must describe only the channels *it* prepared, and the clone's
+        // prepared state must still detect (state is copied, history isn't).
+        let c = Constellation::new(Modulation::Qam16);
+        let mut afc = AdaptiveFlexCore::new(c.clone(), 8, 0.95);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let h = ens.draw(&mut rng);
+            afc.prepare(&h, 0.05);
+        }
+        let clone = afc.clone();
+        assert_eq!(clone.mean_active_pes(), 0.0, "history must not be copied");
+        assert_eq!(clone.batch_calls(), 0);
+        assert_eq!(clone.vector_calls(), 0);
+        assert_eq!(
+            clone.active_pes(),
+            afc.active_pes(),
+            "prepared state must be copied"
+        );
+        let mut one = afc.clone();
+        let h = ens.draw(&mut rng);
+        one.prepare(&h, 0.05);
+        assert_eq!(
+            one.mean_active_pes(),
+            one.active_pes() as f64,
+            "a single prepare is its own mean"
+        );
+    }
+
+    #[test]
+    fn batch_detection_is_bit_identical_and_counted() {
+        use flexcore_channel::MimoChannel;
+        use rand::Rng;
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(18);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let mut afc = AdaptiveFlexCore::new(c.clone(), 16, 0.95);
+        afc.prepare(&h, sigma2_from_snr_db(14.0));
+        let ch = MimoChannel::new(h, 14.0);
+        let ys: Vec<Vec<Cx>> = (0..12)
+            .map(|_| {
+                let x: Vec<Cx> = (0..4)
+                    .map(|_| c.point(rng.gen_range(0..c.order())))
+                    .collect();
+                ch.transmit(&x, &mut rng)
+            })
+            .collect();
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| afc.detect(y)).collect();
+        assert_eq!(afc.vector_calls(), 12);
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        assert_eq!(afc.detect_batch_refs(&refs), per_vector);
+        assert_eq!(afc.detect_batch(&ys), per_vector);
+        assert_eq!(afc.batch_calls(), 2);
+        assert_eq!(afc.vector_calls(), 12, "batch must not fall back");
+    }
+
+    #[test]
+    fn effort_tracks_active_pes() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut afc = AdaptiveFlexCore::new(c, 16, 0.95);
+        assert_eq!(afc.effort(), 1, "unprepared effort defaults to 1");
+        let ens = ChannelEnsemble::iid(6, 6);
+        let mut rng = StdRng::seed_from_u64(19);
+        let h = ens.draw(&mut rng);
+        afc.prepare(&h, sigma2_from_snr_db(12.0));
+        assert_eq!(afc.effort(), afc.active_pes());
     }
 
     #[test]

@@ -580,6 +580,12 @@ impl Detector for FlexCoreDetector {
             })
             .collect()
     }
+
+    /// Per-vector cost = tree paths evaluated, i.e. the PEs the prepared
+    /// channel activates (< `n_pe` only under a stopping threshold).
+    fn effort(&self) -> usize {
+        self.active_paths().max(1)
+    }
 }
 
 #[cfg(test)]

@@ -23,9 +23,20 @@
 use crate::model::LevelErrorModel;
 use crate::preprocess::Preprocessor;
 use flexcore_detect::common::{Detector, Triangular};
+use flexcore_detect::{kbest_descend, KBestScratch};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::sorted_qr_sqrd;
 use flexcore_numeric::{CMat, Cx};
+
+/// Reusable workspace for one adaptive K-best descent: the rotate buffer
+/// plus the shared flip-flop survivor/child planes
+/// ([`flexcore_detect::KBestScratch`]), so `detect_batch_refs` streams a
+/// whole batch without per-vector (or per-child) heap traffic.
+#[derive(Clone, Debug, Default)]
+struct AkbScratch {
+    ybar: Vec<Cx>,
+    kbest: KBestScratch,
+}
 
 /// K-best with per-level survivor widths derived from FlexCore's
 /// pre-processing model.
@@ -75,6 +86,20 @@ impl AdaptiveKBest {
     pub fn total_width(&self) -> usize {
         self.k_per_level().iter().sum()
     }
+
+    /// One breadth-first descent over a rotated observation: the shared
+    /// [`kbest_descend`] kernel with the model's per-level widths
+    /// (`keep(row) = K_row · n_survivors`). Decisions are bit-identical to
+    /// the original clone-per-child implementation (regression-tested
+    /// below).
+    fn descend(&self, state: &State, scratch: &mut AkbScratch) -> Vec<usize> {
+        kbest_descend(
+            &state.tri,
+            &scratch.ybar,
+            |row, n_surv| state.k_per_level[row] * n_surv,
+            &mut scratch.kbest,
+        )
+    }
 }
 
 impl Detector for AdaptiveKBest {
@@ -110,28 +135,37 @@ impl Detector for AdaptiveKBest {
             .state
             .as_ref()
             .expect("AdaptiveKBest: prepare() not called");
-        let tri = &state.tri;
-        let nt = tri.nt();
-        let q = self.constellation.order();
-        let ybar = tri.rotate(y);
-        let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
-        for row in (0..nt).rev() {
-            let keep = state.k_per_level[row] * survivors.len().max(1);
-            let mut children: Vec<(f64, Vec<usize>)> =
-                Vec::with_capacity(survivors.len() * q.min(keep + 1));
-            for (ped, symbols) in &survivors {
-                for sym in 0..q {
-                    let inc = tri.ped_increment(&ybar, symbols, row, sym);
-                    let mut s = symbols.clone();
-                    s[row] = sym;
-                    children.push((ped + inc, s));
-                }
-            }
-            children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN PED"));
-            children.truncate(keep.max(1));
-            survivors = children;
-        }
-        tri.unpermute(&survivors[0].1)
+        let mut scratch = AkbScratch::default();
+        scratch.ybar.resize(state.tri.nt(), Cx::ZERO);
+        state.tri.rotate_into(y, &mut scratch.ybar);
+        self.descend(state, &mut scratch)
+    }
+
+    /// Scratch-based batch override: the rotate buffer and the flip-flop
+    /// survivor/child planes are allocated once and reused across the whole
+    /// batch (bit-identical to per-vector [`Detector::detect`]). This is
+    /// the path the frame engine schedules.
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("AdaptiveKBest: prepare() not called");
+        let mut scratch = AkbScratch::default();
+        scratch.ybar.resize(state.tri.nt(), Cx::ZERO);
+        ys.iter()
+            .map(|y| {
+                state.tri.rotate_into(y, &mut scratch.ybar);
+                self.descend(state, &mut scratch)
+            })
+            .collect()
+    }
+
+    /// Per-vector cost = total survivor width `Σ K_l` the prepared channel
+    /// requests; 1 before `prepare`.
+    fn effort(&self) -> usize {
+        self.state
+            .as_ref()
+            .map_or(1, |s| s.k_per_level.iter().sum::<usize>().max(1))
     }
 }
 
@@ -176,6 +210,87 @@ mod tests {
         let s: Vec<usize> = (0..5).map(|_| rng.gen_range(0..16)).collect();
         let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
         assert_eq!(det.detect(&h.mul_vec(&x)), s);
+    }
+
+    /// The pre-scratch descent, re-enacted: clone-per-child survivor pairs,
+    /// stable `Vec` sort, truncate. The flip-flop workspace must reproduce
+    /// it bit-for-bit.
+    fn detect_clone_per_child(det: &AdaptiveKBest, y: &[Cx]) -> Vec<usize> {
+        let state = det.state.as_ref().expect("prepare() not called");
+        let tri = &state.tri;
+        let nt = tri.nt();
+        let q = det.constellation.order();
+        let ybar = tri.rotate(y);
+        let mut survivors: Vec<(f64, Vec<usize>)> = vec![(0.0, vec![0usize; nt])];
+        for row in (0..nt).rev() {
+            let keep = state.k_per_level[row] * survivors.len().max(1);
+            let mut children: Vec<(f64, Vec<usize>)> = Vec::new();
+            for (ped, symbols) in &survivors {
+                for sym in 0..q {
+                    let inc = tri.ped_increment(&ybar, symbols, row, sym);
+                    let mut s = symbols.clone();
+                    s[row] = sym;
+                    children.push((ped + inc, s));
+                }
+            }
+            children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN PED"));
+            children.truncate(keep.max(1));
+            survivors = children;
+        }
+        tri.unpermute(&survivors[0].1)
+    }
+
+    #[test]
+    fn scratch_descent_is_bit_identical_to_clone_per_child() {
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(6, 6);
+        let mut rng = StdRng::seed_from_u64(31);
+        for snr in [8.0, 12.0, 20.0] {
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            let mut det = AdaptiveKBest::new(c.clone(), 24);
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            for _ in 0..10 {
+                let s: Vec<usize> = (0..6).map(|_| rng.gen_range(0..16)).collect();
+                let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+                let y = ch.transmit(&x, &mut rng);
+                assert_eq!(det.detect(&y), detect_clone_per_child(&det, &y));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_path_is_bit_identical_to_per_vector() {
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(6, 6);
+        let mut rng = StdRng::seed_from_u64(32);
+        let h = ens.draw(&mut rng);
+        let ch = MimoChannel::new(h.clone(), 11.0);
+        let mut det = AdaptiveKBest::new(c.clone(), 16);
+        det.prepare(&h, sigma2_from_snr_db(11.0));
+        let ys: Vec<Vec<Cx>> = (0..15)
+            .map(|_| {
+                let x: Vec<Cx> = (0..6)
+                    .map(|_| c.point(rng.gen_range(0..c.order())))
+                    .collect();
+                ch.transmit(&x, &mut rng)
+            })
+            .collect();
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        assert_eq!(det.detect_batch_refs(&refs), per_vector);
+        assert_eq!(det.detect_batch(&ys), per_vector);
+    }
+
+    #[test]
+    fn effort_is_total_width_once_prepared() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut det = AdaptiveKBest::new(c, 16);
+        assert_eq!(det.effort(), 1);
+        let mut rng = StdRng::seed_from_u64(33);
+        let h = ChannelEnsemble::iid(6, 6).draw(&mut rng);
+        det.prepare(&h, sigma2_from_snr_db(10.0));
+        assert_eq!(det.effort(), det.total_width());
     }
 
     fn ser(det: &mut dyn Detector, snr: f64, nt: usize, trials: usize, seed: u64) -> f64 {

@@ -55,6 +55,20 @@ pub trait Detector {
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
         ys.iter().map(|y| self.detect(y)).collect()
     }
+
+    /// Relative cost of detecting **one vector** under the currently
+    /// prepared channel, in detector-specific work units (FlexCore: active
+    /// tree paths; adaptive K-best: total survivor width). `1` for
+    /// detectors whose per-vector cost is channel-independent or unknown.
+    ///
+    /// Channel-adaptive detectors report *smaller* values on easier
+    /// channels, so a frame scheduler can order per-subcarrier batches
+    /// longest-first (LPT) and keep cheap near-SIC subcarriers off the
+    /// critical path. The value is a scheduling hint only — it must never
+    /// influence detection results.
+    fn effort(&self) -> usize {
+        1
+    }
 }
 
 /// Streaming form of the workspace-wide minimum-metric reduction: `true`

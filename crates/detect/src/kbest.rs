@@ -23,8 +23,11 @@ use flexcore_numeric::{CMat, Cx};
 /// other, and the two swap roles each level — replacing PR 1's per-child
 /// `symbols.clone()` (which allocated `K·|Q|` vectors per level per
 /// detected vector).
+///
+/// Public so width-adaptive variants (`flexcore::AdaptiveKBest`) can share
+/// [`kbest_descend`] instead of duplicating the descent.
 #[derive(Clone, Debug, Default)]
-struct KBestScratch {
+pub struct KBestScratch {
     /// Survivor PEDs; `surv_syms[i*nt..(i+1)*nt]` are survivor `i`'s
     /// symbols (rows `< current row` still zero).
     surv_peds: Vec<f64>,
@@ -34,6 +37,81 @@ struct KBestScratch {
     child_syms: Vec<u16>,
     /// Sort permutation over the children of one level.
     order: Vec<u32>,
+}
+
+/// One breadth-first K-best descent over a rotated observation, generic in
+/// the per-level survivor width: at `R` row `row` with `n_surv` current
+/// survivors, `keep(row, n_surv)` children survive (floored at 1 so a
+/// zero-width request degrades to a SIC step instead of emptying the
+/// survivor set, capped at the child count). The fixed detector passes
+/// `|_, _| k`; the model-adaptive variant passes
+/// `|row, n_surv| k_per_level[row] * n_surv`.
+///
+/// Children are generated survivor-major / symbol-minor and ranked with a
+/// **stable** index sort, so survivor order — and therefore the final
+/// decision — is bit-identical to the original clone-and-sort
+/// implementations on both call sites (enforced by
+/// `tests/scratch_identity.rs` and the `flexcore` adaptive regressions).
+pub fn kbest_descend<K>(
+    tri: &Triangular,
+    ybar: &[Cx],
+    keep: K,
+    scratch: &mut KBestScratch,
+) -> Vec<usize>
+where
+    K: Fn(usize, usize) -> usize,
+{
+    let nt = tri.nt();
+    let q = tri.constellation.order();
+    let KBestScratch {
+        surv_peds,
+        surv_syms,
+        child_peds,
+        child_syms,
+        order,
+    } = scratch;
+    // Root survivor: empty path, PED 0.
+    surv_peds.clear();
+    surv_peds.push(0.0);
+    surv_syms.clear();
+    surv_syms.resize(nt, 0);
+    for row in (0..nt).rev() {
+        let n_surv = surv_peds.len();
+        // Expand every survivor to all |Q| children.
+        child_peds.clear();
+        child_syms.clear();
+        child_syms.reserve(n_surv * q * nt);
+        for i in 0..n_surv {
+            let ped = surv_peds[i];
+            let syms = &surv_syms[i * nt..(i + 1) * nt];
+            for sym in 0..q {
+                let inc = tri.ped_increment_sym(ybar, syms, row, sym);
+                child_peds.push(ped + inc);
+                child_syms.extend_from_slice(syms);
+                let last = child_syms.len() - nt;
+                child_syms[last + row] = sym as u16;
+            }
+        }
+        // Stable index sort by PED; keep the requested width as the next
+        // survivor generation.
+        let n_children = child_peds.len();
+        order.clear();
+        order.extend(0..n_children as u32);
+        order.sort_by(|&a, &b| {
+            child_peds[a as usize]
+                .partial_cmp(&child_peds[b as usize])
+                .expect("NaN PED")
+        });
+        let kept = keep(row, n_surv).max(1).min(n_children);
+        surv_peds.clear();
+        surv_syms.clear();
+        for &ci in &order[..kept] {
+            let ci = ci as usize;
+            surv_peds.push(child_peds[ci]);
+            surv_syms.extend_from_slice(&child_syms[ci * nt..(ci + 1) * nt]);
+        }
+    }
+    tri.unpermute_sym(&surv_syms[..nt])
 }
 
 /// K-best breadth-first detector.
@@ -61,63 +139,11 @@ impl KBestDetector {
     }
 
     /// One K-best descent over a rotated observation using the flip-flop
-    /// workspace. Children are generated survivor-major / symbol-minor and
-    /// ranked with a stable index sort, so survivor order — and therefore
-    /// the final decision — is bit-identical to PR 1's clone-and-sort
-    /// implementation.
+    /// workspace: [`kbest_descend`] with the uniform width `K` at every
+    /// level.
     fn descend(&self, ybar: &[Cx], scratch: &mut KBestScratch) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("KBest: prepare() not called");
-        let nt = tri.nt();
-        let q = self.constellation.order();
-        let KBestScratch {
-            surv_peds,
-            surv_syms,
-            child_peds,
-            child_syms,
-            order,
-        } = scratch;
-        // Root survivor: empty path, PED 0.
-        surv_peds.clear();
-        surv_peds.push(0.0);
-        surv_syms.clear();
-        surv_syms.resize(nt, 0);
-        for row in (0..nt).rev() {
-            let n_surv = surv_peds.len();
-            // Expand every survivor to all |Q| children.
-            child_peds.clear();
-            child_syms.clear();
-            child_syms.reserve(n_surv * q * nt);
-            for i in 0..n_surv {
-                let ped = surv_peds[i];
-                let syms = &surv_syms[i * nt..(i + 1) * nt];
-                for sym in 0..q {
-                    let inc = tri.ped_increment_sym(ybar, syms, row, sym);
-                    child_peds.push(ped + inc);
-                    child_syms.extend_from_slice(syms);
-                    let last = child_syms.len() - nt;
-                    child_syms[last + row] = sym as u16;
-                }
-            }
-            // Stable index sort by PED ≡ PR 1's stable Vec sort; keep the
-            // K best as the next survivor generation.
-            let n_children = child_peds.len();
-            order.clear();
-            order.extend(0..n_children as u32);
-            order.sort_by(|&a, &b| {
-                child_peds[a as usize]
-                    .partial_cmp(&child_peds[b as usize])
-                    .expect("NaN PED")
-            });
-            let keep = self.k.min(n_children);
-            surv_peds.clear();
-            surv_syms.clear();
-            for &ci in &order[..keep] {
-                let ci = ci as usize;
-                surv_peds.push(child_peds[ci]);
-                surv_syms.extend_from_slice(&child_syms[ci * nt..(ci + 1) * nt]);
-            }
-        }
-        tri.unpermute_sym(&surv_syms[..nt])
+        kbest_descend(tri, ybar, |_, _| self.k, scratch)
     }
 }
 

@@ -31,7 +31,7 @@ pub mod sphere;
 
 pub use common::{Detector, Triangular};
 pub use fcsd::FcsdDetector;
-pub use kbest::KBestDetector;
+pub use kbest::{kbest_descend, KBestDetector, KBestScratch};
 pub use linear::{MmseDetector, ZfDetector};
 pub use ml::MlDetector;
 pub use sic::{ParallelSicDetector, SicDetector};

@@ -4,11 +4,13 @@ use crate::channel::FrameChannel;
 use crate::frame::{DetectedFrame, RxFrame};
 use flexcore_detect::common::Detector;
 use flexcore_numeric::Cx;
-use flexcore_parallel::PePool;
+use flexcore_parallel::{lpt_order, PePool};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Snapshot of an engine's cumulative work counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Snapshot of an engine's cumulative work counters plus the current
+/// per-subcarrier effort profile.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EngineStats {
     /// Frames pushed through [`FrameEngine::detect_frame`] /
     /// [`FrameEngine::process_frame`].
@@ -20,12 +22,39 @@ pub struct EngineStats {
     pub prepare_runs: u64,
     /// Subcarrier slots refreshed by [`FrameEngine::prepare`].
     pub subcarriers_refreshed: u64,
+    /// Subcarriers currently holding a prepared detector.
+    pub prepared_subcarriers: u64,
+    /// Σ of [`Detector::effort`] over the prepared subcarriers — for
+    /// FlexCore templates, the total active paths (PEs) the current channel
+    /// costs per OFDM symbol. Fixed FlexCore-`N` pins this at
+    /// `N · prepared_subcarriers`; a-FlexCore shrinks it wherever the
+    /// stopping criterion fires, and the difference is the §5.1 effort
+    /// saving at frame scale.
+    pub effort_total: u64,
+    /// Histogram of per-subcarrier effort: sorted `(effort, count)` pairs
+    /// over the prepared subcarriers. A clean channel piles the mass on
+    /// small efforts; a crowded one spreads it toward the PE budget.
+    pub effort_histogram: Vec<(usize, u64)>,
+}
+
+impl EngineStats {
+    /// Mean per-subcarrier effort (0.0 when nothing is prepared) — the
+    /// frame-scale analogue of Fig. 10's mean active PEs.
+    pub fn mean_effort(&self) -> f64 {
+        if self.prepared_subcarriers == 0 {
+            return 0.0;
+        }
+        self.effort_total as f64 / self.prepared_subcarriers as f64
+    }
 }
 
 struct Slot<D> {
     detector: D,
     channel_id: u64,
     generation: u64,
+    /// [`Detector::effort`] captured right after preparation — the
+    /// scheduling weight of this subcarrier's symbol batches.
+    effort: usize,
 }
 
 /// Drives one detector design across whole OFDM frames.
@@ -41,6 +70,13 @@ struct Slot<D> {
 /// clone — borrowed slices in, one reused scratch workspace per batch, so
 /// a software PE streams a subcarrier's symbols exactly like the paper's
 /// pipelined hardware engines (§4), with zero per-vector heap traffic.
+///
+/// The engine is also **load-aware**: preparation captures each
+/// subcarrier's [`Detector::effort`] (for a-FlexCore, the PEs its stopping
+/// criterion activates — §5.1's adjustable FlexCore, lifted to the frame
+/// grid), aggregates the profile into [`EngineStats`], and orders symbol
+/// batches longest-processing-time-first so cheap near-SIC subcarriers
+/// never pad out the critical path behind the crowded ones.
 pub struct FrameEngine<D> {
     template: D,
     slots: Vec<Option<Slot<D>>>,
@@ -64,14 +100,34 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
         }
     }
 
-    /// Cumulative work counters.
+    /// Cumulative work counters plus the current effort profile.
     pub fn stats(&self) -> EngineStats {
+        let mut histogram: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut effort_total = 0u64;
+        let mut prepared = 0u64;
+        for slot in self.slots.iter().flatten() {
+            prepared += 1;
+            effort_total += slot.effort as u64;
+            *histogram.entry(slot.effort).or_insert(0) += 1;
+        }
         EngineStats {
             frames: self.frames.load(Ordering::Relaxed),
             vectors: self.vectors.load(Ordering::Relaxed),
             prepare_runs: self.prepare_runs.load(Ordering::Relaxed),
             subcarriers_refreshed: self.subcarriers_refreshed.load(Ordering::Relaxed),
+            prepared_subcarriers: prepared,
+            effort_total,
+            effort_histogram: histogram.into_iter().collect(),
         }
+    }
+
+    /// The scheduling weight of one subcarrier: its prepared detector's
+    /// [`Detector::effort`], or 1 while unprepared.
+    fn slot_effort(&self, subcarrier: usize) -> usize {
+        self.slots
+            .get(subcarrier)
+            .and_then(Option::as_ref)
+            .map_or(1, |slot| slot.effort)
     }
 
     /// The prepared detector of one subcarrier.
@@ -115,23 +171,27 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             // One preparation, cloned into every stale slot.
             let mut detector = self.template.clone();
             detector.prepare(channel.h(stale[0]), channel.sigma2());
+            let effort = detector.effort();
             self.prepare_runs.fetch_add(1, Ordering::Relaxed);
             for &sc in &stale {
                 self.slots[sc] = Some(Slot {
                     detector: detector.clone(),
                     channel_id: channel.id(),
                     generation: channel.generation(sc),
+                    effort,
                 });
             }
         } else {
             for &sc in &stale {
                 let mut detector = self.template.clone();
                 detector.prepare(channel.h(sc), channel.sigma2());
+                let effort = detector.effort();
                 self.prepare_runs.fetch_add(1, Ordering::Relaxed);
                 self.slots[sc] = Some(Slot {
                     detector,
                     channel_id: channel.id(),
                     generation: channel.generation(sc),
+                    effort,
                 });
             }
         }
@@ -140,10 +200,18 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
         stale.len()
     }
 
-    /// Splits the frame's grid into `(subcarrier, symbol-range)` batches:
+    /// Splits the frame's grid into `(subcarrier, symbol-range)` batches —
     /// every subcarrier contributes `tasks_per_sc` contiguous symbol
     /// chunks, sized so the pool sees a few tasks per PE even on narrow
-    /// frames.
+    /// frames — and orders them longest-processing-time-first by each
+    /// batch's estimated cost (subcarrier effort × symbols).
+    ///
+    /// Under a channel-adaptive template the per-subcarrier costs are
+    /// wildly unequal (a near-SIC subcarrier costs ~1 path-walk per symbol,
+    /// a crowded one the full PE budget); LPT keeps the expensive batches
+    /// off the work queue's tail so they can't pad out the critical path.
+    /// Ordering only: [`FrameEngine::process_frame`] scatters results by
+    /// grid position, so outputs are unchanged.
     fn plan(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
         let n_sc = frame.n_subcarriers();
         let n_sym = frame.n_symbols();
@@ -160,7 +228,11 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                 from = to;
             }
         }
-        batches
+        let costs: Vec<u64> = batches
+            .iter()
+            .map(|&(sc, from, to)| self.slot_effort(sc) as u64 * (to - from) as u64)
+            .collect();
+        lpt_order(&costs).into_iter().map(|i| batches[i]).collect()
     }
 
     /// Runs `f` over every `(subcarrier, symbol-batch)` of the frame on the
@@ -411,5 +483,125 @@ mod tests {
     fn unprepared_subcarrier_panics() {
         let engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
         let _ = engine.detector(0);
+    }
+
+    #[test]
+    fn effort_profile_tracks_prepared_slots() {
+        // Fixed-cost template: every slot reports effort 1 and the
+        // histogram is a single bucket.
+        let mut engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        assert_eq!(engine.stats().prepared_subcarriers, 0);
+        assert_eq!(engine.stats().mean_effort(), 0.0);
+        let ch = selective_channel(6, 21);
+        engine.prepare(&ch);
+        let stats = engine.stats();
+        assert_eq!(stats.prepared_subcarriers, 6);
+        assert_eq!(stats.effort_total, 6);
+        assert_eq!(stats.effort_histogram, vec![(1, 6)]);
+        assert_eq!(stats.mean_effort(), 1.0);
+    }
+
+    #[test]
+    fn flexcore_effort_profile_counts_paths() {
+        use flexcore::FlexCoreDetector;
+        let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+            Constellation::new(Modulation::Qam16),
+            12,
+        ));
+        let ch = selective_channel(5, 22);
+        engine.prepare(&ch);
+        let stats = engine.stats();
+        // No stopping threshold: every subcarrier spends the full budget.
+        assert_eq!(stats.effort_total, 5 * 12);
+        assert_eq!(stats.effort_histogram, vec![(12, 5)]);
+        assert_eq!(stats.mean_effort(), 12.0);
+    }
+
+    #[test]
+    fn plan_orders_batches_longest_first() {
+        use flexcore::AdaptiveFlexCore;
+        // An adaptive template over a selective channel yields unequal
+        // slot efforts; the plan must be sorted by batch cost, descending.
+        let mut engine = FrameEngine::new(AdaptiveFlexCore::new(
+            Constellation::new(Modulation::Qam16),
+            16,
+            0.95,
+        ));
+        let ch = selective_channel(12, 23);
+        engine.prepare(&ch);
+        let (frame, _) = build_frame(12, 6, &ch, 24);
+        let batches = engine.plan(&frame, 4);
+        let cost = |&(sc, from, to): &(usize, usize, usize)| {
+            engine.slot_effort(sc) as u64 * (to - from) as u64
+        };
+        for pair in batches.windows(2) {
+            assert!(
+                cost(&pair[0]) >= cost(&pair[1]),
+                "plan not LPT-sorted: {pair:?}"
+            );
+        }
+        // Every grid cell is still covered exactly once.
+        let mut covered = vec![0usize; frame.n_vectors()];
+        for &(sc, from, to) in &batches {
+            for sym in from..to {
+                covered[sym * 12 + sc] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "coverage: {covered:?}");
+    }
+
+    #[test]
+    fn empty_frame_and_single_subcarrier_schedules() {
+        // The LPT ordering must survive the degenerate grids: a frame with
+        // zero symbols produces no batches, a one-subcarrier frame slices
+        // into per-PE chunks that reassemble in order.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut engine = FrameEngine::new(MmseDetector::new(c.clone()));
+        let ch = selective_channel(1, 25);
+        engine.prepare(&ch);
+
+        let empty = RxFrame::empty(1);
+        assert!(engine.plan(&empty, 4).is_empty());
+        let out = engine.detect_frame(&empty, &SequentialPool::new(4));
+        assert_eq!(out.n_symbols(), 0);
+
+        let (frame, _) = build_frame(1, 9, &ch, 26);
+        let batches = engine.plan(&frame, 4);
+        assert!(batches.len() > 1, "single subcarrier should still chunk");
+        let out = engine.detect_frame(&frame, &CrossbeamPool::work_queue(3));
+        let mut reference = MmseDetector::new(c);
+        reference.prepare(ch.h(0), ch.sigma2());
+        for sym in 0..9 {
+            assert_eq!(out.get(sym, 0), reference.detect(frame.get(sym, 0)));
+        }
+    }
+
+    #[test]
+    fn lpt_scheduling_preserves_bit_identity_for_adaptive_templates() {
+        use flexcore::AdaptiveFlexCore;
+        // The scheduling tentpole must not change results: adaptive
+        // template, unequal efforts, every substrate agrees cell-for-cell.
+        let mk = || AdaptiveFlexCore::new(Constellation::new(Modulation::Qam16), 16, 0.95);
+        let ch = selective_channel(10, 27);
+        let (frame, _) = build_frame(10, 5, &ch, 28);
+        let mut engine = FrameEngine::new(mk());
+        engine.prepare(&ch);
+        let reference = engine.detect_frame(&frame, &SequentialPool::new(1));
+        assert_eq!(
+            engine.detect_frame(&frame, &CrossbeamPool::work_queue(4)),
+            reference
+        );
+        assert_eq!(
+            engine.detect_frame(&frame, &CrossbeamPool::new(3)),
+            reference
+        );
+        // And cell-for-cell against the per-vector sequential detector.
+        for sym in 0..5 {
+            for sc in 0..10 {
+                let mut det = mk();
+                det.prepare(ch.h(sc), ch.sigma2());
+                assert_eq!(reference.get(sym, sc), det.detect(frame.get(sym, sc)));
+            }
+        }
     }
 }

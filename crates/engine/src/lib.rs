@@ -18,10 +18,17 @@
 //!   invalidate only the subcarriers they touch;
 //! * [`FrameEngine`] — owns one prepared detector clone per subcarrier
 //!   (the paper's per-channel pre-processing, run only when a subcarrier's
-//!   generation changes), carves the frame into per-subcarrier symbol
-//!   batches, and schedules them onto a PE pool. Each batch goes through
-//!   [`flexcore_detect::Detector::detect_batch`], amortising prepared
-//!   state across the whole column exactly as §3 prescribes.
+//!   generation changes), captures each subcarrier's
+//!   [`flexcore_detect::Detector::effort`] at preparation, carves the
+//!   frame into per-subcarrier symbol batches ordered
+//!   longest-processing-time-first, and schedules them onto a PE pool.
+//!   Each batch goes through
+//!   [`flexcore_detect::Detector::detect_batch_refs`], amortising prepared
+//!   state across the whole column exactly as §3 prescribes;
+//! * [`ChannelStream`] — the streaming time-varying scenario: one
+//!   Gauss–Markov truth process per subcarrier aged every frame, with
+//!   staggered estimate refresh bumping exactly the generations the
+//!   engine's cache must re-prepare.
 //!
 //! Results are **bit-identical** across substrates and batch shapes: the
 //! engine only reorders *scheduling*, never arithmetic, so
@@ -36,7 +43,9 @@
 pub mod channel;
 pub mod engine;
 pub mod frame;
+pub mod stream;
 
 pub use channel::FrameChannel;
 pub use engine::{EngineStats, FrameEngine};
 pub use frame::{DetectedFrame, RxFrame};
+pub use stream::ChannelStream;

@@ -1,0 +1,252 @@
+//! Streaming time-varying scenario driver.
+//!
+//! §3.1 of the paper stresses that in dynamic channels the pre-processing
+//! must be re-run alongside the usual channel-dependent work whenever fresh
+//! estimates arrive. This module provides the frame-scale version of that
+//! scenario: every subcarrier owns a [`GaussMarkovChannel`] *truth* process
+//! that ages once per frame, while the receiver's *estimate* — a
+//! [`FrameChannel`] feeding a [`FrameEngine`](crate::FrameEngine)
+//! preparation cache — is refreshed on a staggered round-robin schedule
+//! (channel sounding covers `1/refresh_period` of the band per frame, the
+//! way scattered pilots do). Between refreshes a subcarrier's prepared
+//! state goes stale by up to `refresh_period` frames, so detection quality
+//! degrades with Doppler exactly as the paper warns — and the engine's
+//! generation cache re-prepares *only* the subcarriers whose estimates
+//! moved, keeping the pre-processing cost at `n_subcarriers /
+//! refresh_period` runs per frame instead of a full sweep.
+
+use crate::channel::FrameChannel;
+use crate::frame::RxFrame;
+use flexcore_channel::{ChannelEnsemble, GaussMarkovChannel};
+use flexcore_numeric::rng::CxRng;
+use flexcore_numeric::{CMat, Cx};
+use rand::Rng;
+
+/// Per-subcarrier Gauss–Markov truth channels plus the staggered,
+/// generation-bumping estimate the receiver actually detects with.
+#[derive(Clone, Debug)]
+pub struct ChannelStream {
+    truth: Vec<GaussMarkovChannel>,
+    estimate: FrameChannel,
+    refresh_period: usize,
+    frames_elapsed: u64,
+}
+
+impl ChannelStream {
+    /// A stream of `n_subcarriers` independent Gauss–Markov channels drawn
+    /// from `ensemble`, each with per-frame correlation `rho`
+    /// ([`GaussMarkovChannel::rho_from_doppler`] maps a normalised Doppler
+    /// to it). Estimates start perfectly fresh and are thereafter refreshed
+    /// for `~n_subcarriers / refresh_period` subcarriers per
+    /// [`ChannelStream::advance`] (`refresh_period = 1` re-sounds the whole
+    /// band every frame).
+    pub fn new<R: Rng + ?Sized>(
+        ensemble: &ChannelEnsemble,
+        n_subcarriers: usize,
+        rho: f64,
+        refresh_period: usize,
+        sigma2: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n_subcarriers > 0, "ChannelStream: zero subcarriers");
+        assert!(refresh_period >= 1, "ChannelStream: zero refresh period");
+        let truth: Vec<GaussMarkovChannel> = (0..n_subcarriers)
+            .map(|_| GaussMarkovChannel::new(ensemble, rho, rng))
+            .collect();
+        let estimate = FrameChannel::per_subcarrier(
+            truth.iter().map(|t| t.current().clone()).collect(),
+            sigma2,
+        );
+        ChannelStream {
+            truth,
+            estimate,
+            refresh_period,
+            frames_elapsed: 0,
+        }
+    }
+
+    /// The receiver-side channel state: feed this to
+    /// [`FrameEngine::prepare`](crate::FrameEngine::prepare) after every
+    /// [`ChannelStream::advance`] — only the refreshed subcarriers'
+    /// generations moved, so only they re-prepare.
+    pub fn estimate(&self) -> &FrameChannel {
+        &self.estimate
+    }
+
+    /// The *true* current channel of one subcarrier (what the air applies;
+    /// the receiver only knows its latest refreshed estimate).
+    pub fn truth(&self, subcarrier: usize) -> &CMat {
+        self.truth[subcarrier].current()
+    }
+
+    /// Number of data subcarriers.
+    pub fn n_subcarriers(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Frames advanced so far.
+    pub fn frames_elapsed(&self) -> u64 {
+        self.frames_elapsed
+    }
+
+    /// Ages every truth channel by one frame interval, then delivers fresh
+    /// estimates for this frame's round-robin share of the band (bumping
+    /// exactly those subcarriers' [`FrameChannel`] generations). Returns
+    /// how many subcarriers were refreshed.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        for t in &mut self.truth {
+            t.step(rng);
+        }
+        self.frames_elapsed += 1;
+        let due = (self.frames_elapsed as usize) % self.refresh_period;
+        let mut refreshed = 0;
+        for sc in 0..self.truth.len() {
+            if sc % self.refresh_period == due {
+                self.estimate
+                    .update_subcarrier(sc, self.truth[sc].current().clone());
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Builds one received frame by passing the caller's transmitted
+    /// vectors through the **truth** channels plus `CN(0, σ²)` noise:
+    /// `tx(symbol, subcarrier)` supplies each grid cell's transmit vector.
+    /// Detection then runs against the (possibly stale) estimates — the
+    /// mismatch is the scenario.
+    pub fn transmit_frame<R, F>(&self, n_symbols: usize, mut tx: F, rng: &mut R) -> RxFrame
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize, usize) -> Vec<Cx>,
+    {
+        let n_sc = self.truth.len();
+        let sigma2 = self.estimate.sigma2();
+        let mut frame = RxFrame::empty(n_sc);
+        for sym in 0..n_symbols {
+            let mut row = Vec::with_capacity(n_sc);
+            for sc in 0..n_sc {
+                let mut y = self.truth[sc].current().mul_vec(&tx(sym, sc));
+                for v in &mut y {
+                    *v += rng.cx_normal(sigma2);
+                }
+                row.push(y);
+            }
+            frame.push_symbol(row);
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FrameEngine;
+    use flexcore_detect::MmseDetector;
+    use flexcore_modulation::{Constellation, Modulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(n_sc: usize, rho: f64, period: usize, seed: u64) -> ChannelStream {
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ChannelStream::new(&ens, n_sc, rho, period, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn staggered_refresh_covers_the_band_once_per_period() {
+        let mut s = stream(8, 0.9, 4, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut refreshed_total = 0;
+        let before: Vec<u64> = (0..8).map(|sc| s.estimate().generation(sc)).collect();
+        for _ in 0..4 {
+            refreshed_total += s.advance(&mut rng);
+        }
+        assert_eq!(refreshed_total, 8, "one full band sweep per period");
+        for sc in 0..8 {
+            assert!(
+                s.estimate().generation(sc) > before[sc],
+                "subcarrier {sc} never refreshed"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reprepares_exactly_the_refreshed_subcarriers() {
+        let mut s = stream(12, 0.8, 3, 3);
+        let mut engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        assert_eq!(engine.prepare(s.estimate()), 12, "cold cache");
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..6 {
+            let refreshed = s.advance(&mut rng);
+            assert_eq!(refreshed, 4, "12 subcarriers / period 3");
+            assert_eq!(
+                engine.prepare(s.estimate()),
+                refreshed,
+                "cache must re-prepare only moved subcarriers"
+            );
+        }
+    }
+
+    #[test]
+    fn static_channel_keeps_estimates_exact() {
+        let mut s = stream(6, 1.0, 2, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let h0: Vec<CMat> = (0..6).map(|sc| s.truth(sc).clone()).collect();
+        for _ in 0..5 {
+            s.advance(&mut rng);
+        }
+        for sc in 0..6 {
+            assert_eq!(s.truth(sc), &h0[sc], "rho=1 truth must not move");
+            assert_eq!(s.estimate().h(sc), &h0[sc], "estimate stays exact");
+        }
+    }
+
+    #[test]
+    fn estimates_go_stale_between_refreshes() {
+        // Period 8 on 8 subcarriers: one refresh per frame. After one
+        // advance, exactly one estimate matches its (moved) truth; the
+        // others still hold the initial draw.
+        let mut s = stream(8, 0.3, 8, 7);
+        let initial: Vec<CMat> = (0..8).map(|sc| s.truth(sc).clone()).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let refreshed = s.advance(&mut rng);
+        assert_eq!(refreshed, 1);
+        let mut fresh = 0;
+        for sc in 0..8 {
+            assert_ne!(s.truth(sc), &initial[sc], "rho=0.3 truth must move");
+            if s.estimate().h(sc) == s.truth(sc) {
+                fresh += 1;
+            } else {
+                assert_eq!(s.estimate().h(sc), &initial[sc], "stale = last refresh");
+            }
+        }
+        assert_eq!(fresh, 1);
+    }
+
+    #[test]
+    fn transmit_frame_applies_truth_channels() {
+        let mut s = stream(3, 0.5, 1, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        s.advance(&mut rng);
+        // Near-zero noise: y must equal H_truth·x, not H_estimate·x.
+        let mut quiet = s.clone();
+        quiet.estimate.set_sigma2(1e-30);
+        let x = vec![
+            Cx::new(1.0, 0.0),
+            Cx::new(0.0, 1.0),
+            Cx::new(-1.0, 0.5),
+            Cx::ZERO,
+        ];
+        let frame = quiet.transmit_frame(2, |_, _| x.clone(), &mut rng);
+        assert_eq!(frame.n_symbols(), 2);
+        for sym in 0..2 {
+            for sc in 0..3 {
+                let want = quiet.truth(sc).mul_vec(&x);
+                for (a, b) in frame.get(sym, sc).iter().zip(&want) {
+                    assert!((*a - *b).abs() < 1e-9, "({sym},{sc})");
+                }
+            }
+        }
+    }
+}

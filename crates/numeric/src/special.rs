@@ -1,4 +1,5 @@
-//! Special functions: `erf`, `erfc`, and the Gaussian Q-function.
+//! Special functions: `erf`, `erfc`, the Gaussian Q-function, and the
+//! Bessel function `J₀`.
 //!
 //! FlexCore's pre-processing model (Eq. 4 of the paper) evaluates the
 //! complementary error function at `|R(l,l)|·√Es/σ`, which at the SNRs of
@@ -7,6 +8,10 @@
 //! Chebyshev-fitted exponential form popularised by Numerical Recipes
 //! (`erfc(x) = t·exp(−x² + P(t))`, fractional error < 1.2e-7 everywhere),
 //! which remains accurate where the naive `1 − erf(x)` cancels catastrophically.
+//!
+//! `J₀` backs the Jakes Doppler-correlation mapping of the time-varying
+//! channel models (`ρ = J₀(2π·f_D·Δt)`), where the argument routinely
+//! exceeds the radius of convergence of the small-x Taylor expansion.
 
 /// Complementary error function `erfc(x) = 2/√π ∫_x^∞ e^{−t²} dt`.
 ///
@@ -63,6 +68,47 @@ pub fn q_inverse(p: f64) -> f64 {
         }
     }
     0.5 * (lo + hi)
+}
+
+/// Bessel function of the first kind, order zero, `J₀(x)`.
+///
+/// Abramowitz & Stegun rational approximations: the polynomial fit 9.4.1
+/// on `|x| ≤ 3` (|ε| < 5e-8) and the modulus/phase form 9.4.3
+/// (`J₀(x) = f₀(x)·cos(θ₀(x))/√x`) beyond, so the oscillatory tail —
+/// including every zero crossing — is captured instead of diverging like
+/// a truncated Taylor series.
+///
+/// ```
+/// use flexcore_numeric::special::j0;
+/// assert!((j0(0.0) - 1.0).abs() < 1e-8);
+/// assert!(j0(2.404825557695773).abs() < 1e-6); // first zero
+/// assert!(j0(4.0) < 0.0); // the tail oscillates
+/// ```
+pub fn j0(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax <= 3.0 {
+        // A&S 9.4.1, argument (x/3)².
+        let t = (ax / 3.0) * (ax / 3.0);
+        1.0 + t
+            * (-2.249_999_7
+                + t * (1.265_620_8
+                    + t * (-0.316_386_6
+                        + t * (0.044_447_9 + t * (-0.003_944_4 + t * 0.000_210_0)))))
+    } else {
+        // A&S 9.4.3: J₀(x) = f₀·cos(θ₀)/√x, argument 3/x.
+        let t = 3.0 / ax;
+        let f0 = 0.797_884_56
+            + t * (-0.000_000_77
+                + t * (-0.005_527_40
+                    + t * (-0.000_095_12
+                        + t * (0.001_372_37 + t * (-0.000_728_05 + t * 0.000_144_76)))));
+        let theta0 = ax - 0.785_398_16
+            + t * (-0.041_663_97
+                + t * (-0.000_039_54
+                    + t * (0.002_625_73
+                        + t * (-0.000_541_25 + t * (-0.000_293_33 + t * 0.000_135_58)))));
+        f0 * theta0.cos() / ax.sqrt()
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +197,56 @@ mod tests {
     #[should_panic(expected = "p must be in (0,1)")]
     fn q_inverse_rejects_bad_input() {
         q_inverse(1.5);
+    }
+
+    #[test]
+    fn j0_matches_reference_values() {
+        // mpmath besselj(0, x) to 16 digits.
+        const J0_REF: &[(f64, f64)] = &[
+            (0.0, 1.0),
+            (0.5, 0.938469807240813),
+            (1.0, 0.765197686557967),
+            (2.0, 0.223890779141236),
+            (3.0, -0.260051954901933),
+            (5.0, -0.177596771314338),
+            (10.0, -0.245935764451348),
+            (20.0, 0.167024664340583),
+        ];
+        for &(x, want) in J0_REF {
+            let got = j0(x);
+            assert!((got - want).abs() < 1e-6, "j0({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn j0_vanishes_at_known_zeros() {
+        // The first two zeros straddle the 9.4.1 / 9.4.3 branch switch at
+        // x = 3, exercising both fits.
+        for zero in [2.404825557695773, 5.520078110286311] {
+            assert!(j0(zero).abs() < 1e-6, "j0({zero}) = {}", j0(zero));
+        }
+    }
+
+    #[test]
+    fn j0_is_even_and_bounded() {
+        let mut x = 0.0f64;
+        while x < 30.0 {
+            assert!((j0(x) - j0(-x)).abs() < 1e-15, "j0 not even at {x}");
+            assert!(j0(x).abs() <= 1.0 + 1e-7, "j0({x}) out of [-1,1]");
+            x += 0.13;
+        }
+    }
+
+    #[test]
+    fn j0_agrees_with_taylor_expansion_for_small_arguments() {
+        // The old `rho_from_doppler` used 1 − x²/4 + x⁴/64; on its own turf
+        // (x ≪ 1) the proper J₀ must agree with it — the regression half of
+        // the fix (the other half is that J₀ keeps working beyond x ≈ 1).
+        let mut x = 0.0f64;
+        while x <= 0.6 {
+            let series = 1.0 - x * x / 4.0 + x.powi(4) / 64.0;
+            assert!((j0(x) - series).abs() < 1e-4, "j0({x}) vs series {series}");
+            x += 0.05;
+        }
     }
 }

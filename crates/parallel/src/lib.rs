@@ -30,4 +30,6 @@
 
 pub mod pool;
 
-pub use pool::{schedule_rounds, CrossbeamPool, PePool, ScheduleMode, SequentialPool, WorkStats};
+pub use pool::{
+    lpt_order, schedule_rounds, CrossbeamPool, PePool, ScheduleMode, SequentialPool, WorkStats,
+};

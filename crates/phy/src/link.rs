@@ -488,6 +488,51 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_framed_uplink_is_bit_identical_and_batch_scheduled() {
+        use flexcore::AdaptiveFlexCore;
+        use flexcore_engine::FrameEngine;
+        use flexcore_parallel::CrossbeamPool;
+        // a-FlexCore as the engine template: the whole coded packet must
+        // equal the sequential per-vector adaptive uplink bit-for-bit, and
+        // every subcarrier slot must have been served by the batch fast
+        // path (the PR 3 bugfix), never the per-vector fallback.
+        let cfg = cfg16(50);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let snr = 15.0;
+        for seed in [31u64, 32] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h.clone(), snr);
+            let mut det = AdaptiveFlexCore::new(cfg.constellation.clone(), 16, 0.95);
+            det.prepare(&h, sigma2_from_snr_db(snr));
+            let reference = simulate_packet(&cfg, &ch, &det, &mut rng);
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let ch = MimoChannel::new(h, snr);
+            let mut engine =
+                FrameEngine::new(AdaptiveFlexCore::new(cfg.constellation.clone(), 16, 0.95));
+            let pool = CrossbeamPool::work_queue(4);
+            let framed = simulate_packet_framed(&cfg, &ch, &mut engine, &pool, &mut rng);
+
+            assert_eq!(framed.user_ok, reference.user_ok, "seed {seed}");
+            assert_eq!(
+                framed.raw_bit_errors, reference.raw_bit_errors,
+                "seed {seed}"
+            );
+            for sc in 0..cfg.ofdm.n_data {
+                let slot = engine.detector(sc);
+                assert!(slot.batch_calls() > 0, "sc {sc} skipped the batch path");
+                assert_eq!(slot.vector_calls(), 0, "sc {sc} fell back per-vector");
+            }
+            // The engine exposes the paper's Fig. 10 quantity at packet
+            // scale: mean active PEs over the prepared band.
+            let stats = engine.stats();
+            assert!(stats.mean_effort() >= 1.0 && stats.mean_effort() <= 16.0);
+        }
+    }
+
+    #[test]
     fn coding_repairs_residual_symbol_errors() {
         // At a moderate SNR the raw BER is non-zero but the convolutional
         // code should still deliver most packets — the mechanism behind the
