@@ -18,6 +18,7 @@
 //! point is that the binary runs, not that the numbers are stable.
 
 use flexcore::FlexCoreDetector;
+use flexcore_bench::{assert_grid_identity, GridView};
 use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble};
 use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
 use flexcore_modulation::{Constellation, Modulation};
@@ -117,9 +118,11 @@ fn main() {
     let pr1_out = engine.process_frame(&frame, &seq, |det, _sc, ys| {
         ys.iter().map(|y| detect_pr1_style(det, y)).collect()
     });
-    for (sym_idx, (a, b)) in scratch_out.iter().zip(&pr1_out).enumerate() {
-        assert_eq!(a, b.as_slice(), "scratch/pr1 mismatch at cell {sym_idx}");
-    }
+    assert_grid_identity(
+        "perf_smoke scratch/pr1",
+        &GridView::from_detected(&scratch_out),
+        &GridView::new(N_SC, pr1_out.iter().map(Vec::as_slice).collect()),
+    );
     println!(
         "bit-identity: scratch == pr1 on all {} cells",
         pr1_out.len()

@@ -23,6 +23,7 @@
 //! `BENCH_OUT`); `STREAMING_FAST=1` shrinks the frame count for CI smoke.
 
 use flexcore::{AdaptiveFlexCore, FlexCoreDetector};
+use flexcore_bench::{assert_grid_identity, GridView};
 use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, GaussMarkovChannel};
 use flexcore_detect::common::Detector;
 use flexcore_engine::{ChannelStream, FrameEngine};
@@ -151,24 +152,31 @@ fn identity_gate() {
     let pool = SequentialPool::new(1);
     let out_fixed = fixed.detect_frame(&frame, &pool);
     let out_adaptive = adaptive.detect_frame(&frame, &pool);
-    let mut coinciding = 0;
-    for sc in 0..N_SC {
-        if adaptive.detector(sc).inner().active_paths() != fixed.detector(sc).active_paths() {
-            continue; // stopping fired (probability mass saturated) — sets differ by design
-        }
-        coinciding += 1;
-        for sym in 0..4 {
-            assert_eq!(
-                out_adaptive.get(sym, sc),
-                out_fixed.get(sym, sc),
-                "adaptive/fixed mismatch at ({sym},{sc})"
-            );
-        }
-    }
+    // Filter both grids to the subcarriers whose selected path sets
+    // coincide (where the stopping criterion fired, the sets differ by
+    // design) and gate on the filtered grids, cell for cell.
+    let coinciding_scs: Vec<usize> = (0..N_SC)
+        .filter(|&sc| {
+            adaptive.detector(sc).inner().active_paths() == fixed.detector(sc).active_paths()
+        })
+        .collect();
+    let coinciding = coinciding_scs.len();
     assert!(
         coinciding >= N_SC / 2,
         "gate too weak: only {coinciding}/{N_SC} subcarriers coincide"
     );
+    // Gate each coinciding subcarrier as its own width-1 grid so a
+    // tripped gate names the *real* subcarrier index, not its position
+    // in the filtered list.
+    for &sc in &coinciding_scs {
+        let column_a: Vec<&[usize]> = (0..4).map(|sym| out_adaptive.get(sym, sc)).collect();
+        let column_b: Vec<&[usize]> = (0..4).map(|sym| out_fixed.get(sym, sc)).collect();
+        assert_grid_identity(
+            &format!("streaming adaptive/fixed (sc {sc})"),
+            &GridView::new(1, column_a),
+            &GridView::new(1, column_b),
+        );
+    }
     println!(
         "bit-identity gate: adaptive == fixed on all {coinciding}/{N_SC} coinciding subcarriers"
     );

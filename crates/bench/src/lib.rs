@@ -1,1 +1,226 @@
-//! Bench harness support crate (binaries live in src/bin).
+//! Bench harness support: the bit-identity gate every perf binary runs
+//! before it is allowed to report a number (binaries live in `src/bin`).
+//!
+//! The workspace's perf-trajectory discipline is "no timing without
+//! identity": a new fast path, scheduling change, or multi-user run must
+//! first reproduce its reference cell-for-cell. [`assert_grid_identity`]
+//! is that gate as a library function — `perf_smoke` (scratch vs PR 1),
+//! `streaming` (adaptive vs fixed on coinciding path sets), and
+//! `multiuser` (every user vs its solo run) all call it, and its unit
+//! tests pin down the failure messages so a tripped gate names the exact
+//! grid cell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flexcore_engine::DetectedFrame;
+
+/// A borrowed, cell-major view of one detection grid: per-cell symbol
+/// decisions plus an optional per-cell metric plane in which `NaN` means
+/// "deactivated path" (the workspace-wide convention).
+#[derive(Clone, Debug)]
+pub struct GridView<'a> {
+    n_subcarriers: usize,
+    symbols: Vec<&'a [usize]>,
+    metrics: Option<&'a [f64]>,
+}
+
+impl<'a> GridView<'a> {
+    /// A view over symbol-major cells (`cells[sym * n_subcarriers + sc]`).
+    ///
+    /// # Panics
+    /// Panics if the cell count is not a whole number of OFDM symbols.
+    pub fn new(n_subcarriers: usize, symbols: Vec<&'a [usize]>) -> Self {
+        assert!(n_subcarriers > 0, "GridView: zero subcarriers");
+        assert_eq!(
+            symbols.len() % n_subcarriers,
+            0,
+            "GridView: {} cells is not a whole number of {}-subcarrier symbols",
+            symbols.len(),
+            n_subcarriers
+        );
+        GridView {
+            n_subcarriers,
+            symbols,
+            metrics: None,
+        }
+    }
+
+    /// A view over a [`DetectedFrame`].
+    pub fn from_detected(frame: &'a DetectedFrame) -> Self {
+        Self::new(frame.n_subcarriers(), frame.iter().collect())
+    }
+
+    /// Attaches a per-cell metric plane (same cell order; `NaN` =
+    /// deactivated).
+    ///
+    /// # Panics
+    /// Panics if the plane's length differs from the cell count.
+    pub fn with_metrics(mut self, metrics: &'a [f64]) -> Self {
+        assert_eq!(
+            metrics.len(),
+            self.symbols.len(),
+            "GridView: metric plane length mismatch"
+        );
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// Asserts two detection grids identical, cell for cell.
+///
+/// Symbol decisions must be equal; where both views carry metric planes,
+/// the metrics must match **bitwise** with identical `NaN`
+/// (deactivated-path) patterns. Any mismatch panics with the `(symbol,
+/// subcarrier)` coordinates and the differing values, prefixed with
+/// `label` so a bench log names which gate tripped.
+///
+/// # Panics
+/// Panics on any shape or cell mismatch — that is the point.
+pub fn assert_grid_identity(label: &str, a: &GridView<'_>, b: &GridView<'_>) {
+    assert_eq!(
+        a.n_subcarriers, b.n_subcarriers,
+        "{label}: grid widths differ"
+    );
+    assert_eq!(
+        a.symbols.len(),
+        b.symbols.len(),
+        "{label}: grid sizes differ"
+    );
+    let n_sc = a.n_subcarriers;
+    for (cell, (sa, sb)) in a.symbols.iter().zip(&b.symbols).enumerate() {
+        let (sym, sc) = (cell / n_sc, cell % n_sc);
+        assert_eq!(
+            sa, sb,
+            "{label}: symbol mismatch at (sym {sym}, sc {sc}): {sa:?} vs {sb:?}"
+        );
+    }
+    assert_eq!(
+        a.metrics.is_some(),
+        b.metrics.is_some(),
+        "{label}: one grid carries a metric plane and the other does not"
+    );
+    if let (Some(ma), Some(mb)) = (a.metrics, b.metrics) {
+        for (cell, (&va, &vb)) in ma.iter().zip(mb).enumerate() {
+            let (sym, sc) = (cell / n_sc, cell % n_sc);
+            assert_eq!(
+                va.is_nan(),
+                vb.is_nan(),
+                "{label}: NaN-pattern mismatch at (sym {sym}, sc {sc}): {va} vs {vb}"
+            );
+            if !va.is_nan() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{label}: metric mismatch at (sym {sym}, sc {sc}): {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(vals: &[usize]) -> Vec<Vec<usize>> {
+        vals.iter().map(|&v| vec![v, v + 1]).collect()
+    }
+
+    fn view<'a>(n_sc: usize, owned: &'a [Vec<usize>]) -> GridView<'a> {
+        GridView::new(n_sc, owned.iter().map(Vec::as_slice).collect())
+    }
+
+    #[test]
+    fn equal_grids_pass() {
+        let a = cells(&[1, 2, 3, 4]);
+        let b = cells(&[1, 2, 3, 4]);
+        let metrics = [0.5, f64::NAN, 1.25, -3.0];
+        assert_grid_identity(
+            "gate",
+            &view(2, &a).with_metrics(&metrics),
+            &view(2, &b).with_metrics(&metrics),
+        );
+        // Metric planes are optional; symbol-only views also pass.
+        assert_grid_identity("gate", &view(2, &a), &view(2, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "one grid carries a metric plane")]
+    fn asymmetric_metric_planes_are_rejected() {
+        // Attaching metrics to only one side must not silently skip the
+        // metric comparison.
+        let a = cells(&[1, 2]);
+        let metrics = [0.5, 1.0];
+        assert_grid_identity(
+            "gate",
+            &view(2, &a).with_metrics(&metrics),
+            &view(2, &a.clone()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol mismatch at (sym 1, sc 0)")]
+    fn single_cell_symbol_mismatch_names_its_coordinates() {
+        let a = cells(&[1, 2, 3, 4]);
+        let mut b = cells(&[1, 2, 3, 4]);
+        b[2][1] = 99;
+        assert_grid_identity("gate", &view(2, &a), &view(2, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "metric mismatch at (sym 0, sc 1)")]
+    fn single_cell_metric_mismatch_names_its_coordinates() {
+        let a = cells(&[1, 2, 3, 4]);
+        let b = a.clone();
+        let ma = [0.5, 1.0, 2.0, 3.0];
+        let mb = [0.5, 1.0 + 1e-15, 2.0, 3.0]; // bitwise-different
+        assert_grid_identity(
+            "gate",
+            &view(2, &a).with_metrics(&ma),
+            &view(2, &b).with_metrics(&mb),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN-pattern mismatch at (sym 1, sc 1)")]
+    fn nan_pattern_mismatch_names_its_coordinates() {
+        let a = cells(&[1, 2, 3, 4]);
+        let b = a.clone();
+        let ma = [0.5, 1.0, 2.0, f64::NAN]; // path deactivated…
+        let mb = [0.5, 1.0, 2.0, 7.0]; // …but alive in the other grid
+        assert_grid_identity(
+            "gate",
+            &view(2, &a).with_metrics(&ma),
+            &view(2, &b).with_metrics(&mb),
+        );
+    }
+
+    #[test]
+    fn equal_nans_are_equal_regardless_of_payload() {
+        // NaN != NaN numerically; the gate compares the *pattern*.
+        let a = cells(&[1, 2]);
+        let ma = [f64::NAN, 1.0];
+        let mb = [-f64::NAN, 1.0]; // different bit pattern, same meaning
+        assert_grid_identity(
+            "gate",
+            &view(2, &a).with_metrics(&ma),
+            &view(2, &a.clone()).with_metrics(&mb),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid sizes differ")]
+    fn shape_mismatch_is_rejected() {
+        let a = cells(&[1, 2, 3, 4]);
+        let b = cells(&[1, 2]);
+        assert_grid_identity("gate", &view(2, &a), &view(2, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn ragged_view_is_rejected() {
+        let a = cells(&[1, 2, 3]);
+        let _ = view(2, &a);
+    }
+}

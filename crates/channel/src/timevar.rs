@@ -42,6 +42,13 @@ impl GaussMarkovChannel {
         }
     }
 
+    /// A static channel pinned at `h`: `ρ = 1`, so [`GaussMarkovChannel::step`]
+    /// never moves it and never consumes randomness. The zero-Doppler limit
+    /// the streaming/block-fading bit-identity bridges are built on.
+    pub fn frozen(h: CMat) -> Self {
+        GaussMarkovChannel { h, rho: 1.0 }
+    }
+
     /// Correlation coefficient from normalised Doppler `f_D·Δt`, via the
     /// Jakes model `ρ = J₀(2π·f_D·Δt)` with a proper Bessel evaluation
     /// ([`flexcore_numeric::special::j0`]).
@@ -108,7 +115,7 @@ impl GaussMarkovChannel {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn static_channel_never_moves() {
@@ -118,6 +125,21 @@ mod tests {
         let h0 = ch.current().clone();
         ch.step_many(50, &mut rng);
         assert_eq!(ch.current(), &h0);
+    }
+
+    #[test]
+    fn frozen_channel_is_static_and_consumes_no_randomness() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ens = ChannelEnsemble::iid(3, 3);
+        let h = ens.draw(&mut rng);
+        let mut frozen = GaussMarkovChannel::frozen(h.clone());
+        assert_eq!(frozen.rho(), 1.0);
+        let before: u64 = rng.gen();
+        let mut check = StdRng::seed_from_u64(11);
+        let _ = ens.draw(&mut check);
+        frozen.step_many(25, &mut check);
+        assert_eq!(check.gen::<u64>(), before, "step must not draw from rng");
+        assert_eq!(frozen.current(), &h);
     }
 
     #[test]

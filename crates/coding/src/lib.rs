@@ -9,14 +9,19 @@
 //!   traceback, and the 802.11 puncturing patterns for rates 2/3 and 3/4;
 //! * [`interleave`] — the 802.11a two-permutation block interleaver, which
 //!   spreads adjacent coded bits across subcarriers and constellation bit
-//!   positions so a deep per-subcarrier fade does not erase a run of bits.
+//!   positions so a deep per-subcarrier fade does not erase a run of bits;
+//! * [`crc`] — the IEEE CRC-32 frame check sequence over bit streams, the
+//!   per-packet delivery check behind the streamed uplink's goodput
+//!   accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod crc;
 pub mod interleave;
 pub mod soft;
 
 pub use conv::{CodeRate, ConvCode};
+pub use crc::{crc32_bits, crc_check};
 pub use interleave::Interleaver;

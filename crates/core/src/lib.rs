@@ -36,6 +36,7 @@ pub mod adaptive;
 pub mod detector;
 pub mod grid;
 pub mod kbest_adaptive;
+pub mod mixed;
 pub mod model;
 pub mod position;
 pub mod preprocess;
@@ -47,7 +48,8 @@ pub use flexcore_detect::common::PathScratch;
 pub use flexcore_numeric::SymVec;
 pub use grid::PathGrid;
 pub use kbest_adaptive::AdaptiveKBest;
+pub use mixed::CellDetector;
 pub use model::LevelErrorModel;
 pub use position::PositionVector;
 pub use preprocess::{PreprocessOutput, Preprocessor};
-pub use soft::SoftDecision;
+pub use soft::{SoftDecision, SoftDetector};

@@ -1,0 +1,193 @@
+//! A per-user detector choice for multi-user serving layers.
+//!
+//! The streaming cell (`flexcore-engine::multiuser`) is generic over one
+//! detector type `D` shared by all of its users' engines. [`CellDetector`]
+//! makes that one type *a choice*: each user picks fixed-budget FlexCore
+//! or a-FlexCore at `add_user` time, and the cell schedules them side by
+//! side — adaptive users report their channel-dependent
+//! [`Detector::effort`] into the shared LPT plan while fixed users pin
+//! theirs at the PE budget, exactly the mixed deployment §5.1 anticipates
+//! (an operator migrating users to the adjustable detector one at a time).
+
+use crate::adaptive::AdaptiveFlexCore;
+use crate::detector::FlexCoreDetector;
+use crate::soft::{SoftDecision, SoftDetector};
+use flexcore_detect::common::Detector;
+use flexcore_modulation::Constellation;
+use flexcore_numeric::{CMat, Cx};
+
+/// Either a fixed-budget FlexCore or an adaptive a-FlexCore — one type, so
+/// a [`FrameEngine`](../flexcore_engine) template (and therefore a
+/// streaming cell) can mix both per user.
+#[derive(Clone, Debug)]
+pub enum CellDetector {
+    /// FlexCore spending its full `N_PE` path budget on every channel.
+    Fixed(FlexCoreDetector),
+    /// a-FlexCore with the §5.1 stopping criterion.
+    Adaptive(AdaptiveFlexCore),
+}
+
+impl CellDetector {
+    /// A fixed FlexCore-`n_pe` user.
+    pub fn fixed(constellation: Constellation, n_pe: usize) -> Self {
+        CellDetector::Fixed(FlexCoreDetector::with_pes(constellation, n_pe))
+    }
+
+    /// An adaptive user: `n_pe` available PEs, cumulative-probability
+    /// stopping target `threshold` (the paper uses 0.95).
+    pub fn adaptive(constellation: Constellation, n_pe: usize, threshold: f64) -> Self {
+        CellDetector::Adaptive(AdaptiveFlexCore::new(constellation, n_pe, threshold))
+    }
+
+    /// Whether this user runs the adaptive variant.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, CellDetector::Adaptive(_))
+    }
+
+    /// The underlying FlexCore engine state (prepared path set etc.).
+    pub fn core(&self) -> &FlexCoreDetector {
+        match self {
+            CellDetector::Fixed(d) => d,
+            CellDetector::Adaptive(d) => d.inner(),
+        }
+    }
+}
+
+impl Detector for CellDetector {
+    fn name(&self) -> String {
+        match self {
+            CellDetector::Fixed(d) => d.name(),
+            CellDetector::Adaptive(d) => format!("a-{}", d.name()),
+        }
+    }
+
+    fn prepare(&mut self, h: &CMat, sigma2: f64) {
+        match self {
+            CellDetector::Fixed(d) => d.prepare(h, sigma2),
+            CellDetector::Adaptive(d) => d.prepare(h, sigma2),
+        }
+    }
+
+    fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        match self {
+            CellDetector::Fixed(d) => d.detect(y),
+            CellDetector::Adaptive(d) => d.detect(y),
+        }
+    }
+
+    fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
+        // Forward explicitly so both variants keep their scratch-reuse
+        // batch fast path (the trait default would fall back per-vector).
+        match self {
+            CellDetector::Fixed(d) => d.detect_batch_refs(ys),
+            CellDetector::Adaptive(d) => d.detect_batch_refs(ys),
+        }
+    }
+
+    fn effort(&self) -> usize {
+        match self {
+            CellDetector::Fixed(d) => d.effort(),
+            CellDetector::Adaptive(d) => d.effort(),
+        }
+    }
+}
+
+impl SoftDetector for CellDetector {
+    fn detect_soft(&self, y: &[Cx], sigma2: f64) -> SoftDecision {
+        match self {
+            CellDetector::Fixed(d) => d.detect_soft(y, sigma2),
+            CellDetector::Adaptive(d) => SoftDetector::detect_soft(d, y, sigma2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+    use flexcore_modulation::Modulation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn workload(seed: u64) -> (CMat, f64, Vec<Vec<Cx>>, Constellation) {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let ch = MimoChannel::new(h.clone(), 14.0);
+        let ys: Vec<Vec<Cx>> = (0..8)
+            .map(|_| {
+                let x: Vec<Cx> = (0..4)
+                    .map(|_| c.point(rng.gen_range(0..c.order())))
+                    .collect();
+                ch.transmit(&x, &mut rng)
+            })
+            .collect();
+        (h, sigma2_from_snr_db(14.0), ys, c)
+    }
+
+    #[test]
+    fn fixed_variant_is_transparent() {
+        let (h, sigma2, ys, c) = workload(1);
+        let mut wrapped = CellDetector::fixed(c.clone(), 16);
+        let mut plain = FlexCoreDetector::with_pes(c, 16);
+        wrapped.prepare(&h, sigma2);
+        plain.prepare(&h, sigma2);
+        assert!(!wrapped.is_adaptive());
+        assert_eq!(wrapped.effort(), plain.effort());
+        for y in &ys {
+            assert_eq!(wrapped.detect(y), plain.detect(y));
+            let (a, b) = (wrapped.detect_soft(y, sigma2), plain.detect_soft(y, sigma2));
+            assert_eq!(a.hard, b.hard);
+            assert_eq!(a.llrs, b.llrs);
+        }
+    }
+
+    #[test]
+    fn adaptive_variant_is_transparent() {
+        let (h, sigma2, ys, c) = workload(2);
+        let mut wrapped = CellDetector::adaptive(c.clone(), 16, 0.95);
+        let mut plain = AdaptiveFlexCore::new(c, 16, 0.95);
+        wrapped.prepare(&h, sigma2);
+        plain.prepare(&h, sigma2);
+        assert!(wrapped.is_adaptive());
+        assert_eq!(wrapped.effort(), plain.effort());
+        assert_eq!(wrapped.core().active_paths(), plain.active_pes());
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            wrapped.detect_batch_refs(&refs),
+            plain.detect_batch_refs(&refs)
+        );
+    }
+
+    #[test]
+    fn batch_path_is_bit_identical_to_per_vector() {
+        let (h, sigma2, ys, c) = workload(3);
+        for mut det in [
+            CellDetector::fixed(c.clone(), 12),
+            CellDetector::adaptive(c.clone(), 12, 0.95),
+        ] {
+            det.prepare(&h, sigma2);
+            let per_vec: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+            let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+            assert_eq!(det.detect_batch_refs(&refs), per_vec, "{}", det.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_effort_shrinks_against_fixed_on_clean_channels() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = ChannelEnsemble::iid(8, 4).draw(&mut rng); // well-conditioned
+        let sigma2 = sigma2_from_snr_db(30.0);
+        let mut fixed = CellDetector::fixed(c.clone(), 16);
+        let mut adaptive = CellDetector::adaptive(c, 16, 0.95);
+        fixed.prepare(&h, sigma2);
+        adaptive.prepare(&h, sigma2);
+        assert_eq!(fixed.effort(), 16);
+        assert!(
+            adaptive.effort() < fixed.effort(),
+            "adaptive effort {} should undercut the fixed budget",
+            adaptive.effort()
+        );
+    }
+}

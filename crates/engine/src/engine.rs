@@ -123,7 +123,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
 
     /// The scheduling weight of one subcarrier: its prepared detector's
     /// [`Detector::effort`], or 1 while unprepared.
-    fn slot_effort(&self, subcarrier: usize) -> usize {
+    pub(crate) fn slot_effort(&self, subcarrier: usize) -> usize {
         self.slots
             .get(subcarrier)
             .and_then(Option::as_ref)
@@ -212,7 +212,20 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     /// off the work queue's tail so they can't pad out the critical path.
     /// Ordering only: [`FrameEngine::process_frame`] scatters results by
     /// grid position, so outputs are unchanged.
-    fn plan(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
+    pub(crate) fn plan(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
+        let batches = self.plan_batches(frame, n_pes);
+        let costs: Vec<u64> = batches
+            .iter()
+            .map(|&(sc, from, to)| self.slot_effort(sc) as u64 * (to - from) as u64)
+            .collect();
+        lpt_order(&costs).into_iter().map(|i| batches[i]).collect()
+    }
+
+    /// The unordered batch split behind [`FrameEngine::plan`]. The
+    /// multi-user cell consumes this directly: it concatenates every
+    /// served user's batches and LPT-orders the whole list once, so a
+    /// per-engine pre-sort would be wasted work.
+    pub(crate) fn plan_batches(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
         let n_sc = frame.n_subcarriers();
         let n_sym = frame.n_symbols();
         // Aim for ≥ 2 tasks per PE so the work queue can balance unequal
@@ -228,11 +241,16 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                 from = to;
             }
         }
-        let costs: Vec<u64> = batches
-            .iter()
-            .map(|&(sc, from, to)| self.slot_effort(sc) as u64 * (to - from) as u64)
-            .collect();
-        lpt_order(&costs).into_iter().map(|i| batches[i]).collect()
+        batches
+    }
+
+    /// Credits one externally scheduled frame of `n_vectors` vectors to
+    /// this engine's counters — the multi-user cell detects many users'
+    /// frames in one shared pool run, then books each user's share here so
+    /// [`FrameEngine::stats`] stays truthful per user.
+    pub(crate) fn record_frame(&self, n_vectors: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.vectors.fetch_add(n_vectors as u64, Ordering::Relaxed);
     }
 
     /// Runs `f` over every `(subcarrier, symbol-batch)` of the frame on the

@@ -28,7 +28,12 @@
 //! * [`ChannelStream`] — the streaming time-varying scenario: one
 //!   Gauss–Markov truth process per subcarrier aged every frame, with
 //!   staggered estimate refresh bumping exactly the generations the
-//!   engine's cache must re-prepare.
+//!   engine's cache must re-prepare;
+//! * [`StreamingCell`] — the multi-user serving layer: N independent
+//!   per-user `ChannelStream` + `FrameEngine` pairs whose frames are
+//!   sharded onto **one** shared PE pool per tick, LPT-ordered across
+//!   users, with per-user fairness accounting (frames-behind, effort
+//!   share).
 //!
 //! Results are **bit-identical** across substrates and batch shapes: the
 //! engine only reorders *scheduling*, never arithmetic, so
@@ -43,9 +48,11 @@
 pub mod channel;
 pub mod engine;
 pub mod frame;
+pub mod multiuser;
 pub mod stream;
 
 pub use channel::FrameChannel;
 pub use engine::{EngineStats, FrameEngine};
 pub use frame::{DetectedFrame, RxFrame};
+pub use multiuser::{CellStats, StreamingCell, TickOutput};
 pub use stream::ChannelStream;

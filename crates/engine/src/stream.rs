@@ -65,6 +65,26 @@ impl ChannelStream {
         }
     }
 
+    /// A *frozen* stream: every subcarrier holds the same static `h`
+    /// (`ρ = 1`, whole-band refresh every frame), so truth and estimate
+    /// never diverge. [`ChannelStream::advance`] and
+    /// [`ChannelStream::transmit_frame`] behave exactly like a block-fading
+    /// flat channel — the bridge the cross-layer tests use to prove the
+    /// streamed packet paths bit-identical to the framed ones.
+    pub fn frozen(h: CMat, n_subcarriers: usize, sigma2: f64) -> Self {
+        assert!(n_subcarriers > 0, "ChannelStream: zero subcarriers");
+        let truth: Vec<GaussMarkovChannel> = (0..n_subcarriers)
+            .map(|_| GaussMarkovChannel::frozen(h.clone()))
+            .collect();
+        let estimate = FrameChannel::per_subcarrier(vec![h; n_subcarriers], sigma2);
+        ChannelStream {
+            truth,
+            estimate,
+            refresh_period: 1,
+            frames_elapsed: 0,
+        }
+    }
+
     /// The receiver-side channel state: feed this to
     /// [`FrameEngine::prepare`](crate::FrameEngine::prepare) after every
     /// [`ChannelStream::advance`] — only the refreshed subcarriers'
@@ -222,6 +242,95 @@ mod tests {
             }
         }
         assert_eq!(fresh, 1);
+    }
+
+    #[test]
+    fn aged_subcarrier_lag1_autocorrelation_matches_doppler_mapping() {
+        // The empirical lag-1 autocorrelation of one truth subcarrier under
+        // advance() must track ρ = J₀(2π·f_D·Δt): E[h[t+1]·conj(h[t])] =
+        // ρ·E[|h[t]|²] for the first-order Gauss–Markov recursion.
+        for fd_dt in [0.02, 0.1] {
+            let rho = flexcore_channel::GaussMarkovChannel::rho_from_doppler(fd_dt);
+            let ens = ChannelEnsemble {
+                user_snr_spread_db: 0.0,
+                ..ChannelEnsemble::iid(4, 4)
+            };
+            let mut rng = StdRng::seed_from_u64(41);
+            let mut s = ChannelStream::new(&ens, 2, rho, 2, 0.01, &mut rng);
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            let mut prev: CMat = s.truth(0).clone();
+            for _ in 0..600 {
+                s.advance(&mut rng);
+                let cur = s.truth(0);
+                for (a, b) in cur.as_slice().iter().zip(prev.as_slice()) {
+                    num += a.mul_conj(*b).re;
+                    den += b.norm_sqr();
+                }
+                prev = cur.clone();
+            }
+            let empirical = num / den;
+            assert!(
+                (empirical - rho).abs() < 0.05,
+                "fd_dt {fd_dt}: empirical lag-1 {empirical} vs rho {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_period_one_resounds_the_whole_band_every_frame() {
+        let mut s = stream(7, 0.6, 1, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        for frame in 0..4 {
+            assert_eq!(s.advance(&mut rng), 7, "frame {frame}");
+            for sc in 0..7 {
+                assert_eq!(
+                    s.estimate().h(sc),
+                    s.truth(sc),
+                    "frame {frame} sc {sc}: estimate must be fresh"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_subcarrier_stream_refreshes_on_schedule() {
+        // n_subcarriers = 1 with period 3: the lone subcarrier refreshes
+        // exactly on the frames where `frames_elapsed % 3 == 0` (its index,
+        // 0, matches the round-robin slot), staying stale in between.
+        let mut s = stream(1, 0.4, 3, 33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut refreshed_frames = Vec::new();
+        for frame in 1..=9u64 {
+            if s.advance(&mut rng) == 1 {
+                refreshed_frames.push(frame);
+                assert_eq!(s.estimate().h(0), s.truth(0));
+            }
+        }
+        assert_eq!(refreshed_frames, vec![3, 6, 9]);
+        // And period 1 on one subcarrier never goes stale.
+        let mut fresh = stream(1, 0.4, 1, 35);
+        for _ in 0..5 {
+            assert_eq!(fresh.advance(&mut rng), 1);
+            assert_eq!(fresh.estimate().h(0), fresh.truth(0));
+        }
+    }
+
+    #[test]
+    fn frozen_stream_matches_flat_block_fading() {
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(36);
+        let h = ens.draw(&mut rng);
+        let mut s = ChannelStream::frozen(h.clone(), 5, 0.02);
+        assert_eq!(s.n_subcarriers(), 5);
+        for _ in 0..4 {
+            s.advance(&mut rng);
+            for sc in 0..5 {
+                assert_eq!(s.truth(sc), &h);
+                assert_eq!(s.estimate().h(sc), &h);
+            }
+        }
+        assert_eq!(s.estimate().sigma2(), 0.02);
     }
 
     #[test]

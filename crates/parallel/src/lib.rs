@@ -31,5 +31,6 @@
 pub mod pool;
 
 pub use pool::{
-    lpt_order, schedule_rounds, CrossbeamPool, PePool, ScheduleMode, SequentialPool, WorkStats,
+    lpt_makespan, lpt_makespan_from_order, lpt_order, schedule_rounds, CrossbeamPool, PePool,
+    ScheduleMode, SequentialPool, WorkStats,
 };

@@ -31,6 +31,37 @@ pub fn lpt_order(costs: &[u64]) -> Vec<usize> {
     order
 }
 
+/// Modelled makespan of LPT list scheduling: feeds `costs` in
+/// [`lpt_order`] to `n_pes` greedy workers (each task goes to the
+/// least-loaded PE) and returns the maximum per-PE load.
+///
+/// This is the multi-user cell's shared-pool latency model: dividing
+/// `Σ costs / n_pes` by it gives the modelled parallel efficiency of a
+/// tick — 1.0 when the per-user batch costs pack perfectly, less when one
+/// crowded subcarrier column dominates the critical path.
+pub fn lpt_makespan(costs: &[u64], n_pes: usize) -> u64 {
+    lpt_makespan_from_order(costs, &lpt_order(costs), n_pes)
+}
+
+/// [`lpt_makespan`] for a caller that already holds the [`lpt_order`]
+/// permutation of `costs` — skips the redundant sort (the multi-user
+/// cell computes the order once per tick for scheduling and reuses it
+/// here for the efficiency model).
+pub fn lpt_makespan_from_order(costs: &[u64], order: &[usize], n_pes: usize) -> u64 {
+    assert!(n_pes > 0, "lpt_makespan: zero PEs");
+    let mut loads = vec![0u64; n_pes];
+    for &i in order {
+        let min = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(p, _)| p)
+            .expect("n_pes > 0");
+        loads[min] += costs[i];
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
 /// Cumulative work accounting for a pool.
 #[derive(Debug, Default)]
 pub struct WorkStats {
@@ -296,6 +327,41 @@ mod tests {
         // Ties keep submission order: subcarriers of equal cost stay in
         // frequency order, so the schedule is deterministic.
         assert_eq!(lpt_order(&[5, 3, 5, 3, 5]), vec![0, 2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn lpt_makespan_packs_greedily() {
+        // Classic 4/3-approximation example: greedy LPT on 2 PEs packs
+        // 7|6, 5→PE1 (11), 4→PE0 (11), 3→PE0 (14); the optimum is 13
+        // ({7,5} vs {6,4,3}).
+        assert_eq!(lpt_makespan(&[7, 6, 5, 4, 3], 2), 14);
+        // One dominant task bounds the makespan from below.
+        assert_eq!(lpt_makespan(&[100, 1, 1, 1], 4), 100);
+        // Perfect packing on equal costs.
+        assert_eq!(lpt_makespan(&[5, 5, 5, 5], 2), 10);
+        // Degenerate shapes.
+        assert_eq!(lpt_makespan(&[], 3), 0);
+        assert_eq!(lpt_makespan(&[9], 4), 9);
+    }
+
+    #[test]
+    fn lpt_makespan_bounds_hold() {
+        let costs = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let total: u64 = costs.iter().sum();
+        for m in 1..=6usize {
+            let span = lpt_makespan(&costs, m);
+            assert!(span >= total.div_ceil(m as u64), "m={m}: span {span}");
+            assert!(span >= *costs.iter().max().unwrap());
+            assert!(span <= total);
+        }
+        // More PEs never hurt.
+        assert!(lpt_makespan(&costs, 4) <= lpt_makespan(&costs, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PEs")]
+    fn lpt_makespan_rejects_zero_pes() {
+        lpt_makespan(&[1], 0);
     }
 
     #[test]

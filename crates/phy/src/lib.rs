@@ -9,12 +9,19 @@
 //!   IFFT + cyclic-prefix path;
 //! * [`link`] — the end-to-end coded uplink: per-user encode → interleave →
 //!   modulate → MIMO channel → detect (any [`flexcore_detect::Detector`]) →
-//!   deinterleave → Viterbi → packet check. Detection runs either one
-//!   vector at a time ([`simulate_packet`]) or as whole frames on a PE
-//!   pool through `flexcore-engine` ([`simulate_packet_framed`]), with
-//!   bit-identical outcomes;
+//!   deinterleave → Viterbi → packet check. Detection runs one vector at a
+//!   time ([`simulate_packet`]), as whole frames on a PE pool through
+//!   `flexcore-engine` ([`simulate_packet_framed`]), or over streaming
+//!   time-varying channels ([`simulate_packet_streamed`],
+//!   [`cell_packet_tick`] for a whole multi-user cell) — all with
+//!   bit-identical outcomes where the channel realisations coincide;
+//! * [`soft_link`] — the same chains carrying LLRs end to end (list-based
+//!   max-log demapping → soft Viterbi), generic over any
+//!   [`flexcore::SoftDetector`], including the streamed and multi-user
+//!   ticks ([`simulate_packet_soft_streamed`], [`cell_packet_tick_soft`]);
 //! * [`throughput`] — PER → network-throughput mapping (the y-axis of
-//!   Figs. 9 and 10).
+//!   Figs. 9 and 10) plus the [`GoodputMeter`] CRC-delivery accounting of
+//!   the streamed paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +32,13 @@ pub mod soft_link;
 pub mod throughput;
 
 pub use link::{
-    packet_error_rate, packet_error_rate_framed, simulate_packet, simulate_packet_framed,
-    simulate_packet_framed_prepared, LinkConfig, LinkOutcome,
+    cell_packet_tick, packet_error_rate, packet_error_rate_framed, simulate_packet,
+    simulate_packet_framed, simulate_packet_framed_prepared, simulate_packet_streamed, LinkConfig,
+    LinkOutcome, StreamedOutcome,
 };
 pub use ofdm::OfdmConfig;
-pub use soft_link::{simulate_packet_soft, simulate_packet_soft_framed};
-pub use throughput::network_throughput_mbps;
+pub use soft_link::{
+    cell_packet_tick_soft, simulate_packet_soft, simulate_packet_soft_framed,
+    simulate_packet_soft_streamed,
+};
+pub use throughput::{network_throughput_mbps, GoodputMeter};

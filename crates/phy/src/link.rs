@@ -16,9 +16,11 @@
 
 use crate::ofdm::OfdmConfig;
 use flexcore_channel::MimoChannel;
-use flexcore_coding::{CodeRate, ConvCode, Interleaver};
+use flexcore_coding::{crc_check, CodeRate, ConvCode, Interleaver};
 use flexcore_detect::common::Detector;
-use flexcore_engine::{FrameChannel, FrameEngine, RxFrame};
+use flexcore_engine::{
+    ChannelStream, DetectedFrame, FrameChannel, FrameEngine, RxFrame, StreamingCell,
+};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::Cx;
 use flexcore_parallel::PePool;
@@ -75,6 +77,24 @@ pub struct LinkOutcome {
     pub raw_bit_errors: Vec<usize>,
     /// Total coded bits per user (for BER computation).
     pub coded_bits_per_user: usize,
+}
+
+/// Result of one packet exchange over a *streaming* channel: the usual
+/// [`LinkOutcome`] plus the MAC-observable CRC-32 delivery check behind
+/// goodput accounting.
+#[derive(Clone, Debug)]
+pub struct StreamedOutcome {
+    /// The cell user (user-group) this packet belongs to; `0` for the
+    /// single-stream entry points.
+    pub user: usize,
+    /// The link-layer outcome, bit-identical in semantics to the framed
+    /// block-fading paths.
+    pub link: LinkOutcome,
+    /// Per-stream CRC-32 frame check of the decoded payload against the
+    /// transmitted one ([`flexcore_coding::crc_check`]) — what a real MAC
+    /// acks on. Agrees with `link.user_ok` except for the 2⁻³² collision
+    /// case.
+    pub crc_ok: Vec<bool>,
 }
 
 impl LinkOutcome {
@@ -140,12 +160,14 @@ pub(crate) fn tx_vector(
 }
 
 /// Receive chains: deinterleave → Viterbi → compare against the payloads.
-fn receive_chains(
+/// Also returns the decoded payloads so streamed callers can run the
+/// MAC-style CRC delivery check on exactly what the decoder produced.
+pub(crate) fn receive_chains_decoded(
     cfg: &LinkConfig,
     payloads: &[Vec<u8>],
     coded_streams: &[Vec<u8>],
     detected_bits: &[Vec<u8>],
-) -> LinkOutcome {
+) -> (LinkOutcome, Vec<Vec<u8>>) {
     let code = ConvCode::new(cfg.rate);
     let il = Interleaver::new(cfg.ofdm.n_data, cfg.constellation.bits_per_symbol());
     let n_sym = cfg.ofdm_symbols_per_packet();
@@ -154,6 +176,7 @@ fn receive_chains(
     let nt = payloads.len();
     let mut user_ok = Vec::with_capacity(nt);
     let mut raw_bit_errors = Vec::with_capacity(nt);
+    let mut decoded_payloads = Vec::with_capacity(nt);
     for u in 0..nt {
         let deinterleaved = il.deinterleave_stream(&detected_bits[u]);
         let raw_errs = deinterleaved
@@ -165,12 +188,58 @@ fn receive_chains(
         let decoded = code.decode(&deinterleaved[..coded_len], payload_bits);
         user_ok.push(decoded == payloads[u]);
         raw_bit_errors.push(raw_errs);
+        decoded_payloads.push(decoded);
     }
-    LinkOutcome {
-        user_ok,
-        raw_bit_errors,
-        coded_bits_per_user: n_sym * bits_per_sym,
+    (
+        LinkOutcome {
+            user_ok,
+            raw_bit_errors,
+            coded_bits_per_user: n_sym * bits_per_sym,
+        },
+        decoded_payloads,
+    )
+}
+
+/// Receive chains: deinterleave → Viterbi → compare against the payloads.
+fn receive_chains(
+    cfg: &LinkConfig,
+    payloads: &[Vec<u8>],
+    coded_streams: &[Vec<u8>],
+    detected_bits: &[Vec<u8>],
+) -> LinkOutcome {
+    receive_chains_decoded(cfg, payloads, coded_streams, detected_bits).0
+}
+
+/// Flattens a detected frame back into per-stream coded-bit streams —
+/// the demapping step every hard receive path shares.
+pub(crate) fn collect_detected_bits(
+    cfg: &LinkConfig,
+    detected: &DetectedFrame,
+    nt: usize,
+) -> Vec<Vec<u8>> {
+    let c = &cfg.constellation;
+    let n_sc = cfg.ofdm.n_data;
+    let n_sym = detected.n_symbols();
+    let bits_per_sym = cfg.bits_per_ofdm_symbol();
+    let mut detected_bits: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
+    for sym_idx in 0..n_sym {
+        for sc in 0..n_sc {
+            for (u, &sym) in detected.get(sym_idx, sc).iter().enumerate() {
+                detected_bits[u].extend(c.index_to_bits(sym));
+            }
+        }
     }
+    detected_bits
+}
+
+/// The per-stream CRC delivery check: `crc_ok[u]` iff the decoded payload
+/// of stream `u` carries the transmitted payload's CRC-32.
+pub(crate) fn crc_flags(payloads: &[Vec<u8>], decoded: &[Vec<u8>]) -> Vec<bool> {
+    payloads
+        .iter()
+        .zip(decoded)
+        .map(|(sent, got)| crc_check(sent, got))
+        .collect()
 }
 
 /// Simulates one packet exchange over the given channel with the given
@@ -247,10 +316,8 @@ where
     P: PePool,
 {
     let nt = channel.nt();
-    let c = &cfg.constellation;
     let n_sc = cfg.ofdm.n_data;
     let n_sym = cfg.ofdm_symbols_per_packet();
-    let bits_per_sym = cfg.bits_per_ofdm_symbol();
     let (payloads, coded_streams) = transmit_chains(cfg, nt, rng);
 
     // Build the received frame, drawing noise in simulate_packet's order.
@@ -264,17 +331,148 @@ where
         frame.push_symbol(row);
     }
     let detected = engine.detect_frame(&frame, pool);
-
-    let mut detected_bits: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sym * bits_per_sym); nt];
-    for sym_idx in 0..n_sym {
-        for sc in 0..n_sc {
-            for (u, &sym) in detected.get(sym_idx, sc).iter().enumerate() {
-                detected_bits[u].extend(c.index_to_bits(sym));
-            }
-        }
-    }
-
+    let detected_bits = collect_detected_bits(cfg, &detected, nt);
     receive_chains(cfg, &payloads, &coded_streams, &detected_bits)
+}
+
+/// Simulates one packet exchange over a **streaming** channel: the packet's
+/// frame passes through the stream's *truth* channels while detection runs
+/// against its (possibly stale) *estimates* through the frame engine.
+///
+/// Reuses [`transmit_chains`] and draws noise in exactly
+/// [`simulate_packet_framed`]'s order, so on a frozen (zero-Doppler)
+/// [`ChannelStream`] holding the same `H` and `σ²` the outcome is
+/// **bit-for-bit identical** to the block-fading framed path — the bridge
+/// `tests/coded_streaming.rs` enforces. The stream is *not* advanced here;
+/// the caller ages it between packets (or not, for block fading).
+pub fn simulate_packet_streamed<R, D, P>(
+    cfg: &LinkConfig,
+    stream: &ChannelStream,
+    engine: &mut FrameEngine<D>,
+    pool: &P,
+    rng: &mut R,
+) -> StreamedOutcome
+where
+    R: Rng + ?Sized,
+    D: Detector + Clone + Sync,
+    P: PePool,
+{
+    assert_eq!(
+        stream.n_subcarriers(),
+        cfg.ofdm.n_data,
+        "simulate_packet_streamed: stream width != OFDM data subcarriers"
+    );
+    let nt = stream.truth(0).cols();
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let (payloads, coded_streams) = transmit_chains(cfg, nt, rng);
+    let frame = stream.transmit_frame(
+        n_sym,
+        |sym_idx, sc| tx_vector(cfg, &coded_streams, sym_idx, sc),
+        rng,
+    );
+    engine.prepare(stream.estimate());
+    let detected = engine.detect_frame(&frame, pool);
+    let detected_bits = collect_detected_bits(cfg, &detected, nt);
+    let (link, decoded) = receive_chains_decoded(cfg, &payloads, &coded_streams, &detected_bits);
+    StreamedOutcome {
+        user: 0,
+        link,
+        crc_ok: crc_flags(&payloads, &decoded),
+    }
+}
+
+/// One multi-user serving tick, hard detection: every cell user ages one
+/// frame interval, transmits one whole packet through its truth channels
+/// ([`transmit_chains`] per user, each on its *own* RNG so a user's
+/// traffic is independent of who else is scheduled), and all users'
+/// `(subcarrier × symbol)` grids are detected in **one** shared pool run
+/// ([`StreamingCell::detect_tick`]). Per user: deinterleave → Viterbi →
+/// CRC-32 delivery check.
+///
+/// Each user's detections — and therefore its [`StreamedOutcome`] — are
+/// bit-identical to running that user alone in a single-user cell with the
+/// same seeds, whatever the user mix (the multiuser bench's identity gate).
+///
+/// # Panics
+/// Panics unless `rngs.len() == cell.n_users()`, every stream matches
+/// `cfg.ofdm.n_data` subcarriers, and every user's queue is empty on
+/// entry — the tick pops each user's *oldest* queued frame and decodes it
+/// against *this* tick's transmit chains, so a pre-queued frame would be
+/// silently paired with the wrong payloads.
+pub fn cell_packet_tick<R, D, P>(
+    cfg: &LinkConfig,
+    cell: &mut StreamingCell<D>,
+    pool: &P,
+    rngs: &mut [R],
+) -> Vec<StreamedOutcome>
+where
+    R: Rng,
+    D: Detector + Clone + Sync,
+    P: PePool,
+{
+    let chains = cell_transmit_tick(cfg, cell, rngs);
+    let detected = cell.detect_tick(pool);
+    detected
+        .into_iter()
+        .map(|(u, frame)| {
+            let (payloads, coded_streams) = &chains[u];
+            let detected_bits = collect_detected_bits(cfg, &frame, payloads.len());
+            let (link, decoded) =
+                receive_chains_decoded(cfg, payloads, coded_streams, &detected_bits);
+            StreamedOutcome {
+                user: u,
+                link,
+                crc_ok: crc_flags(payloads, &decoded),
+            }
+        })
+        .collect()
+}
+
+/// The transmit half of a serving tick, shared by the hard and soft paths:
+/// advances every user, runs its transmit chains, passes the packet frame
+/// through its truth channels, and queues it. Returns each user's
+/// `(payloads, interleaved coded streams)`.
+pub(crate) fn cell_transmit_tick<R, D>(
+    cfg: &LinkConfig,
+    cell: &mut StreamingCell<D>,
+    rngs: &mut [R],
+) -> Vec<(Vec<Vec<u8>>, Vec<Vec<u8>>)>
+where
+    R: Rng,
+    D: Detector + Clone + Sync,
+{
+    assert_eq!(
+        rngs.len(),
+        cell.n_users(),
+        "cell_packet_tick: one RNG per user"
+    );
+    let n_sym = cfg.ofdm_symbols_per_packet();
+    let mut chains = Vec::with_capacity(cell.n_users());
+    for (u, rng) in rngs.iter_mut().enumerate() {
+        assert_eq!(
+            cell.stream(u).n_subcarriers(),
+            cfg.ofdm.n_data,
+            "cell_packet_tick: user {u} stream width != OFDM data subcarriers"
+        );
+        assert_eq!(
+            cell.pending(u),
+            0,
+            "cell_packet_tick: user {u} already has a queued frame — the tick \
+             decodes the oldest queued frame against this tick's transmit \
+             chains, so the queue must be drained before serving"
+        );
+        cell.advance_user(u, rng);
+        let nt = cell.stream(u).truth(0).cols();
+        let (payloads, coded_streams) = transmit_chains(cfg, nt, rng);
+        let frame = cell.stream(u).transmit_frame(
+            n_sym,
+            |sym_idx, sc| tx_vector(cfg, &coded_streams, sym_idx, sc),
+            rng,
+        );
+        cell.submit(u, frame);
+        chains.push((payloads, coded_streams));
+    }
+    chains
 }
 
 /// Measures the mean packet error rate over `n_packets` packets with a
@@ -529,6 +727,93 @@ mod tests {
             // scale: mean active PEs over the prepared band.
             let stats = engine.stats();
             assert!(stats.mean_effort() >= 1.0 && stats.mean_effort() <= 16.0);
+        }
+    }
+
+    #[test]
+    fn cell_tick_is_bit_identical_to_single_user_cells() {
+        // A 3-user hard tick must reproduce, per user, the outcome of that
+        // user alone in a 1-user cell with the same seeds — the sharding
+        // is ordering-only all the way through the coded chains.
+        use flexcore::FlexCoreDetector;
+        use flexcore_channel::ChannelEnsemble;
+        use flexcore_engine::StreamingCell;
+        use flexcore_parallel::{CrossbeamPool, SequentialPool};
+        let cfg = cfg16(30);
+        let snr = 18.0;
+        let mk_stream = |seed: u64| {
+            let ens = ChannelEnsemble::iid(4, 4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            flexcore_engine::ChannelStream::new(
+                &ens,
+                cfg.ofdm.n_data,
+                0.97,
+                4,
+                sigma2_from_snr_db(snr),
+                &mut rng,
+            )
+        };
+        let mut cell = StreamingCell::new();
+        for seed in [91u64, 92, 93] {
+            cell.add_user(
+                mk_stream(seed),
+                FlexCoreDetector::with_pes(cfg.constellation.clone(), 8),
+            );
+        }
+        let mut rngs: Vec<StdRng> = (0..3).map(|u| StdRng::seed_from_u64(700 + u)).collect();
+        let pool = CrossbeamPool::work_queue(3);
+        for round in 0..2 {
+            let outs = cell_packet_tick(&cfg, &mut cell, &pool, &mut rngs);
+            assert_eq!(outs.len(), 3);
+            for (u, seed) in [91u64, 92, 93].into_iter().enumerate() {
+                let mut solo = StreamingCell::new();
+                solo.add_user(
+                    mk_stream(seed),
+                    FlexCoreDetector::with_pes(cfg.constellation.clone(), 8),
+                );
+                let mut solo_rngs = vec![StdRng::seed_from_u64(700 + u as u64)];
+                let mut solo_out = Vec::new();
+                for _ in 0..=round {
+                    solo_out =
+                        cell_packet_tick(&cfg, &mut solo, &SequentialPool::new(1), &mut solo_rngs);
+                }
+                assert_eq!(outs[u].link.user_ok, solo_out[0].link.user_ok, "user {u}");
+                assert_eq!(
+                    outs[u].link.raw_bit_errors, solo_out[0].link.raw_bit_errors,
+                    "round {round} user {u}"
+                );
+                assert_eq!(outs[u].crc_ok, solo_out[0].crc_ok);
+            }
+        }
+        // The cell served every user every tick: nobody fell behind.
+        let stats = cell.stats();
+        assert_eq!(stats.max_frames_behind, 0);
+        assert_eq!(stats.frames_completed, 6);
+    }
+
+    #[test]
+    fn crc_flags_agree_with_payload_comparison() {
+        // Same workload as the frozen-channel regression: at a workable
+        // SNR the CRC delivery check and the simulator's payload equality
+        // must tell the same story.
+        use flexcore_engine::{ChannelStream, FrameEngine};
+        use flexcore_parallel::SequentialPool;
+        let cfg = cfg16(40);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let snr = 16.0;
+        for seed in [1u64, 5, 9] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let stream = ChannelStream::frozen(h, cfg.ofdm.n_data, sigma2_from_snr_db(snr));
+            let mut engine = FrameEngine::new(SphereDecoder::new(cfg.constellation.clone()));
+            let out = simulate_packet_streamed(
+                &cfg,
+                &stream,
+                &mut engine,
+                &SequentialPool::new(1),
+                &mut rng,
+            );
+            assert_eq!(out.crc_ok, out.link.user_ok, "seed {seed}");
         }
     }
 

@@ -1,0 +1,117 @@
+//! Smoke tests for every figure/table experiment driver at tiny sample
+//! counts, so the figure-regeneration code cannot rot unbuilt (or
+//! un-runnable) between the occasions someone regenerates a figure.
+//!
+//! These deliberately assert only *shape* (row counts, non-empty columns,
+//! finite numbers) — the statistical claims live in each driver's own
+//! `#[cfg(test)]` module at larger sample counts. They are
+//! `#[ignore]`d by default to keep `cargo test` fast; CI runs them
+//! explicitly with `cargo test -p flexcore-sim --test experiment_smoke
+//! --release -- --ignored`.
+
+use flexcore_modulation::Modulation;
+use flexcore_sim::experiments::*;
+
+/// Every driver returns a `ResultTable`; a smoke pass = at least one row
+/// and every cell parseable (non-empty).
+fn assert_table_sane(name: &str, t: &flexcore_sim::table::ResultTable) {
+    assert!(t.len() > 0, "{name}: empty table");
+    for (i, row) in t.rows().iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            assert!(!cell.is_empty(), "{name}: empty cell at ({i},{j})");
+        }
+    }
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig9_driver_runs_at_tiny_scale() {
+    let mut cfg = fig9::Cfg::quick();
+    cfg.scenarios.truncate(1);
+    cfg.pe_grid = vec![1, 16];
+    cfg.payload_bytes = 12;
+    cfg.n_packets = 2;
+    assert_table_sane("fig9", &fig9::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig10_driver_runs_at_tiny_scale() {
+    let mut cfg = fig10::Cfg::quick();
+    cfg.users = vec![6];
+    cfg.n_packets = 2;
+    cfg.payload_bytes = 12;
+    assert_table_sane("fig10", &fig10::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig11_driver_runs_at_tiny_scale() {
+    let mut cfg = fig11::Cfg::quick();
+    cfg.e_grid.truncate(2);
+    cfg.nsc_grid.truncate(1);
+    assert_table_sane("fig11", &fig11::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig12_driver_runs_at_tiny_scale() {
+    let mut cfg = fig12::Cfg::quick();
+    cfg.nts.truncate(1);
+    cfg.n_channels = 6;
+    cfg.cal_samples = 4;
+    assert_table_sane("fig12", &fig12::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig13_driver_runs_at_tiny_scale() {
+    let mut cfg = fig13::Cfg::quick();
+    cfg.m_grid = vec![1, 32];
+    assert_table_sane("fig13", &fig13::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn fig14_driver_runs_at_tiny_scale() {
+    let mut cfg = fig14::Cfg::quick();
+    cfg.snrs_db = vec![15.0];
+    cfg.k_max = 3;
+    cfg.n_channels = 10;
+    cfg.vectors_per_channel = 4;
+    assert_table_sane("fig14", &fig14::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn table1_driver_runs_at_tiny_scale() {
+    let mut cfg = table1::Cfg::quick();
+    cfg.sizes.truncate(2);
+    cfg.n_channels = 4;
+    cfg.vectors_per_channel = 2;
+    assert_table_sane("table1", &table1::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn table2_driver_runs_at_tiny_scale() {
+    let mut cfg = table2::Cfg::quick();
+    cfg.n_channels = 3;
+    assert_table_sane("table2", &table2::run(&cfg));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn table3_driver_runs_at_tiny_scale() {
+    assert_table_sane("table3", &table3::run(&table3::Cfg::quick()));
+}
+
+#[test]
+#[ignore = "CI smoke profile: cargo test -p flexcore-sim --test experiment_smoke -- --ignored"]
+fn ablation_driver_runs_at_tiny_scale() {
+    let mut cfg = ablation::Cfg::quick();
+    cfg.modulation = Modulation::Qam16;
+    cfg.n_channels = 8;
+    cfg.vectors_per_channel = 2;
+    assert_table_sane("ablation", &ablation::run(&cfg));
+}

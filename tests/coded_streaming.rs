@@ -1,0 +1,218 @@
+//! Cross-layer regression tests for the coded **streaming** uplink: the
+//! full stack — channel aging → (adaptive) detection → LLRs → soft
+//! Viterbi → CRC/goodput — in one loop, for one user and for a multi-user
+//! cell.
+//!
+//! Two anchors:
+//! 1. the streamed hard path is **bit-identical** to the block-fading
+//!    framed path on a frozen (zero-Doppler) channel, so the streaming
+//!    entry points cannot drift from the paths the paper's figures are
+//!    built on;
+//! 2. at high SNR the streaming soft pipeline decodes *every* packet for
+//!    *every* user — goodput equals offered load — for a mixed
+//!    fixed/adaptive user population on a shared pool.
+
+use flexcore::{AdaptiveFlexCore, CellDetector, FlexCoreDetector};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, GaussMarkovChannel, MimoChannel};
+use flexcore_engine::{ChannelStream, FrameEngine, StreamingCell};
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_parallel::{CrossbeamPool, SequentialPool};
+use flexcore_phy::link::{cell_packet_tick, simulate_packet_framed, simulate_packet_streamed};
+use flexcore_phy::soft_link::{cell_packet_tick_soft, simulate_packet_soft_streamed};
+use flexcore_phy::throughput::GoodputMeter;
+use flexcore_phy::LinkConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg16(payload: usize) -> LinkConfig {
+    LinkConfig::paper_default(Constellation::new(Modulation::Qam16), payload)
+}
+
+#[test]
+fn streamed_hard_path_is_bit_identical_to_framed_on_frozen_channel() {
+    // A frozen ChannelStream (rho = 1, estimates always exact) is the
+    // block-fading model: with the same seed, simulate_packet_streamed
+    // must consume the RNG in simulate_packet_framed's exact order and
+    // produce the identical outcome, on any pool.
+    let cfg = cfg16(45);
+    let ens = ChannelEnsemble::iid(4, 4);
+    let snr = 13.0;
+    for seed in [3u64, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = ens.draw(&mut rng);
+        let ch = MimoChannel::new(h.clone(), snr);
+        let mut engine =
+            FrameEngine::new(FlexCoreDetector::with_pes(cfg.constellation.clone(), 16));
+        let reference =
+            simulate_packet_framed(&cfg, &ch, &mut engine, &SequentialPool::new(1), &mut rng);
+
+        for pe in [1usize, 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = ens.draw(&mut rng);
+            let stream = ChannelStream::frozen(h, cfg.ofdm.n_data, sigma2_from_snr_db(snr));
+            let mut engine =
+                FrameEngine::new(FlexCoreDetector::with_pes(cfg.constellation.clone(), 16));
+            let out = if pe == 1 {
+                simulate_packet_streamed(
+                    &cfg,
+                    &stream,
+                    &mut engine,
+                    &SequentialPool::new(1),
+                    &mut rng,
+                )
+            } else {
+                simulate_packet_streamed(
+                    &cfg,
+                    &stream,
+                    &mut engine,
+                    &CrossbeamPool::work_queue(4),
+                    &mut rng,
+                )
+            };
+            assert_eq!(out.link.user_ok, reference.user_ok, "seed {seed} pe {pe}");
+            assert_eq!(out.link.raw_bit_errors, reference.raw_bit_errors);
+            assert_eq!(out.link.coded_bits_per_user, reference.coded_bits_per_user);
+            assert_eq!(out.crc_ok, out.link.user_ok, "CRC must agree at this SNR");
+        }
+    }
+}
+
+#[test]
+fn streamed_soft_path_is_rng_lockstepped_with_hard() {
+    // Same seeds ⇒ same channels, payloads and noise for both paths; the
+    // soft path's raw (hard-decision) errors must equal the hard path's,
+    // and its delivered set must dominate at a workable SNR.
+    let cfg = cfg16(40);
+    let ens = ChannelEnsemble::iid(4, 4);
+    let snr = 12.0;
+    for seed in [11u64, 12] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = ens.draw(&mut rng);
+        let stream = ChannelStream::frozen(h, cfg.ofdm.n_data, sigma2_from_snr_db(snr));
+        let pool = SequentialPool::new(2);
+
+        let mut rng_hard = StdRng::seed_from_u64(1000 + seed);
+        let mut engine =
+            FrameEngine::new(FlexCoreDetector::with_pes(cfg.constellation.clone(), 16));
+        let hard = simulate_packet_streamed(&cfg, &stream, &mut engine, &pool, &mut rng_hard);
+
+        let mut rng_soft = StdRng::seed_from_u64(1000 + seed);
+        let mut engine =
+            FrameEngine::new(FlexCoreDetector::with_pes(cfg.constellation.clone(), 16));
+        let soft = simulate_packet_soft_streamed(&cfg, &stream, &mut engine, &pool, &mut rng_soft);
+
+        assert_eq!(
+            soft.link.raw_bit_errors, hard.link.raw_bit_errors,
+            "seed {seed}"
+        );
+        for (u, (&h_ok, &s_ok)) in hard.crc_ok.iter().zip(&soft.crc_ok).enumerate() {
+            assert!(
+                s_ok || !h_ok,
+                "seed {seed} stream {u}: soft lost a packet hard delivered"
+            );
+        }
+    }
+}
+
+#[test]
+fn high_snr_soft_streaming_decodes_every_packet_for_every_user() {
+    // The acceptance anchor: a 3-user cell (fixed, adaptive, mixed-in
+    // a-FlexCore with a different budget) under real channel aging at
+    // 30 dB, several packets per user through the soft pipeline — goodput
+    // must equal offered load, for every user.
+    let cfg = cfg16(25);
+    let snr = 30.0;
+    let ens = ChannelEnsemble::iid(4, 4);
+    let rho = GaussMarkovChannel::rho_from_doppler(0.005);
+    let mut cell = StreamingCell::new();
+    let templates = [
+        CellDetector::fixed(cfg.constellation.clone(), 16),
+        CellDetector::adaptive(cfg.constellation.clone(), 16, 0.95),
+        CellDetector::adaptive(cfg.constellation.clone(), 8, 0.99),
+    ];
+    for (u, det) in templates.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(400 + u as u64);
+        let stream = ChannelStream::new(
+            &ens,
+            cfg.ofdm.n_data,
+            rho,
+            4,
+            sigma2_from_snr_db(snr),
+            &mut rng,
+        );
+        cell.add_user(stream, det);
+    }
+    let mut rngs: Vec<StdRng> = (0..3).map(|u| StdRng::seed_from_u64(500 + u)).collect();
+    let mut meter = GoodputMeter::new(3, cfg.payload_bytes);
+    let pool = CrossbeamPool::work_queue(3);
+    let n_ticks = 4;
+    for _ in 0..n_ticks {
+        for out in cell_packet_tick_soft(&cfg, &mut cell, &pool, &mut rngs) {
+            assert!(
+                out.crc_ok.iter().all(|&ok| ok),
+                "user {} dropped a packet at 30 dB: {:?}",
+                out.user,
+                out.crc_ok
+            );
+            meter.record(&out);
+        }
+    }
+    assert!(meter.all_delivered(), "goodput must equal offered load");
+    assert_eq!(
+        meter.offered_bits(),
+        (3 * 4 * n_ticks * cfg.payload_bytes * 8) as u64
+    );
+    // Goodput over airtime equals the offered rate exactly.
+    let airtime = n_ticks as f64 * cfg.packet_airtime_s();
+    let offered_mbps = meter.offered_bits() as f64 / airtime / 1e6;
+    assert!((meter.goodput_mbps(airtime) - offered_mbps).abs() < 1e-9);
+    // Everyone was served every tick.
+    let stats = cell.stats();
+    assert_eq!(stats.max_frames_behind, 0);
+    assert_eq!(stats.frames_completed, (3 * n_ticks) as u64);
+}
+
+#[test]
+fn hard_cell_tick_matches_soft_ticks_raw_observables_under_aging() {
+    // Under real aging (not frozen), hard and soft ticks with equal seeds
+    // must still agree on the raw detection observables — the lockstep
+    // holds through advance() because both consume identical RNG streams.
+    let cfg = cfg16(20);
+    let snr = 14.0;
+    let ens = ChannelEnsemble::iid(4, 4);
+    let build = || {
+        let mut cell = StreamingCell::new();
+        for u in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(600 + u);
+            let stream = ChannelStream::new(
+                &ens,
+                cfg.ofdm.n_data,
+                0.95,
+                3,
+                sigma2_from_snr_db(snr),
+                &mut rng,
+            );
+            cell.add_user(
+                stream,
+                AdaptiveFlexCore::new(cfg.constellation.clone(), 16, 0.95),
+            );
+        }
+        cell
+    };
+    let mk_rngs = || -> Vec<StdRng> { (0..2).map(|u| StdRng::seed_from_u64(700 + u)).collect() };
+    let (mut hard_cell, mut soft_cell) = (build(), build());
+    let (mut hard_rngs, mut soft_rngs) = (mk_rngs(), mk_rngs());
+    let pool = SequentialPool::new(4);
+    for round in 0..3 {
+        let hard = cell_packet_tick(&cfg, &mut hard_cell, &pool, &mut hard_rngs);
+        let soft = cell_packet_tick_soft(&cfg, &mut soft_cell, &pool, &mut soft_rngs);
+        for (h, s) in hard.iter().zip(&soft) {
+            assert_eq!(h.user, s.user);
+            assert_eq!(
+                h.link.raw_bit_errors, s.link.raw_bit_errors,
+                "round {round} user {}",
+                h.user
+            );
+        }
+    }
+}
