@@ -29,3 +29,9 @@ pub mod trace;
 pub use model::{sigma2_from_snr_db, snr_db_from_sigma2, ChannelEnsemble, MimoChannel};
 pub use timevar::GaussMarkovChannel;
 pub use trace::{read_traces, write_traces, TraceSet};
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -25,3 +25,9 @@ pub mod soft;
 pub use conv::{CodeRate, ConvCode};
 pub use crc::{crc32_bits, crc_check};
 pub use interleave::Interleaver;
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

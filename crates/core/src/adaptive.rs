@@ -142,6 +142,10 @@ impl Detector for AdaptiveFlexCore {
     fn effort(&self) -> usize {
         self.inner.effort()
     }
+
+    fn extension_work(&self) -> usize {
+        self.inner.extension_work()
+    }
 }
 
 #[cfg(test)]

@@ -173,6 +173,31 @@ impl PathTrie {
         }
         trie
     }
+
+    /// Arithmetic cost of the sibling chain starting at `first`: one
+    /// effective point (`nt − 1 − row` cancellation multiply-adds) plus
+    /// the shared `|R(row,row)|²`, computed once for the whole chain.
+    fn chain_cost(&self, first: u32, nt: usize) -> usize {
+        if first == NIL {
+            0
+        } else {
+            nt - self.nodes[first as usize].row as usize
+        }
+    }
+
+    /// Static per-vector work of walking this trie, in arithmetic-weighted
+    /// path-extension units: each sibling chain pays [`PathTrie::chain_cost`]
+    /// and each node a LUT slice + metric update. This is what
+    /// [`Detector::extension_work`] reports for FlexCore — equal path
+    /// *counts* can walk very differently sized tries, and the difference
+    /// is real detection time a fabric scheduler must predict.
+    fn static_work(&self, nt: usize) -> usize {
+        let mut work = self.chain_cost(self.first_root, nt);
+        for node in &self.nodes {
+            work += 2 + self.chain_cost(node.first_child, nt);
+        }
+        work
+    }
 }
 
 /// Per-channel state computed by `prepare`.
@@ -585,6 +610,17 @@ impl Detector for FlexCoreDetector {
     /// channel activates (< `n_pe` only under a stopping threshold).
     fn effort(&self) -> usize {
         self.active_paths().max(1)
+    }
+
+    /// Per-vector *work* = the prepared trie's static walk cost: one
+    /// effective point per distinct rank-prefix chain plus slice/metric
+    /// per node. Two channels with identical path counts can differ
+    /// severalfold here, depending on how much tree the position vectors
+    /// share — which is exactly how the detection time behaves.
+    fn extension_work(&self) -> usize {
+        self.state
+            .as_ref()
+            .map_or(1, |s| s.trie.static_work(s.tri.nt()).max(1))
     }
 }
 

@@ -90,6 +90,13 @@ impl Detector for CellDetector {
             CellDetector::Adaptive(d) => d.effort(),
         }
     }
+
+    fn extension_work(&self) -> usize {
+        match self {
+            CellDetector::Fixed(d) => d.extension_work(),
+            CellDetector::Adaptive(d) => d.extension_work(),
+        }
+    }
 }
 
 impl SoftDetector for CellDetector {

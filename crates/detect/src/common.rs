@@ -69,6 +69,27 @@ pub trait Detector {
     fn effort(&self) -> usize {
         1
     }
+
+    /// Fine-grained companion to [`Detector::effort`] for cost-model
+    /// driven schedulers: the predicted *work* of detecting one vector
+    /// under the prepared channel, in path-extension evaluations
+    /// (tree-node visits, weighted by their arithmetic cost).
+    ///
+    /// Where `effort` counts the processing elements a vector occupies
+    /// (tree paths), this counts the work those PEs actually perform —
+    /// FlexCore's prefix-sharing trie makes equal path counts cost very
+    /// unequal amounts depending on how much of the tree the selected
+    /// position vectors share, and this is the signal that sees it. A
+    /// heterogeneous-fabric scheduler placing batches by predicted finish
+    /// time needs it to keep its makespan predictions honest.
+    ///
+    /// Defaults to [`Detector::effort`]. Values are comparable between
+    /// detectors cloned from the same template (one engine, one cell),
+    /// not across arbitrary detector types. Like `effort`, this is a
+    /// scheduling hint only — it must never influence detection results.
+    fn extension_work(&self) -> usize {
+        self.effort()
+    }
 }
 
 /// Streaming form of the workspace-wide minimum-metric reduction: `true`

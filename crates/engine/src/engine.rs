@@ -1,12 +1,15 @@
 //! The frame engine: prepared-detector cache + grid scheduling.
 
 use crate::channel::FrameChannel;
+use crate::fabric::FabricStats;
 use crate::frame::{DetectedFrame, RxFrame};
 use flexcore_detect::common::Detector;
+use flexcore_hwmodel::{PeCost, WorkUnit};
 use flexcore_numeric::Cx;
-use flexcore_parallel::{lpt_order, PePool};
+use flexcore_parallel::{lpt_order, PePool, WeightedPool};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Snapshot of an engine's cumulative work counters plus the current
 /// per-subcarrier effort profile.
@@ -35,6 +38,11 @@ pub struct EngineStats {
     /// over the prepared subcarriers. A clean channel piles the mass on
     /// small efforts; a crowded one spreads it toward the PE budget.
     pub effort_histogram: Vec<(usize, u64)>,
+    /// Audit record of the most recent fabric-scheduled run
+    /// ([`FrameEngine::process_frame_on_fabric`]): predicted-vs-measured
+    /// makespan, packing efficiency and per-PE utilisation. `None` until a
+    /// fabric run happens.
+    pub fabric: Option<FabricStats>,
 }
 
 impl EngineStats {
@@ -48,6 +56,26 @@ impl EngineStats {
     }
 }
 
+/// Scatters per-batch outputs back to symbol-major grid order — the
+/// inverse of the batch split, shared by every scheduling path so
+/// reordering can never leak into results.
+fn scatter_grid<T>(
+    n_sc: usize,
+    n_vectors: usize,
+    batches: &[(usize, usize, usize)],
+    per_batch: Vec<Vec<T>>,
+) -> Vec<T> {
+    let mut grid: Vec<Option<T>> = (0..n_vectors).map(|_| None).collect();
+    for (&(sc, from, _), outputs) in batches.iter().zip(per_batch) {
+        for (offset, value) in outputs.into_iter().enumerate() {
+            grid[(from + offset) * n_sc + sc] = Some(value);
+        }
+    }
+    grid.into_iter()
+        .map(|v| v.expect("frame cell never produced"))
+        .collect()
+}
+
 struct Slot<D> {
     detector: D,
     channel_id: u64,
@@ -55,6 +83,10 @@ struct Slot<D> {
     /// [`Detector::effort`] captured right after preparation — the
     /// scheduling weight of this subcarrier's symbol batches.
     effort: usize,
+    /// [`Detector::extension_work`] captured right after preparation —
+    /// the fine-grained cost the fabric scheduler prices batches with
+    /// (equal efforts can hide severalfold work differences).
+    extension_work: usize,
 }
 
 /// Drives one detector design across whole OFDM frames.
@@ -84,6 +116,7 @@ pub struct FrameEngine<D> {
     vectors: AtomicU64,
     prepare_runs: AtomicU64,
     subcarriers_refreshed: AtomicU64,
+    fabric: Mutex<Option<FabricStats>>,
 }
 
 impl<D: Detector + Clone + Sync> FrameEngine<D> {
@@ -97,6 +130,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             vectors: AtomicU64::new(0),
             prepare_runs: AtomicU64::new(0),
             subcarriers_refreshed: AtomicU64::new(0),
+            fabric: Mutex::new(None),
         }
     }
 
@@ -118,6 +152,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             prepared_subcarriers: prepared,
             effort_total,
             effort_histogram: histogram.into_iter().collect(),
+            fabric: self.fabric.lock().expect("fabric stats poisoned").clone(),
         }
     }
 
@@ -128,6 +163,15 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             .get(subcarrier)
             .and_then(Option::as_ref)
             .map_or(1, |slot| slot.effort)
+    }
+
+    /// The fabric-scheduling weight of one subcarrier: its prepared
+    /// detector's [`Detector::extension_work`], or 1 while unprepared.
+    pub(crate) fn slot_extension_work(&self, subcarrier: usize) -> usize {
+        self.slots
+            .get(subcarrier)
+            .and_then(Option::as_ref)
+            .map_or(1, |slot| slot.extension_work)
     }
 
     /// The prepared detector of one subcarrier.
@@ -172,6 +216,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             let mut detector = self.template.clone();
             detector.prepare(channel.h(stale[0]), channel.sigma2());
             let effort = detector.effort();
+            let extension_work = detector.extension_work();
             self.prepare_runs.fetch_add(1, Ordering::Relaxed);
             for &sc in &stale {
                 self.slots[sc] = Some(Slot {
@@ -179,6 +224,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                     channel_id: channel.id(),
                     generation: channel.generation(sc),
                     effort,
+                    extension_work,
                 });
             }
         } else {
@@ -186,12 +232,14 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                 let mut detector = self.template.clone();
                 detector.prepare(channel.h(sc), channel.sigma2());
                 let effort = detector.effort();
+                let extension_work = detector.extension_work();
                 self.prepare_runs.fetch_add(1, Ordering::Relaxed);
                 self.slots[sc] = Some(Slot {
                     detector,
                     channel_id: channel.id(),
                     generation: channel.generation(sc),
                     effort,
+                    extension_work,
                 });
             }
         }
@@ -296,19 +344,93 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             })
             .collect();
         let per_batch = pool.run(tasks);
-        // Scatter back to symbol-major order.
-        let mut grid: Vec<Option<T>> = (0..frame.n_vectors()).map(|_| None).collect();
-        for ((sc, from, _), outputs) in batches.into_iter().zip(per_batch) {
-            for (offset, value) in outputs.into_iter().enumerate() {
-                grid[(from + offset) * n_sc + sc] = Some(value);
-            }
-        }
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.vectors
             .fetch_add(frame.n_vectors() as u64, Ordering::Relaxed);
-        grid.into_iter()
-            .map(|v| v.expect("frame cell never produced"))
-            .collect()
+        scatter_grid(n_sc, frame.n_vectors(), &batches, per_batch)
+    }
+
+    /// [`FrameEngine::process_frame`] on a heterogeneous fabric: batches
+    /// are priced at [`Detector::extension_work`]` × symbols` work units
+    /// (the fine-grained companion of the effort profile — equal path
+    /// counts can hide severalfold trie-walk differences), placed onto
+    /// the [`WeightedPool`]'s non-uniform PEs with the uniform-machines
+    /// LPT rule (most expensive first, each batch to the PE that finishes
+    /// it earliest), and timed. The audit record — predicted-vs-measured
+    /// makespan under `cost`'s pricing, packing efficiency, per-PE
+    /// utilisation — lands in [`EngineStats::fabric`].
+    ///
+    /// Placement and pricing never touch results: outputs are
+    /// bit-identical to [`FrameEngine::process_frame`] on any pool.
+    ///
+    /// # Panics
+    /// Panics if a subcarrier of `frame` was never prepared, or if `f`
+    /// returns the wrong number of outputs for a batch.
+    pub fn process_frame_on_fabric<C, T, F>(
+        &self,
+        frame: &RxFrame,
+        pool: &WeightedPool,
+        cost: &C,
+        work: &WorkUnit,
+        f: F,
+    ) -> Vec<T>
+    where
+        C: PeCost,
+        T: Send,
+        F: Fn(&D, usize, &[&[Cx]]) -> Vec<T> + Sync,
+    {
+        let n_sc = frame.n_subcarriers();
+        assert_eq!(
+            n_sc,
+            self.slots.len(),
+            "FrameEngine: frame has {n_sc} subcarriers, engine prepared {}",
+            self.slots.len()
+        );
+        let batches = self.plan_batches(frame, pool.n_pes());
+        let costs: Vec<u64> = batches
+            .iter()
+            .map(|&(sc, from, to)| self.slot_extension_work(sc) as u64 * (to - from) as u64)
+            .collect();
+        let f = &f;
+        let tasks: Vec<_> = batches
+            .iter()
+            .map(|&(sc, from, to)| {
+                let det = self.detector(sc);
+                move || {
+                    let ys = frame.column_chunk(sc, from, to);
+                    let out = f(det, sc, &ys);
+                    assert_eq!(out.len(), to - from, "batch output count mismatch");
+                    out
+                }
+            })
+            .collect();
+        let (per_batch, run) = pool.run_scheduled(tasks, &costs);
+        *self.fabric.lock().expect("fabric stats poisoned") = Some(FabricStats::from_run(
+            &run,
+            pool.speeds(),
+            cost.unit_seconds(work),
+            &costs,
+        ));
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.vectors
+            .fetch_add(frame.n_vectors() as u64, Ordering::Relaxed);
+        scatter_grid(n_sc, frame.n_vectors(), &batches, per_batch)
+    }
+
+    /// Hard-detects the frame on a heterogeneous fabric — see
+    /// [`FrameEngine::process_frame_on_fabric`]. Bit-identical to
+    /// [`FrameEngine::detect_frame`] on any pool.
+    pub fn detect_frame_on_fabric<C: PeCost>(
+        &self,
+        frame: &RxFrame,
+        pool: &WeightedPool,
+        cost: &C,
+        work: &WorkUnit,
+    ) -> DetectedFrame {
+        let symbols = self.process_frame_on_fabric(frame, pool, cost, work, |det, _sc, ys| {
+            det.detect_batch_refs(ys)
+        });
+        DetectedFrame::from_parts(frame.n_subcarriers(), symbols)
     }
 
     /// Detects every received vector of the frame, returning decisions in
@@ -592,6 +714,103 @@ mod tests {
         for sym in 0..9 {
             assert_eq!(out.get(sym, 0), reference.detect(frame.get(sym, 0)));
         }
+    }
+
+    #[test]
+    fn fabric_scheduling_preserves_bit_identity() {
+        use flexcore::AdaptiveFlexCore;
+        use flexcore_hwmodel::{CpuModel, HeterogeneousFabric, WorkUnit};
+        // Heterogeneous placement (2 fast + 6 slow) must not change a
+        // single cell, fixed or adaptive, wide or degenerate grids.
+        let ch = selective_channel(9, 41);
+        let (frame, _) = build_frame(9, 5, &ch, 42);
+        let pool = crate::fabric::pool_for(&HeterogeneousFabric::lte_smallcell());
+        let cpu = CpuModel::fx8120();
+        let work = WorkUnit::new(NT, 16);
+
+        let mut fixed = FrameEngine::new(SphereDecoder::new(Constellation::new(Modulation::Qam16)));
+        fixed.prepare(&ch);
+        let reference = fixed.detect_frame(&frame, &SequentialPool::new(1));
+        assert_eq!(
+            fixed.detect_frame_on_fabric(&frame, &pool, &cpu, &work),
+            reference
+        );
+
+        let mut adaptive = FrameEngine::new(AdaptiveFlexCore::new(
+            Constellation::new(Modulation::Qam16),
+            16,
+            0.95,
+        ));
+        adaptive.prepare(&ch);
+        let reference = adaptive.detect_frame(&frame, &SequentialPool::new(1));
+        assert_eq!(
+            adaptive.detect_frame_on_fabric(&frame, &pool, &cpu, &work),
+            reference
+        );
+
+        // Degenerate: empty frame on the fabric.
+        let empty = RxFrame::empty(9);
+        let out = fixed.detect_frame_on_fabric(&empty, &pool, &cpu, &work);
+        assert_eq!(out.n_symbols(), 0);
+    }
+
+    #[test]
+    fn fabric_stats_report_prediction_and_utilization() {
+        use flexcore::FlexCoreDetector;
+        use flexcore_hwmodel::{CpuModel, HeterogeneousFabric, WorkUnit};
+        let ch = selective_channel(16, 43);
+        let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+            Constellation::new(Modulation::Qam16),
+            16,
+        ));
+        engine.prepare(&ch);
+        assert!(engine.stats().fabric.is_none(), "no fabric run yet");
+        let (frame, _) = build_frame(16, 8, &ch, 44);
+        let pool = crate::fabric::pool_for(&HeterogeneousFabric::lte_smallcell());
+        let work = WorkUnit::new(NT, 16);
+        engine.detect_frame_on_fabric(&frame, &pool, &CpuModel::fx8120(), &work);
+        let fabric = engine.stats().fabric.expect("fabric stats recorded");
+        assert_eq!(fabric.n_pes, 8);
+        // Batches are priced at extension_work × symbols: the prepared
+        // tries' static walk costs, channel-dependent even at a fixed
+        // path budget.
+        let want_units: u64 = (0..16)
+            .map(|sc| engine.detector(sc).extension_work() as u64 * 8)
+            .sum();
+        assert_eq!(fabric.total_units, want_units);
+        assert!(
+            fabric.total_units >= 16 * 8 * 16,
+            "a 16-path trie walk costs at least one unit per path: {}",
+            fabric.total_units
+        );
+        assert!(fabric.predicted_makespan_units > 0.0);
+        assert!(fabric.predicted_model_makespan_s > 0.0);
+        assert!(fabric.measured_makespan_s > 0.0);
+        assert!(fabric.packing_efficiency > 0.0 && fabric.packing_efficiency <= 1.0);
+        assert_eq!(fabric.per_pe_utilization.len(), 8);
+        assert!(fabric
+            .per_pe_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0 + 1e-12).contains(&u)));
+        assert!(fabric
+            .per_pe_utilization
+            .iter()
+            .any(|&u| (u - 1.0).abs() < 1e-9));
+        // A flat channel prepares one detector and clones it, so every
+        // batch costs the same and a uniform pool packs perfectly.
+        let ens = flexcore_channel::ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(45);
+        let flat = FrameChannel::flat(ens.draw(&mut rng), sigma2_from_snr_db(SNR), 16);
+        let mut engine = FrameEngine::new(FlexCoreDetector::with_pes(
+            Constellation::new(Modulation::Qam16),
+            16,
+        ));
+        engine.prepare(&flat);
+        let (frame, _) = build_frame(16, 8, &flat, 46);
+        let uniform = crate::fabric::pool_for(&HeterogeneousFabric::uniform("u", 4));
+        engine.detect_frame_on_fabric(&frame, &uniform, &CpuModel::fx8120(), &work);
+        let fabric = engine.stats().fabric.expect("fabric stats recorded");
+        assert_eq!(fabric.packing_efficiency, 1.0);
     }
 
     #[test]

@@ -33,7 +33,14 @@
 //!   per-user `ChannelStream` + `FrameEngine` pairs whose frames are
 //!   sharded onto **one** shared PE pool per tick, LPT-ordered across
 //!   users, with per-user fairness accounting (frames-behind, effort
-//!   share).
+//!   share);
+//! * [`fabric`] — the hardware-aware layer: both the engine and the cell
+//!   can schedule onto a *heterogeneous* fabric
+//!   ([`flexcore_hwmodel::HeterogeneousFabric`] → a
+//!   [`flexcore_parallel::WeightedPool`] via [`pool_for`]), pricing each
+//!   batch at `Detector::extension_work() × PeCost` (the fine-grained
+//!   effort signal) and reporting predicted-vs-measured makespan plus
+//!   per-PE utilisation in [`FabricStats`].
 //!
 //! Results are **bit-identical** across substrates and batch shapes: the
 //! engine only reorders *scheduling*, never arithmetic, so
@@ -47,12 +54,14 @@
 
 pub mod channel;
 pub mod engine;
+pub mod fabric;
 pub mod frame;
 pub mod multiuser;
 pub mod stream;
 
 pub use channel::FrameChannel;
 pub use engine::{EngineStats, FrameEngine};
+pub use fabric::{pool_for, FabricStats};
 pub use frame::{DetectedFrame, RxFrame};
 pub use multiuser::{CellStats, StreamingCell, TickOutput};
 pub use stream::ChannelStream;

@@ -24,13 +24,19 @@
 //! and keeps the §5.1 trace-driven methodology intact at cell scale.
 
 use crate::engine::FrameEngine;
+use crate::fabric::FabricStats;
 use crate::frame::{DetectedFrame, RxFrame};
 use crate::stream::ChannelStream;
 use flexcore_detect::common::Detector;
+use flexcore_hwmodel::{PeCost, WorkUnit};
 use flexcore_numeric::Cx;
-use flexcore_parallel::{lpt_makespan_from_order, lpt_order, PePool};
+use flexcore_parallel::{lpt_makespan_from_order, lpt_order, PePool, WeightedPool};
 use rand::Rng;
 use std::collections::VecDeque;
+
+/// One tick's work item: `(work index, subcarrier, symbol range)` of a
+/// served user's oldest queued frame.
+type TickBatch = (usize, usize, usize, usize);
 
 struct UserSlot<D> {
     stream: ChannelStream,
@@ -74,10 +80,18 @@ pub struct CellStats {
     /// Per-user Σ [`Detector::effort`] over currently prepared subcarriers
     /// — how the PE demand splits across users right now.
     pub per_user_effort: Vec<u64>,
-    /// Modelled parallel efficiency of the last tick:
-    /// `Σ batch costs / (n_pes · LPT makespan)`; 1.0 when the users'
-    /// batches packed the pool perfectly (or before the first tick).
+    /// Modelled parallel efficiency of the last tick — always in
+    /// `(0, 1]`: `Σ batch costs / (n_pes · LPT makespan)` on identical
+    /// PEs, and the fabric audit's packing efficiency
+    /// (`Σ costs / (Σ speeds · weighted makespan)`) after a fabric tick;
+    /// 1.0 when the users' batches packed the pool perfectly (or before
+    /// the first tick).
     pub last_tick_efficiency: f64,
+    /// Audit record of the most recent fabric-scheduled tick
+    /// ([`StreamingCell::process_tick_on_fabric`]): predicted-vs-measured
+    /// makespan, packing efficiency and per-PE utilisation across **all**
+    /// users' batches. `None` until a fabric tick happens.
+    pub last_tick_fabric: Option<FabricStats>,
 }
 
 /// N per-user streaming uplinks sharing one processing-element pool.
@@ -90,9 +104,8 @@ pub struct CellStats {
 pub struct StreamingCell<D> {
     users: Vec<UserSlot<D>>,
     ticks: u64,
-    last_tick_cost: u64,
-    last_tick_makespan: u64,
-    last_tick_n_pes: usize,
+    last_tick_efficiency: f64,
+    last_tick_fabric: Option<FabricStats>,
 }
 
 impl<D: Detector + Clone + Sync> Default for StreamingCell<D> {
@@ -107,9 +120,8 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
         StreamingCell {
             users: Vec::new(),
             ticks: 0,
-            last_tick_cost: 0,
-            last_tick_makespan: 0,
-            last_tick_n_pes: 0,
+            last_tick_efficiency: 1.0,
+            last_tick_fabric: None,
         }
     }
 
@@ -197,37 +209,17 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
         T: Send,
         F: Fn(&D, usize, usize, &[&[Cx]]) -> Vec<T> + Sync,
     {
-        // Pop each served user's oldest frame out of the queue so the
-        // closures below only borrow `self.users` immutably.
-        let mut work: Vec<(usize, RxFrame)> = Vec::new();
-        for u in 0..self.users.len() {
-            if let Some(frame) = self.users[u].queue.pop_front() {
-                work.push((u, frame));
-            }
-        }
+        let (work, batches) = self.pop_tick_work(pool.n_pes());
         if work.is_empty() {
             return Vec::new();
         }
-
-        // Per-user batch splits concatenated, then LPT-ordered globally
-        // (one sort across all users — the per-engine ordering `plan`
-        // would apply is discarded here, so skip it).
-        let mut batches: Vec<(usize, usize, usize, usize)> = Vec::new();
-        for (widx, (u, frame)) in work.iter().enumerate() {
-            for (sc, from, to) in self.users[*u].engine.plan_batches(frame, pool.n_pes()) {
-                batches.push((widx, sc, from, to));
-            }
-        }
-        let costs: Vec<u64> = batches
-            .iter()
-            .map(|&(widx, sc, from, to)| {
-                let u = work[widx].0;
-                self.users[u].engine.slot_effort(sc) as u64 * (to - from) as u64
-            })
-            .collect();
+        // Identical PEs: weight batches by the effort profile and
+        // LPT-order the concatenated list globally (one sort across all
+        // users — the per-engine ordering `plan` would apply is discarded
+        // here, so skip it).
+        let costs = self.batch_costs(&work, &batches, FrameEngine::slot_effort);
         let order = lpt_order(&costs);
-        let ordered: Vec<(usize, usize, usize, usize)> =
-            order.iter().map(|&i| batches[i]).collect();
+        let ordered: Vec<TickBatch> = order.iter().map(|&i| batches[i]).collect();
 
         let f = &f;
         let tasks: Vec<_> = ordered
@@ -246,23 +238,157 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
             .collect();
         let per_batch = pool.run(tasks);
 
-        // Scatter each user's cells back to symbol-major grid order.
+        // Book the tick's pool model, then scatter and complete.
+        let makespan = lpt_makespan_from_order(&costs, &order, pool.n_pes());
+        self.last_tick_efficiency = if makespan == 0 {
+            1.0
+        } else {
+            costs.iter().sum::<u64>() as f64 / (pool.n_pes() as f64 * makespan as f64)
+        };
+        self.scatter_tick(work, &ordered, per_batch)
+    }
+
+    /// [`StreamingCell::process_tick`] on a heterogeneous fabric: the
+    /// concatenated batches of **all** served users are priced at
+    /// [`Detector::extension_work`]` × symbols` work units and placed onto the
+    /// [`WeightedPool`]'s non-uniform PEs with the uniform-machines LPT
+    /// rule — so an 8-user cell can run on, say, 2 fast DSP cores beside
+    /// 6 slow ARM ones ([`flexcore_hwmodel::HeterogeneousFabric`]), with
+    /// a crowded user's batches gravitating to the fast PEs. The audit
+    /// record lands in [`CellStats::last_tick_fabric`].
+    ///
+    /// Placement only: every user's outputs are bit-identical to
+    /// [`StreamingCell::process_tick`] on any pool.
+    pub fn process_tick_on_fabric<C, T, F>(
+        &mut self,
+        pool: &WeightedPool,
+        cost: &C,
+        work_unit: &WorkUnit,
+        f: F,
+    ) -> Vec<TickOutput<T>>
+    where
+        C: PeCost,
+        T: Send,
+        F: Fn(&D, usize, usize, &[&[Cx]]) -> Vec<T> + Sync,
+    {
+        let (work, batches) = self.pop_tick_work(pool.n_pes());
+        if work.is_empty() {
+            return Vec::new();
+        }
+        // Fabric placement prices batches with the fine-grained
+        // extension-work signal — equal efforts can hide severalfold
+        // trie-walk differences a finish-time prediction must see.
+        let costs = self.batch_costs(&work, &batches, FrameEngine::slot_extension_work);
+        let f = &f;
+        let tasks: Vec<_> = batches
+            .iter()
+            .map(|&(widx, sc, from, to)| {
+                let (u, frame) = &work[widx];
+                let u = *u;
+                let det = self.users[u].engine.detector(sc);
+                move || {
+                    let ys = frame.column_chunk(sc, from, to);
+                    let out = f(det, u, sc, &ys);
+                    assert_eq!(out.len(), to - from, "tick batch output count mismatch");
+                    out
+                }
+            })
+            .collect();
+        let (per_batch, run) = pool.run_scheduled(tasks, &costs);
+        let stats =
+            FabricStats::from_run(&run, pool.speeds(), cost.unit_seconds(work_unit), &costs);
+
+        // On non-uniform PEs the packing notion that stays in (0, 1] is
+        // work over Σspeeds × weighted makespan — exactly what the audit
+        // computed.
+        self.last_tick_efficiency = stats.packing_efficiency;
+        self.last_tick_fabric = Some(stats);
+        self.scatter_tick(work, &batches, per_batch)
+    }
+
+    /// Hard-detects every served user's oldest queued frame on a
+    /// heterogeneous fabric — see
+    /// [`StreamingCell::process_tick_on_fabric`]. Bit-identical to
+    /// [`StreamingCell::detect_tick`] on any pool.
+    pub fn detect_tick_on_fabric<C: PeCost>(
+        &mut self,
+        pool: &WeightedPool,
+        cost: &C,
+        work_unit: &WorkUnit,
+    ) -> Vec<(usize, DetectedFrame)> {
+        self.process_tick_on_fabric(pool, cost, work_unit, |det, _u, _sc, ys| {
+            det.detect_batch_refs(ys)
+        })
+        .into_iter()
+        .map(|out| {
+            (
+                out.user,
+                DetectedFrame::from_parts(out.n_subcarriers, out.cells),
+            )
+        })
+        .collect()
+    }
+
+    /// Pops each served user's oldest frame and splits every frame into
+    /// `(work index, subcarrier, symbol range)` batches — the shared
+    /// front half of every tick flavour. Popping up front lets the task
+    /// closures borrow `self.users` immutably.
+    fn pop_tick_work(&mut self, n_pes: usize) -> (Vec<(usize, RxFrame)>, Vec<TickBatch>) {
+        let mut work: Vec<(usize, RxFrame)> = Vec::new();
+        for u in 0..self.users.len() {
+            if let Some(frame) = self.users[u].queue.pop_front() {
+                work.push((u, frame));
+            }
+        }
+        let mut batches: Vec<TickBatch> = Vec::new();
+        for (widx, (u, frame)) in work.iter().enumerate() {
+            for (sc, from, to) in self.users[*u].engine.plan_batches(frame, n_pes) {
+                batches.push((widx, sc, from, to));
+            }
+        }
+        (work, batches)
+    }
+
+    /// Per-batch scheduling weights: `slot weight × symbols`, with the
+    /// per-subcarrier weight supplied by the tick flavour
+    /// ([`FrameEngine::slot_effort`] on identical PEs,
+    /// [`FrameEngine::slot_extension_work`] on a fabric).
+    fn batch_costs(
+        &self,
+        work: &[(usize, RxFrame)],
+        batches: &[TickBatch],
+        slot_weight: impl Fn(&FrameEngine<D>, usize) -> usize,
+    ) -> Vec<u64> {
+        batches
+            .iter()
+            .map(|&(widx, sc, from, to)| {
+                let u = work[widx].0;
+                slot_weight(&self.users[u].engine, sc) as u64 * (to - from) as u64
+            })
+            .collect()
+    }
+
+    /// Scatters per-batch outputs back to each user's symbol-major grid,
+    /// books completions, and bumps the tick counter — the shared back
+    /// half of every tick flavour. `batches` must be in the same order as
+    /// `per_batch`.
+    fn scatter_tick<T>(
+        &mut self,
+        work: Vec<(usize, RxFrame)>,
+        batches: &[TickBatch],
+        per_batch: Vec<Vec<T>>,
+    ) -> Vec<TickOutput<T>> {
         let mut grids: Vec<Vec<Option<T>>> = work
             .iter()
             .map(|(_, frame)| (0..frame.n_vectors()).map(|_| None).collect())
             .collect();
-        for (&(widx, sc, from, _), outputs) in ordered.iter().zip(per_batch) {
+        for (&(widx, sc, from, _), outputs) in batches.iter().zip(per_batch) {
             let n_sc = work[widx].1.n_subcarriers();
             for (offset, value) in outputs.into_iter().enumerate() {
                 grids[widx][(from + offset) * n_sc + sc] = Some(value);
             }
         }
-
-        // Book the tick: per-user completion + engine counters, pool model.
         self.ticks += 1;
-        self.last_tick_cost = costs.iter().sum();
-        self.last_tick_makespan = lpt_makespan_from_order(&costs, &order, pool.n_pes());
-        self.last_tick_n_pes = pool.n_pes();
         let mut outputs = Vec::with_capacity(work.len());
         for ((u, frame), grid) in work.into_iter().zip(grids) {
             self.users[u].completed += 1;
@@ -313,12 +439,8 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
             min_frames_behind: behind.iter().copied().min().unwrap_or(0),
             max_frames_behind: behind.iter().copied().max().unwrap_or(0),
             per_user_effort,
-            last_tick_efficiency: if self.last_tick_makespan == 0 {
-                1.0
-            } else {
-                self.last_tick_cost as f64
-                    / (self.last_tick_n_pes as f64 * self.last_tick_makespan as f64)
-            },
+            last_tick_efficiency: self.last_tick_efficiency,
+            last_tick_fabric: self.last_tick_fabric.clone(),
         }
     }
 }
@@ -527,6 +649,65 @@ mod tests {
                 assert_eq!(det.vector_calls(), 0, "user {u} sc {sc} fell back");
             }
         }
+    }
+
+    #[test]
+    fn fabric_tick_matches_each_users_solo_engine() {
+        use crate::fabric::pool_for;
+        use flexcore_hwmodel::{CpuModel, HeterogeneousFabric, WorkUnit};
+        // A mixed fixed/adaptive cell served on the 2-fast+6-slow LTE
+        // fabric: every user's detections must equal its solo engine, and
+        // the cell must record a fabric audit.
+        let mut cell = StreamingCell::new();
+        cell.add_user(mk_stream(6, 0.9, 91), CellDetector::fixed(c16(), 16));
+        cell.add_user(
+            mk_stream(6, 0.9, 92),
+            CellDetector::adaptive(c16(), 16, 0.95),
+        );
+        cell.add_user(
+            mk_stream(6, 0.9, 93),
+            CellDetector::adaptive(c16(), 16, 0.95),
+        );
+        let frames: Vec<RxFrame> = (0..3)
+            .map(|u| tx_frame(cell.stream(u), 4, 900 + u as u64))
+            .collect();
+        for (u, f) in frames.iter().enumerate() {
+            cell.submit(u, f.clone());
+        }
+        assert!(cell.stats().last_tick_fabric.is_none());
+        let pool = pool_for(&HeterogeneousFabric::lte_smallcell());
+        let work = WorkUnit::new(NT, 16);
+        let outs = cell.detect_tick_on_fabric(&pool, &CpuModel::fx8120(), &work);
+        assert_eq!(outs.len(), 3);
+        for (u, detected) in outs {
+            let solo = cell
+                .engine(u)
+                .detect_frame(&frames[u], &SequentialPool::new(1));
+            assert_eq!(detected, solo, "user {u}");
+        }
+        let stats = cell.stats();
+        // Heterogeneous packing still reports as a ratio in (0, 1]: the
+        // weighted makespan divides Σ speeds, not the PE count.
+        assert!(
+            stats.last_tick_efficiency > 0.0 && stats.last_tick_efficiency <= 1.0,
+            "fabric tick efficiency out of range: {}",
+            stats.last_tick_efficiency
+        );
+        let fabric = stats.last_tick_fabric.expect("fabric audit recorded");
+        assert_eq!(fabric.n_pes, 8);
+        assert_eq!(stats.last_tick_efficiency, fabric.packing_efficiency);
+        assert!(fabric.total_units > 0);
+        assert!(fabric.measured_makespan_s > 0.0);
+        assert!(fabric.packing_efficiency > 0.0 && fabric.packing_efficiency <= 1.0);
+        assert!(fabric
+            .per_pe_utilization
+            .iter()
+            .any(|&u| (u - 1.0).abs() < 1e-9));
+        // An empty fabric tick is a no-op that leaves the audit in place.
+        assert!(cell
+            .detect_tick_on_fabric(&pool, &CpuModel::fx8120(), &work)
+            .is_empty());
+        assert!(cell.stats().last_tick_fabric.is_some());
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! paper's "95–150 cycles, +5 per level for FlexCore".
 
 /// Which detection engine.
+///
+/// ```
+/// use flexcore_hwmodel::{EngineKind, FpgaModel};
+/// // Table 3: FlexCore closes timing lower than the FCSD.
+/// let fc = FpgaModel::new(EngineKind::FlexCore, 8, 64);
+/// let fcsd = FpgaModel::new(EngineKind::Fcsd, 8, 64);
+/// assert!(fc.fmax_hz() < fcsd.fmax_hz());
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
     /// FlexCore engine (position-vector driven, triangle-order registers).
@@ -20,6 +28,12 @@ pub enum EngineKind {
 }
 
 /// Resource usage of one processing element (one full tree path pipeline).
+///
+/// ```
+/// use flexcore_hwmodel::{EngineKind, FpgaModel};
+/// let pe = FpgaModel::new(EngineKind::FlexCore, 8, 64).single_pe();
+/// assert_eq!(pe.total_luts(), pe.lut_logic + pe.lut_mem);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct PeResources {
     /// CLB LUTs used as logic.
@@ -36,6 +50,13 @@ pub struct PeResources {
 
 impl PeResources {
     /// Total LUTs (logic + memory).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// // Table 3 anchor, Nt = 8 FlexCore: 3 206 + 15 276 LUTs.
+    /// let pe = FpgaModel::new(EngineKind::FlexCore, 8, 64).single_pe();
+    /// assert_eq!(pe.total_luts(), 3206.0 + 15276.0);
+    /// ```
     pub fn total_luts(&self) -> f64 {
         self.lut_logic + self.lut_mem
     }
@@ -52,6 +73,13 @@ impl PeResources {
 }
 
 /// Device capacity (the paper's Virtex UltraScale XCVU440).
+///
+/// ```
+/// use flexcore_hwmodel::FpgaDevice;
+/// let dev = FpgaDevice::xcvu440();
+/// assert_eq!(dev.dsp48, 2880.0);
+/// assert_eq!(dev.max_utilisation, 0.75);
+/// ```
 #[derive(Clone, Debug)]
 pub struct FpgaDevice {
     /// Total CLB LUTs.
@@ -65,6 +93,11 @@ pub struct FpgaDevice {
 
 impl FpgaDevice {
     /// XCVU440: 2,532,960 CLB LUTs, 2,880 DSP48E2 slices.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::FpgaDevice;
+    /// assert_eq!(FpgaDevice::xcvu440().luts, 2_532_960.0);
+    /// ```
     pub fn xcvu440() -> Self {
         FpgaDevice {
             luts: 2_532_960.0,
@@ -146,6 +179,13 @@ const STATIC_POWER_W: f64 = 4.0;
 
 /// The FPGA engine model for a given engine kind, stream count and
 /// modulation order.
+///
+/// ```
+/// use flexcore_hwmodel::{EngineKind, FpgaModel};
+/// // §5.3: FlexCore at 12×12 64-QAM, 32 engines, 32 paths — 22.5 Gb/s.
+/// let m = FpgaModel::new(EngineKind::FlexCore, 12, 64);
+/// assert!((m.throughput_bps(32, 32) / 1e9 - 22.5).abs() < 0.1);
+/// ```
 #[derive(Clone, Debug)]
 pub struct FpgaModel {
     /// Engine flavour.
@@ -160,6 +200,12 @@ pub struct FpgaModel {
 
 impl FpgaModel {
     /// Creates the model (64-QAM engines are the paper's Table 3 subject).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::Fcsd, 8, 64);
+    /// assert_eq!((m.nt, m.q), (8, 64));
+    /// ```
     pub fn new(kind: EngineKind, nt: usize, q: usize) -> Self {
         FpgaModel {
             kind,
@@ -170,6 +216,11 @@ impl FpgaModel {
     }
 
     /// Maximum clock in Hz (timing closure per engine kind, Table 3).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// assert_eq!(FpgaModel::new(EngineKind::FlexCore, 8, 64).fmax_hz(), 312.5e6);
+    /// ```
     pub fn fmax_hz(&self) -> f64 {
         match self.kind {
             EngineKind::FlexCore => 312.5e6,
@@ -178,6 +229,11 @@ impl FpgaModel {
     }
 
     /// Single-PE resources (Table 3 for `nt ∈ {8, 12}`, affine otherwise).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// assert_eq!(FpgaModel::new(EngineKind::FlexCore, 8, 64).single_pe().dsp48, 16.0);
+    /// ```
     pub fn single_pe(&self) -> PeResources {
         let [a, b] = anchors(self.kind);
         let t = self.nt as f64;
@@ -191,6 +247,14 @@ impl FpgaModel {
     }
 
     /// Total on-chip power for `m` instantiated PEs, watts.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::FlexCore, 8, 64);
+    /// // Table 3 anchor at one PE; more PEs draw more power.
+    /// assert!((m.power_w(1) - 6.82).abs() < 1e-9);
+    /// assert!(m.power_w(8) > m.power_w(1));
+    /// ```
     pub fn power_w(&self, m: usize) -> f64 {
         let [a, b] = anchors(self.kind);
         let single = affine(a.nt, a.power_w, b.nt, b.power_w, self.nt as f64);
@@ -199,6 +263,11 @@ impl FpgaModel {
 
     /// Pipeline latency in cycles for one path: the paper's FCSD spans 95
     /// (Nt=8) to 150 (Nt=12) cycles; FlexCore adds ≥5 cycles per level.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// assert_eq!(FpgaModel::new(EngineKind::Fcsd, 8, 64).pipeline_latency_cycles(), 95.0);
+    /// ```
     pub fn pipeline_latency_cycles(&self) -> f64 {
         let base = affine(8.0, 95.0, 12.0, 150.0, self.nt as f64);
         match self.kind {
@@ -208,6 +277,12 @@ impl FpgaModel {
     }
 
     /// Maximum PEs that fit the device at its utilisation ceiling.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// // The paper's M = 32 must fit the XCVU440.
+    /// assert!(FpgaModel::new(EngineKind::FlexCore, 12, 64).max_pes() >= 32);
+    /// ```
     pub fn max_pes(&self) -> usize {
         let pe = self.single_pe();
         let by_lut = self.device.luts * self.device.max_utilisation / pe.total_luts();
@@ -216,6 +291,12 @@ impl FpgaModel {
     }
 
     /// Resources for `m` PEs.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::Fcsd, 8, 64);
+    /// assert_eq!(m.resources(4).dsp48, 4.0 * m.single_pe().dsp48);
+    /// ```
     pub fn resources(&self, m: usize) -> PeResources {
         self.single_pe().scale(m as f64)
     }
@@ -225,6 +306,14 @@ impl FpgaModel {
     /// accepts one path per cycle once the pipeline is full, so the engine
     /// completes `fmax·m/paths` vectors/s at `nt·log2|Q|` bits each —
     /// the paper's `log2(|Q|)·Nt·fmax·M/|Q|` for the L=1 FCSD.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::FlexCore, 8, 64);
+    /// // Doubling the engines doubles throughput; doubling paths halves it.
+    /// assert_eq!(m.throughput_bps(8, 32), 2.0 * m.throughput_bps(4, 32));
+    /// assert_eq!(m.throughput_bps(8, 64), m.throughput_bps(8, 32) / 2.0);
+    /// ```
     pub fn throughput_bps(&self, m: usize, paths: usize) -> f64 {
         assert!(paths >= 1 && m >= 1);
         let bits = (self.nt * self.q.ilog2() as usize) as f64;
@@ -233,12 +322,25 @@ impl FpgaModel {
 
     /// Energy efficiency in joules per bit at `m` PEs / `paths` paths —
     /// the y-axis of Fig. 13.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::FlexCore, 12, 64);
+    /// // More paths per vector cost more energy per delivered bit.
+    /// assert!(m.joules_per_bit(32, 128) > m.joules_per_bit(32, 32));
+    /// ```
     pub fn joules_per_bit(&self, m: usize, paths: usize) -> f64 {
         self.power_w(m) / self.throughput_bps(m, paths)
     }
 
     /// Detection latency (s) for one batch of `nsc` subcarriers with `m`
     /// PEs and `paths` paths per vector: pipeline fill + streaming drain.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// let m = FpgaModel::new(EngineKind::FlexCore, 8, 64);
+    /// assert!(m.batch_latency_s(1200, 16, 32) < m.batch_latency_s(1200, 8, 32));
+    /// ```
     pub fn batch_latency_s(&self, nsc: usize, m: usize, paths: usize) -> f64 {
         let cycles = self.pipeline_latency_cycles() + (nsc as f64 * paths as f64 / m as f64).ceil();
         cycles / self.fmax_hz()
@@ -246,6 +348,14 @@ impl FpgaModel {
 
     /// Area–delay product for a single PE (used by Table 3's caption
     /// comparison): CLB slices × critical-path delay.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{EngineKind, FpgaModel};
+    /// // Table 3 caption: FlexCore pays a modest per-PE overhead.
+    /// let fc = FpgaModel::new(EngineKind::FlexCore, 8, 64);
+    /// let fcsd = FpgaModel::new(EngineKind::Fcsd, 8, 64);
+    /// assert!(fc.area_delay() > fcsd.area_delay());
+    /// ```
     pub fn area_delay(&self) -> f64 {
         self.single_pe().clb_slices / self.fmax_hz()
     }

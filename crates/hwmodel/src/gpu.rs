@@ -17,6 +17,14 @@
 //! 64.25 % parallel efficiency).
 
 /// GPU execution model.
+///
+/// ```
+/// use flexcore_hwmodel::GpuModel;
+/// let gpu = GpuModel::gtx970();
+/// // §5.2: FlexCore |E|=128 vs the FCSD's L=2 expansion — "up to 19x".
+/// let s = gpu.speedup_vs_fcsd(128, 16384, 64, 2, 12);
+/// assert!(s > 10.0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct GpuModel {
     /// Streaming multiprocessors.
@@ -42,6 +50,14 @@ impl GpuModel {
     /// arithmetic/branching applied to the topmost level, §4). Calibrated
     /// jointly with `cycles_per_level` against the paper's measured
     /// |E|=128-vs-L=2 speedup ("up to 19×").
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// // FlexCore threads cost more than FCSD threads at equal counts.
+    /// assert!(gpu.flexcore_time_s(1024, 64, 12, 64) > gpu.fcsd_time_s(1024, 64, 1, 12) / 2.0);
+    /// assert_eq!(GpuModel::FLEXCORE_THREAD_OVERHEAD, 1.60);
+    /// ```
     pub const FLEXCORE_THREAD_OVERHEAD: f64 = 1.60;
 
     /// The paper's NVIDIA GTX 970 (Maxwell): 13 SMs × 128 cores, 1.05 GHz,
@@ -49,6 +65,12 @@ impl GpuModel {
     /// thread, global-memory stalls included) is calibrated so the LTE
     /// budget solver lands on the paper's measured path counts (105→4 for
     /// Nt=8 across the 1.25→20 MHz modes, Fig. 12).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// assert_eq!((gpu.sm_count, gpu.cores_per_sm), (13, 128));
+    /// ```
     pub fn gtx970() -> Self {
         GpuModel {
             sm_count: 13,
@@ -62,12 +84,25 @@ impl GpuModel {
     }
 
     /// Threads resident across the device.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// assert_eq!(GpuModel::gtx970().concurrent_threads(), 13 * 128);
+    /// ```
     pub fn concurrent_threads(&self) -> usize {
         self.sm_count * self.cores_per_sm
     }
 
     /// Raw kernel compute time for `threads` threads of `cycles` cycles
     /// each (no launch overhead).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// // One extra thread beyond full residency starts a second wave.
+    /// let full = gpu.kernel_time_s(gpu.concurrent_threads(), 100.0);
+    /// assert_eq!(gpu.kernel_time_s(gpu.concurrent_threads() + 1, 100.0), 2.0 * full);
+    /// ```
     pub fn kernel_time_s(&self, threads: usize, cycles: f64) -> f64 {
         if threads == 0 {
             return 0.0;
@@ -77,6 +112,12 @@ impl GpuModel {
     }
 
     /// Host→device transfer time.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// // 12 GB at 12 GB/s takes one second.
+    /// assert!((GpuModel::gtx970().transfer_time_s(12_000_000_000) - 1.0).abs() < 1e-12);
+    /// ```
     pub fn transfer_time_s(&self, bytes: usize) -> f64 {
         bytes as f64 / self.pcie_bw
     }
@@ -84,8 +125,16 @@ impl GpuModel {
     /// Per-path (whole-descent) cycle cost for an `nt`-level tree:
     /// level `l` from the top does `O(nt − l)` cancellation multiply-adds
     /// plus fixed slicing/metric work, so a path is
-    /// `cycles_per_level · nt·(nt+3)/2`.
-    fn path_cycles(&self, nt: usize) -> f64 {
+    /// `cycles_per_level · nt·(nt+3)/2`. This is the FCSD thread cost; the
+    /// [`PeCost`](crate::PeCost) view of this model multiplies in
+    /// [`GpuModel::FLEXCORE_THREAD_OVERHEAD`] for FlexCore threads.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// assert_eq!(gpu.path_cycles(8), 220.0 * 8.0 * 11.0 / 2.0);
+    /// ```
+    pub fn path_cycles(&self, nt: usize) -> f64 {
         self.cycles_per_level * (nt as f64) * (nt as f64 + 3.0) / 2.0
     }
 
@@ -100,6 +149,13 @@ impl GpuModel {
 
     /// FCSD detection time for `nsc` subcarriers, constellation size `q`,
     /// `l` fully-expanded levels, `nt` streams (threads = `nsc·q^l`).
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// // A second fully-expanded level multiplies the thread count by |Q|.
+    /// assert!(gpu.fcsd_time_s(1024, 64, 2, 12) > 10.0 * gpu.fcsd_time_s(1024, 64, 1, 12));
+    /// ```
     pub fn fcsd_time_s(&self, nsc: usize, q: usize, l: u32, nt: usize) -> f64 {
         let threads = nsc * q.pow(l);
         self.batch_time_s(threads, self.path_cycles(nt), self.io_bytes(nsc, nt))
@@ -112,6 +168,13 @@ impl GpuModel {
     /// products), so like the QR factors they amortise across the many
     /// detection batches of a packet and are excluded from the per-batch
     /// critical path.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// // Fewer paths, faster detection.
+    /// assert!(gpu.flexcore_time_s(4096, 32, 12, 64) < gpu.flexcore_time_s(4096, 256, 12, 64));
+    /// ```
     pub fn flexcore_time_s(&self, nsc: usize, e: usize, nt: usize, q: usize) -> f64 {
         let _ = q;
         let threads = nsc * e;
@@ -131,18 +194,38 @@ impl GpuModel {
 
     /// Fig. 11's headline metric: FlexCore speedup over the GPU FCSD at
     /// equal subcarrier batching.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// let gpu = GpuModel::gtx970();
+    /// // The speedup grows as |E| shrinks.
+    /// assert!(gpu.speedup_vs_fcsd(64, 1024, 64, 2, 12) > gpu.speedup_vs_fcsd(512, 1024, 64, 2, 12));
+    /// ```
     pub fn speedup_vs_fcsd(&self, e: usize, nsc: usize, q: usize, l: u32, nt: usize) -> f64 {
         self.fcsd_time_s(nsc, q, l, nt) / self.flexcore_time_s(nsc, e, nt, q)
     }
 
     /// Energy per information bit for a detection batch that carries
     /// `bits` information bits and takes `time_s` seconds.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::GpuModel;
+    /// // 145 W for 1 s over 145 bits = 1 J/bit.
+    /// assert!((GpuModel::gtx970().joules_per_bit(1.0, 145.0) - 1.0).abs() < 1e-12);
+    /// ```
     pub fn joules_per_bit(&self, time_s: f64, bits: f64) -> f64 {
         self.power_w * time_s / bits
     }
 }
 
 /// OpenMP-style multicore model (the paper's AMD FX-8120).
+///
+/// ```
+/// use flexcore_hwmodel::CpuModel;
+/// let cpu = CpuModel::fx8120();
+/// // The paper's measured OpenMP scaling: 8 threads -> 5.14x.
+/// assert!((cpu.parallel_speedup(8) - 5.14).abs() < 0.02);
+/// ```
 #[derive(Clone, Debug)]
 pub struct CpuModel {
     /// Physical cores.
@@ -159,6 +242,11 @@ impl CpuModel {
     /// The paper's FX-8120 (8 cores, 3.1 GHz, 125 W). `cycles_per_level`
     /// is calibrated so the GPU-vs-8-thread ratio lands at the paper's
     /// "at least 21×".
+    ///
+    /// ```
+    /// use flexcore_hwmodel::CpuModel;
+    /// assert_eq!(CpuModel::fx8120().cores, 8);
+    /// ```
     pub fn fx8120() -> Self {
         CpuModel {
             cores: 8,
@@ -171,6 +259,13 @@ impl CpuModel {
     /// Parallel speedup of `threads` OpenMP threads. Calibrated to the
     /// paper's measurement: 8 threads → 5.14× (64.25 % efficiency), with
     /// Amdahl-style decay `eff(t) = t / (1 + α(t−1))`.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::CpuModel;
+    /// let cpu = CpuModel::fx8120();
+    /// assert!((cpu.parallel_speedup(1) - 1.0).abs() < 1e-12);
+    /// assert!(cpu.parallel_speedup(4) < 4.0);
+    /// ```
     pub fn parallel_speedup(&self, threads: usize) -> f64 {
         assert!(threads >= 1);
         // α solves 8/(1+7α) = 5.14 → α ≈ 0.0795.
@@ -180,6 +275,14 @@ impl CpuModel {
 
     /// Time for `paths` total tree paths of `nt` levels on `threads`
     /// OpenMP threads.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::CpuModel;
+    /// let cpu = CpuModel::fx8120();
+    /// // 8 threads beat 1 thread by the measured 5.14x.
+    /// let ratio = cpu.time_s(4096, 12, 1) / cpu.time_s(4096, 12, 8);
+    /// assert!((ratio - 5.14).abs() < 0.02);
+    /// ```
     pub fn time_s(&self, paths: usize, nt: usize, threads: usize) -> f64 {
         let cycles = paths as f64 * self.cycles_per_level * nt as f64 * (nt as f64 + 3.0) / 2.0;
         cycles / self.clock_hz / self.parallel_speedup(threads)

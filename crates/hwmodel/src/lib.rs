@@ -14,15 +14,38 @@
 //! * [`fpga`] — per-engine resource/latency/power composition anchored on
 //!   Table 3 → Table 3 and Fig. 13;
 //! * [`lte`] — LTE frame timing (1.25–20 MHz modes, 500 µs slots) and the
-//!   "how many paths fit in the budget" solver → Fig. 12.
+//!   "how many paths fit in the budget" solver → Fig. 12;
+//! * [`fabric`] — the **unified scheduling view**: every substrate reduced
+//!   to a [`PeCost`] (cycles per path-extension unit of work at a given
+//!   antenna/modulation config) and a [`HeterogeneousFabric`] (a pool of
+//!   PEs with per-PE speed factors) that `flexcore-parallel`'s
+//!   `WeightedPool` and `flexcore-engine`'s planner execute against.
+//!
+//! ```
+//! use flexcore_hwmodel::{CpuModel, HeterogeneousFabric, PeCost, WorkUnit};
+//! // An 8×8 16-QAM FlexCore-16 vector costs 16 path units; on the LTE
+//! // small-cell fabric (2 fast DSP + 6 slow ARM PEs) the model predicts:
+//! let work = WorkUnit::new(8, 16);
+//! let fabric = HeterogeneousFabric::lte_smallcell();
+//! let bps = fabric.ideal_throughput_bps(&CpuModel::fx8120(), &work, 16.0);
+//! assert!(bps > 1e6, "small cell should manage megabits: {bps}");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod fpga;
 pub mod gpu;
 pub mod lte;
 
+pub use fabric::{HeterogeneousFabric, PeClass, PeCost, WorkUnit};
 pub use fpga::{EngineKind, FpgaDevice, FpgaModel, PeResources};
 pub use gpu::{CpuModel, GpuModel};
 pub use lte::{LteMode, LTE_MODES};
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -11,6 +11,13 @@
 use crate::gpu::GpuModel;
 
 /// One LTE bandwidth mode.
+///
+/// ```
+/// use flexcore_hwmodel::LTE_MODES;
+/// let narrow = LTE_MODES[0];
+/// assert_eq!(narrow.bandwidth_mhz, 1.25);
+/// assert_eq!(narrow.vectors_per_slot(), 76 * 7);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LteMode {
     /// Marketing bandwidth label in MHz (the paper's x-axis).
@@ -20,6 +27,12 @@ pub struct LteMode {
 }
 
 /// The six LTE modes of Fig. 12.
+///
+/// ```
+/// use flexcore_hwmodel::LTE_MODES;
+/// assert_eq!(LTE_MODES.len(), 6);
+/// assert_eq!(LTE_MODES[5].occupied_subcarriers, 1200);
+/// ```
 pub const LTE_MODES: [LteMode; 6] = [
     LteMode {
         bandwidth_mhz: 1.25,
@@ -48,12 +61,26 @@ pub const LTE_MODES: [LteMode; 6] = [
 ];
 
 /// Timeslot duration (s).
+///
+/// ```
+/// // An LTE 10 ms frame holds 20 of these.
+/// assert_eq!(20.0 * flexcore_hwmodel::lte::SLOT_S, 10e-3);
+/// ```
 pub const SLOT_S: f64 = 500e-6;
 /// OFDM symbols per slot (normal cyclic prefix).
+///
+/// ```
+/// assert_eq!(flexcore_hwmodel::lte::SYMBOLS_PER_SLOT, 7);
+/// ```
 pub const SYMBOLS_PER_SLOT: usize = 7;
 
 impl LteMode {
     /// Received MIMO vectors that must be detected per timeslot.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::LTE_MODES;
+    /// assert_eq!(LTE_MODES[2].vectors_per_slot(), 300 * 7);
+    /// ```
     pub fn vectors_per_slot(&self) -> usize {
         self.occupied_subcarriers * SYMBOLS_PER_SLOT
     }
@@ -61,6 +88,15 @@ impl LteMode {
     /// Largest FlexCore path count `|E|` the GPU sustains within the slot
     /// (8 CUDA streams overlap transfers as in §5.2, folded into the
     /// model's bandwidth figure). Returns 0 when even one path misses.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{GpuModel, LTE_MODES};
+    /// let gpu = GpuModel::gtx970();
+    /// // Wider bands afford fewer paths per subcarrier (Fig. 12).
+    /// let narrow = LTE_MODES[0].max_flexcore_paths(&gpu, 8, 64);
+    /// let wide = LTE_MODES[5].max_flexcore_paths(&gpu, 8, 64);
+    /// assert!(narrow > wide && wide >= 1);
+    /// ```
     pub fn max_flexcore_paths(&self, gpu: &GpuModel, nt: usize, q: usize) -> usize {
         let nsc = self.vectors_per_slot();
         let mut best = 0usize;
@@ -76,6 +112,14 @@ impl LteMode {
     }
 
     /// Whether the FCSD with `l` fully-expanded levels fits the slot.
+    ///
+    /// ```
+    /// use flexcore_hwmodel::{GpuModel, LTE_MODES};
+    /// let gpu = GpuModel::gtx970();
+    /// // §5.2: the FCSD only fits the narrowest mode, at L = 1.
+    /// assert!(LTE_MODES[0].fcsd_supported(&gpu, 8, 64, 1));
+    /// assert!(!LTE_MODES[5].fcsd_supported(&gpu, 8, 64, 1));
+    /// ```
     pub fn fcsd_supported(&self, gpu: &GpuModel, nt: usize, q: usize, l: u32) -> bool {
         gpu.fcsd_time_s(self.vectors_per_slot(), q, l, nt) <= SLOT_S
     }

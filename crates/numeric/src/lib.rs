@@ -50,3 +50,9 @@ pub use flops::FlopCounter;
 pub use mat::{CMat, CVec};
 pub use qr::{fcsd_sorted_qr, householder_qr, mgs_qr, sorted_qr_sqrd, Qr};
 pub use symvec::SymVec;
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -20,17 +20,37 @@
 //!   micro-tasks) or through a shared work queue
 //!   ([`CrossbeamPool::work_queue`], for coarse variable-cost tasks such as
 //!   the frame engine's per-subcarrier batches) — see [`ScheduleMode`].
+//! * [`WeightedPool`] — a simulated pool of **non-uniform** PEs carrying
+//!   per-PE speed factors (e.g. 2 fast DSP cores beside 6 slow ARM cores,
+//!   from `flexcore_hwmodel::HeterogeneousFabric`). Batches are placed
+//!   with [`lpt_assign_weighted`] — the uniform-machines LPT rule, which
+//!   assigns each task to the PE that would *finish it earliest* instead
+//!   of assuming identical PEs — and every task is timed, so the frame
+//!   engine can report predicted-vs-measured makespan and per-PE
+//!   utilisation.
 //!
-//! Both implement [`PePool`], so every detector in the workspace runs
-//! unmodified on either, and `flexcore-engine` drives whole OFDM frames
-//! through them.
+//! All three implement [`PePool`], so every detector in the workspace runs
+//! unmodified on any of them, and `flexcore-engine` drives whole OFDM
+//! frames through them. Scheduling is ordering/placement only — detections
+//! stay bit-identical across substrates, a property the workspace tests
+//! enforce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod weighted;
 
 pub use pool::{
     lpt_makespan, lpt_makespan_from_order, lpt_order, schedule_rounds, CrossbeamPool, PePool,
     ScheduleMode, SequentialPool, WorkStats,
 };
+pub use weighted::{
+    lpt_assign_weighted, lpt_makespan_weighted, ScheduledRun, WeightedPool, WeightedSchedule,
+};
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -10,6 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The paper's minimum-latency evaluations (Fig. 9) assume one task per PE,
 /// i.e. one round; LTE-budget evaluations (Fig. 12) let PEs run several
 /// tasks back-to-back, paying `schedule_rounds` in latency.
+///
+/// ```
+/// use flexcore_parallel::schedule_rounds;
+/// assert_eq!(schedule_rounds(9, 8), 2);
+/// assert_eq!(schedule_rounds(8, 8), 1);
+/// assert_eq!(schedule_rounds(0, 8), 0);
+/// ```
 pub fn schedule_rounds(n_tasks: usize, n_pes: usize) -> usize {
     assert!(n_pes > 0, "schedule_rounds: zero PEs");
     n_tasks.div_ceil(n_pes)
@@ -25,6 +32,13 @@ pub fn schedule_rounds(n_tasks: usize, n_pes: usize) -> usize {
 /// detection costs so a handful of hard subcarriers start first and the
 /// cheap near-SIC ones fill the tail — *ordering only*: result order and
 /// values are unaffected.
+///
+/// ```
+/// use flexcore_parallel::lpt_order;
+/// assert_eq!(lpt_order(&[1, 9, 4]), vec![1, 2, 0]);
+/// // Ties keep submission order, so schedules are deterministic.
+/// assert_eq!(lpt_order(&[5, 3, 5]), vec![0, 2, 1]);
+/// ```
 pub fn lpt_order(costs: &[u64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..costs.len()).collect();
     order.sort_by(|&a, &b| costs[b].cmp(&costs[a]));
@@ -39,6 +53,14 @@ pub fn lpt_order(costs: &[u64]) -> Vec<usize> {
 /// `Σ costs / n_pes` by it gives the modelled parallel efficiency of a
 /// tick — 1.0 when the per-user batch costs pack perfectly, less when one
 /// crowded subcarrier column dominates the critical path.
+///
+/// ```
+/// use flexcore_parallel::lpt_makespan;
+/// // One dominant task bounds the makespan from below…
+/// assert_eq!(lpt_makespan(&[100, 1, 1, 1], 4), 100);
+/// // …and equal costs pack perfectly.
+/// assert_eq!(lpt_makespan(&[5, 5, 5, 5], 2), 10);
+/// ```
 pub fn lpt_makespan(costs: &[u64], n_pes: usize) -> u64 {
     lpt_makespan_from_order(costs, &lpt_order(costs), n_pes)
 }
@@ -47,6 +69,13 @@ pub fn lpt_makespan(costs: &[u64], n_pes: usize) -> u64 {
 /// permutation of `costs` — skips the redundant sort (the multi-user
 /// cell computes the order once per tick for scheduling and reuses it
 /// here for the efficiency model).
+///
+/// ```
+/// use flexcore_parallel::{lpt_makespan, lpt_makespan_from_order, lpt_order};
+/// let costs = [7, 6, 5, 4, 3];
+/// let order = lpt_order(&costs);
+/// assert_eq!(lpt_makespan_from_order(&costs, &order, 2), lpt_makespan(&costs, 2));
+/// ```
 pub fn lpt_makespan_from_order(costs: &[u64], order: &[usize], n_pes: usize) -> u64 {
     assert!(n_pes > 0, "lpt_makespan: zero PEs");
     let mut loads = vec![0u64; n_pes];
@@ -63,6 +92,17 @@ pub fn lpt_makespan_from_order(costs: &[u64], order: &[usize], n_pes: usize) -> 
 }
 
 /// Cumulative work accounting for a pool.
+///
+/// ```
+/// use flexcore_parallel::{PePool, SequentialPool};
+/// let pool = SequentialPool::new(4);
+/// pool.run((0..10).map(|i| move || i).collect::<Vec<_>>());
+/// assert_eq!(pool.stats().tasks(), 10);
+/// assert_eq!(pool.stats().batches(), 1);
+/// assert_eq!(pool.stats().rounds(), 3); // ceil(10 / 4)
+/// pool.stats().reset();
+/// assert_eq!(pool.stats().tasks(), 0);
+/// ```
 #[derive(Debug, Default)]
 pub struct WorkStats {
     tasks: AtomicU64,
@@ -71,7 +111,7 @@ pub struct WorkStats {
 }
 
 impl WorkStats {
-    fn record(&self, n_tasks: usize, n_pes: usize) {
+    pub(crate) fn record(&self, n_tasks: usize, n_pes: usize) {
         self.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.rounds
@@ -105,6 +145,18 @@ impl WorkStats {
 ///
 /// Implementations must return results **in task order** regardless of
 /// execution order, so detector outputs do not depend on the substrate.
+///
+/// ```
+/// use flexcore_parallel::{CrossbeamPool, PePool, SequentialPool};
+/// fn tasks() -> Vec<impl FnOnce() -> usize + Send> {
+///     (0..20).map(|i| move || i * i).collect()
+/// }
+/// // Any substrate, same results, in task order.
+/// let seq = SequentialPool::new(4).run(tasks());
+/// let par = CrossbeamPool::work_queue(4).run(tasks());
+/// assert_eq!(seq, par);
+/// assert_eq!(seq[7], 49);
+/// ```
 pub trait PePool {
     /// Number of processing elements this pool models or owns.
     fn n_pes(&self) -> usize;
@@ -121,6 +173,13 @@ pub trait PePool {
 
 /// Deterministic in-order execution with PE accounting — the "simulated
 /// processing elements" used throughout the experiment harness.
+///
+/// ```
+/// use flexcore_parallel::{PePool, SequentialPool};
+/// let pool = SequentialPool::new(8);
+/// assert_eq!(pool.n_pes(), 8);
+/// assert_eq!(pool.run(vec![|| 1 + 1]), vec![2]);
+/// ```
 #[derive(Debug)]
 pub struct SequentialPool {
     n_pes: usize,
@@ -129,6 +188,14 @@ pub struct SequentialPool {
 
 impl SequentialPool {
     /// A simulated pool of `n_pes` elements.
+    ///
+    /// # Panics
+    /// Panics if `n_pes == 0`.
+    ///
+    /// ```
+    /// use flexcore_parallel::{PePool, SequentialPool};
+    /// assert_eq!(SequentialPool::new(3).n_pes(), 3);
+    /// ```
     pub fn new(n_pes: usize) -> Self {
         assert!(n_pes > 0, "SequentialPool: zero PEs");
         SequentialPool {
@@ -158,6 +225,12 @@ impl PePool for SequentialPool {
 }
 
 /// How a [`CrossbeamPool`] distributes a batch over its workers.
+///
+/// ```
+/// use flexcore_parallel::{CrossbeamPool, ScheduleMode};
+/// assert_eq!(CrossbeamPool::new(4).mode(), ScheduleMode::Static);
+/// assert_eq!(CrossbeamPool::work_queue(4).mode(), ScheduleMode::WorkQueue);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ScheduleMode {
     /// Round-robin pre-assignment: each worker owns a fixed strided subset
@@ -183,6 +256,13 @@ pub enum ScheduleMode {
 /// returned in task order in both modes, so detector output never depends
 /// on the substrate — mirroring FlexCore's claim of near-embarrassing
 /// parallelism.
+///
+/// ```
+/// use flexcore_parallel::{CrossbeamPool, PePool};
+/// let pool = CrossbeamPool::work_queue(4);
+/// let out = pool.run((0..100).map(|i| move || i * 2).collect::<Vec<_>>());
+/// assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+/// ```
 #[derive(Debug)]
 pub struct CrossbeamPool {
     n_pes: usize,
@@ -193,17 +273,36 @@ pub struct CrossbeamPool {
 impl CrossbeamPool {
     /// A statically-scheduled pool backed by `n_pes` worker threads per
     /// batch.
+    ///
+    /// ```
+    /// use flexcore_parallel::{CrossbeamPool, PePool};
+    /// assert_eq!(CrossbeamPool::new(2).run(vec![|| 5]), vec![5]);
+    /// ```
     pub fn new(n_pes: usize) -> Self {
         Self::with_mode(n_pes, ScheduleMode::Static)
     }
 
     /// A work-queue pool: `n_pes` workers pulling tasks from a shared
     /// queue. Use for coarse tasks of unequal cost (frame processing).
+    ///
+    /// ```
+    /// use flexcore_parallel::{CrossbeamPool, ScheduleMode};
+    /// assert_eq!(CrossbeamPool::work_queue(2).mode(), ScheduleMode::WorkQueue);
+    /// ```
     pub fn work_queue(n_pes: usize) -> Self {
         Self::with_mode(n_pes, ScheduleMode::WorkQueue)
     }
 
     /// A pool with an explicit scheduling mode.
+    ///
+    /// # Panics
+    /// Panics if `n_pes == 0`.
+    ///
+    /// ```
+    /// use flexcore_parallel::{CrossbeamPool, PePool, ScheduleMode};
+    /// let pool = CrossbeamPool::with_mode(3, ScheduleMode::Static);
+    /// assert_eq!((pool.n_pes(), pool.mode()), (3, ScheduleMode::Static));
+    /// ```
     pub fn with_mode(n_pes: usize, mode: ScheduleMode) -> Self {
         assert!(n_pes > 0, "CrossbeamPool: zero PEs");
         CrossbeamPool {

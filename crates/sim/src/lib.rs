@@ -10,13 +10,24 @@
 //! * [`calibrate`] — SNR operating-point calibration (find the SNR where
 //!   ML detection reaches a target error rate, §5.1's PER_ML ∈ {0.1, 0.01})
 //!   plus uncoded SER sweeps;
-//! * [`experiments`] — the per-figure drivers.
+//! * [`experiments`] — the per-figure drivers;
+//! * [`hardware`] — the paper-style hardware-efficiency tables: converts
+//!   the `hwtables` bench's measured effort/packing/utilisation numbers
+//!   into modelled throughput per fabric via the unified
+//!   `flexcore_hwmodel::PeCost` pricing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;
 pub mod experiments;
+pub mod hardware;
 pub mod table;
 
 pub use table::ResultTable;
+
+/// The crate README's examples, compiled as doctests so they cannot rot
+/// (`cargo test --doc`): this item exists only during doctest collection.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -111,6 +111,69 @@ fn crossbeam_frame_output_is_identical_to_sequential_for_real_detectors() {
 }
 
 #[test]
+fn weighted_fabric_output_is_identical_to_sequential_for_real_detectors() {
+    // The PR 5 extension of the substrate-equivalence requirement:
+    // heterogeneous placement (weighted pool, fabric-priced scheduling)
+    // is placement only. Plain-PePool runs and effort×PeCost-scheduled
+    // runs on every fabric shape must match the sequential reference.
+    use flexcore::AdaptiveFlexCore;
+    use flexcore_hwmodel::{CpuModel, FpgaModel, HeterogeneousFabric, PeClass, WorkUnit};
+    use flexcore_parallel::WeightedPool;
+
+    let channel = selective_channel(12, 31);
+    let frame = random_frame(&channel, 5, 32);
+    let c = Constellation::new(Modulation::Qam16);
+    let work = WorkUnit::new(NT, 16);
+    let seq = SequentialPool::new(1);
+
+    let fabrics = [
+        HeterogeneousFabric::lte_smallcell(),
+        HeterogeneousFabric::uniform("flat", 5),
+        HeterogeneousFabric::new(
+            "skew",
+            vec![PeClass::new("fast", 1, 10.0), PeClass::new("slow", 2, 0.5)],
+        ),
+    ];
+    let mk_fixed = || FlexCoreDetector::with_pes(c.clone(), 12);
+    let mk_adaptive = || AdaptiveFlexCore::new(c.clone(), 16, 0.95);
+
+    let fixed_ref = frame_on(mk_fixed(), &channel, &frame, &seq);
+    let adaptive_ref = frame_on(mk_adaptive(), &channel, &frame, &seq);
+    for fabric in &fabrics {
+        let pool = WeightedPool::new(fabric.speed_factors());
+        // Plain PePool execution on the weighted pool.
+        assert_eq!(
+            frame_on(mk_fixed(), &channel, &frame, &pool),
+            fixed_ref,
+            "{} plain run",
+            fabric.name
+        );
+        // Fabric-priced scheduled execution, CPU and FPGA cost models.
+        let mut engine = FrameEngine::new(mk_fixed());
+        engine.prepare(&channel);
+        assert_eq!(
+            engine.detect_frame_on_fabric(&frame, &pool, &CpuModel::fx8120(), &work),
+            fixed_ref,
+            "{} scheduled fixed",
+            fabric.name
+        );
+        let mut engine = FrameEngine::new(mk_adaptive());
+        engine.prepare(&channel);
+        assert_eq!(
+            engine.detect_frame_on_fabric(
+                &frame,
+                &pool,
+                &FpgaModel::new(flexcore_hwmodel::EngineKind::FlexCore, NT, 16),
+                &work
+            ),
+            adaptive_ref,
+            "{} scheduled adaptive",
+            fabric.name
+        );
+    }
+}
+
+#[test]
 fn engine_cache_tracks_narrowband_updates_through_detection() {
     let c = Constellation::new(Modulation::Qam16);
     let mut channel = selective_channel(8, 3);
