@@ -1,9 +1,9 @@
-//! `hwtables` — the PR 5 datapoint: the scheduling stack run end to end on
-//! *heterogeneous* modelled hardware, reduced to paper-style
-//! throughput-per-fabric tables.
+//! `hwtables` — the scheduling stack run end to end on *heterogeneous*
+//! modelled hardware, reduced to paper-style throughput-per-fabric tables.
 //!
-//! The sweep crosses three antenna configurations (4×4 / 8×8 / 12×12,
-//! 16-QAM) × two detectors (fixed FlexCore-16, a-FlexCore(0.95)) × three
+//! The sweep crosses six antenna configurations (4×4 through 64×64,
+//! 16-QAM; the widths past 16 exercise the spill-capable `SymVec`
+//! storage) × two detectors (fixed FlexCore-16, a-FlexCore(0.95)) × three
 //! fabrics built from `flexcore-hwmodel`:
 //!
 //! * **fpga** — 8 pipelined XCVU440 engines (uniform, 1 path/cycle at the
@@ -25,8 +25,9 @@
 //! bench panics.
 //!
 //! Output: one pretty table per fabric (via `flexcore_sim::hardware`) with
-//! modelled Mb/s on that hardware, and `BENCH_PR5.json` (override with
-//! `BENCH_OUT`; `HWTABLES_FAST=1` shrinks the sweep for CI smoke).
+//! modelled Mb/s on that hardware, and `BENCH_PR6.json` (override with
+//! `BENCH_OUT`; `HWTABLES_FAST=1` shrinks the sweep for CI smoke, and
+//! `HWTABLES_NTS=32` pins the widths, e.g. for the massive-MIMO smoke).
 
 use flexcore::CellDetector;
 use flexcore_bench::{assert_grid_identity, GridView};
@@ -280,7 +281,20 @@ fn sweep_fabric<C: PeCost>(
 
 fn main() {
     let fast = std::env::var("HWTABLES_FAST").is_ok();
-    let nts: &[usize] = if fast { &[4, 8] } else { &[4, 8, 12] };
+    // PR 6 widens the default sweep past the former 16-stream ceiling into
+    // the massive-MIMO regime. `HWTABLES_NTS` (comma-separated) pins the
+    // sweep to specific widths — CI uses it for a fast 32×32 smoke with
+    // the identity gate on.
+    let nts_env = std::env::var("HWTABLES_NTS").ok().map(|s| {
+        s.split(',')
+            .map(|t| t.trim().parse::<usize>().expect("HWTABLES_NTS: bad width"))
+            .collect::<Vec<usize>>()
+    });
+    let nts: &[usize] = match &nts_env {
+        Some(v) => v,
+        None if fast => &[4, 8],
+        None => &[4, 8, 12, 16, 32, 64],
+    };
     // 52 subcarriers = 4 batches per PE even on the widest fabric (13 GPU
     // SMs): the effort model cannot see per-subcarrier cost spread at
     // equal path counts (prefix-sharing makes some prepared channels
@@ -331,7 +345,7 @@ fn main() {
     ];
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"hwtables\",\n  \"pr\": 5,\n");
+    json.push_str("{\n  \"bench\": \"hwtables\",\n  \"pr\": 6,\n");
     let _ = writeln!(
         json,
         "  \"workload\": {{\"modulation\": \"16-QAM\", \"subcarriers\": {n_sc}, \
@@ -376,10 +390,10 @@ fn main() {
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
         format!(
-            "{}/../../BENCH_PR5.json",
+            "{}/../../BENCH_PR6.json",
             env!("CARGO_MANIFEST_DIR").trim_end_matches('/')
         )
     });
-    std::fs::write(&out, &json).expect("write BENCH_PR5.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR6.json");
     println!("wrote {out}");
 }

@@ -220,8 +220,14 @@ struct State {
 pub(crate) struct WalkScratch {
     /// Path metrics, `NaN` = deactivated.
     pub(crate) metrics: Vec<f64>,
-    /// Completed tree-order decisions per path (stack-resident copies).
+    /// Completed tree-order decisions per path. Slots (and, beyond the
+    /// inline width, their spill buffers) are reused across vectors: a
+    /// slot is only read when its metric is non-`NaN`, and both are
+    /// rewritten together on every walk.
     pub(crate) syms: Vec<SymVec>,
+    /// The walk's single branch-state vector, reused across vectors so
+    /// wide (spilled) channels stay allocation-free in steady state.
+    branch: SymVec,
 }
 
 /// The FlexCore detector.
@@ -389,10 +395,17 @@ impl FlexCoreDetector {
         let n = state.paths.len();
         out.metrics.clear();
         out.metrics.resize(n, f64::NAN);
-        out.syms.clear();
-        out.syms.resize(n, SymVec::new());
-        let mut symbols = SymVec::zeroed(state.tri.nt());
+        // No clear(): surviving slots keep their storage (spill buffers
+        // included) and are overwritten in place by the walk. A slot is
+        // only read when its metric is non-NaN, and the two planes are
+        // always written together, so stale symbols are unreachable.
+        out.syms.resize_with(n, SymVec::new);
+        // Detach the branch buffer to walk with, dodging the double
+        // &mut borrow of `out`; its storage is preserved across vectors.
+        let mut symbols = std::mem::take(&mut out.branch);
+        symbols.reset(state.tri.nt());
         self.walk_level(state, ybar, state.trie.first_root, &mut symbols, 0.0, out);
+        out.branch = symbols;
     }
 
     /// Walks one sibling chain of the trie (all at the same row, sharing
@@ -422,7 +435,7 @@ impl FlexCoreDetector {
                 let metric = parent_metric + rdiag * self.constellation.point(sym).dist_sqr(eff);
                 if node.path_idx != NIL {
                     out.metrics[node.path_idx as usize] = metric;
-                    out.syms[node.path_idx as usize] = *symbols;
+                    out.syms[node.path_idx as usize].clone_from(symbols);
                 }
                 self.walk_level(state, ybar, node.first_child, symbols, metric, out);
             }
@@ -551,15 +564,6 @@ impl Detector for FlexCoreDetector {
     }
 
     fn prepare(&mut self, h: &CMat, sigma2: f64) {
-        // The scratch hot path stores per-level decisions inline
-        // (`SymVec`); fail here with a clear message rather than deep in
-        // the first detect call. The paper's largest system is 12×12.
-        assert!(
-            h.cols() <= flexcore_numeric::symvec::MAX_STREAMS,
-            "FlexCore: {} transmit streams exceed the supported maximum of {}",
-            h.cols(),
-            flexcore_numeric::symvec::MAX_STREAMS
-        );
         let qr = match self.config.qr_ordering {
             QrOrdering::Sqrd => sorted_qr_sqrd(h),
             QrOrdering::Fcsd(l) => fcsd_sorted_qr(h, l),
@@ -612,15 +616,20 @@ impl Detector for FlexCoreDetector {
         self.active_paths().max(1)
     }
 
-    /// Per-vector *work* = the prepared trie's static walk cost: one
-    /// effective point per distinct rank-prefix chain plus slice/metric
-    /// per node. Two channels with identical path counts can differ
-    /// severalfold here, depending on how much tree the position vectors
-    /// share — which is exactly how the detection time behaves.
+    /// Per-vector *work* = the `nt²` rotate front-end (`ȳ = Qᴴy`, paid
+    /// once per received vector regardless of how many paths survive)
+    /// plus the prepared trie's static walk cost: one effective point per
+    /// distinct rank-prefix chain plus slice/metric per node. Two
+    /// channels with identical path counts can differ severalfold in the
+    /// walk term, depending on how much tree the position vectors share —
+    /// and at massive-MIMO widths the rotate term dominates a trimmed
+    /// a-FlexCore trie, so omitting it would make the fabric scheduler
+    /// predict severalfold cost spreads the hardware never exhibits.
     fn extension_work(&self) -> usize {
-        self.state
-            .as_ref()
-            .map_or(1, |s| s.trie.static_work(s.tri.nt()).max(1))
+        self.state.as_ref().map_or(1, |s| {
+            let nt = s.tri.nt();
+            (nt * nt + s.trie.static_work(nt)).max(1)
+        })
     }
 }
 
@@ -903,15 +912,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceed the supported maximum")]
-    fn prepare_rejects_more_streams_than_symvec_capacity() {
-        // The scratch hot path stores decisions in a fixed [u16; 16]; a
-        // 17-stream channel must be rejected up front, not panic mid-detect.
+    fn prepare_accepts_streams_beyond_the_inline_capacity() {
+        // Seed-era `prepare` rejected anything past SymVec's inline
+        // [u16; 16]; the spill-capable storage detects 17 streams (the
+        // first spilled width) end-to-end.
         let c = Constellation::new(Modulation::Qpsk);
         let mut rng = StdRng::seed_from_u64(40);
         let h = ChannelEnsemble::iid(17, 17).draw(&mut rng);
-        let mut fc = FlexCoreDetector::with_pes(c, 4);
-        fc.prepare(&h, 0.1);
+        let mut fc = FlexCoreDetector::with_pes(c.clone(), 4);
+        fc.prepare(&h, 1e-9);
+        let s: Vec<usize> = (0..17).map(|_| rng.gen_range(0..4)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        assert_eq!(fc.detect(&h.mul_vec(&x)), s);
     }
 
     #[test]

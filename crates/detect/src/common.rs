@@ -138,7 +138,8 @@ pub struct PathScratch {
 
 impl PathScratch {
     /// A fresh workspace. No heap allocation happens until the rotate
-    /// buffer is first primed.
+    /// buffer is first primed (or, past 16 streams, until the symbol
+    /// store first spills — after which both buffers are reused).
     pub fn new() -> Self {
         PathScratch::default()
     }

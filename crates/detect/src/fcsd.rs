@@ -126,15 +126,19 @@ impl FcsdDetector {
     /// `detect_batch_refs`.
     fn detect_prepared(&self, ybar: &[Cx], scratch: &mut PathScratch) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
-        let mut best: Option<(SymVec, f64)> = None;
+        let mut best_metric: Option<f64> = None;
+        let mut best_syms = SymVec::new();
         for idx in 0..self.paths() {
             let metric = self.run_path_into(ybar, idx, scratch);
-            if replaces_best(metric, best.map(|(_, m)| m)) {
-                best = Some((scratch.symbols, metric));
+            if replaces_best(metric, best_metric) {
+                best_metric = Some(metric);
+                // Capacity-reusing copy: allocation-free once warmed, at
+                // any width.
+                best_syms.clone_from(&scratch.symbols);
             }
         }
-        let (symbols, _) = best.expect("at least one path");
-        tri.unpermute_sym(symbols.as_slice())
+        best_metric.expect("at least one path");
+        tri.unpermute_sym(best_syms.as_slice())
     }
 }
 
@@ -149,15 +153,6 @@ impl Detector for FcsdDetector {
             "FCSD: L={} exceeds Nt={}",
             self.l_full,
             h.cols()
-        );
-        // The scratch hot path stores per-level decisions inline
-        // (`SymVec`); fail here with a clear message rather than deep in
-        // the first detect call.
-        assert!(
-            h.cols() <= flexcore_numeric::symvec::MAX_STREAMS,
-            "FCSD: {} transmit streams exceed the supported maximum of {}",
-            h.cols(),
-            flexcore_numeric::symvec::MAX_STREAMS
         );
         self.tri = Some(Triangular::new(
             fcsd_sorted_qr(h, self.l_full),

@@ -7,10 +7,11 @@
 //! reports
 //! [`Detector::extension_work`](flexcore_detect::common::Detector::extension_work)` = w`
 //! costs `w · n` units. `extension_work` is the fine-grained companion of
-//! the effort profile — FlexCore overrides it with the prepared trie's
-//! static walk cost, because equal path counts can hide severalfold
-//! per-subcarrier time differences that a finish-time prediction must
-//! see. A [`PeCost`] model prices one unit on a concrete substrate, and a
+//! the effort profile — FlexCore overrides it with the per-vector `nt²`
+//! rotate front-end plus the prepared trie's static walk cost, because
+//! equal path counts can hide severalfold per-subcarrier time
+//! differences that a finish-time prediction must see (and, at
+//! massive-MIMO widths, the rotate dominates a trimmed trie's walk). A [`PeCost`] model prices one unit on a concrete substrate, and a
 //! [`WeightedPool`] (typically built from
 //! [`HeterogeneousFabric::speed_factors`]) supplies the per-PE speed
 //! factors the uniform-machines LPT scheduler places batches onto.

@@ -24,9 +24,11 @@
 //!   (module [`rng`]);
 //! * a lightweight FLOP-accounting helper (module [`flops`]) used to
 //!   regenerate Table 1 and Table 2 of the paper;
-//! * [`SymVec`] — an inline, `Copy`, allocation-free symbol-index vector
-//!   (module [`symvec`]) sized for the paper's ≤ 16-stream experiments,
-//!   the storage unit of the detectors' scratch-based `_into` hot paths.
+//! * [`SymVec`] — a spill-capable small-vector of symbol indices (module
+//!   [`symvec`]): allocation-free inline storage for the paper's
+//!   ≤ 16-stream experiments, transparent heap spill for massive-MIMO
+//!   widths beyond, the storage unit of the detectors' scratch-based
+//!   `_into` hot paths.
 //!
 //! Everything is deterministic given a caller-supplied RNG seed; nothing in
 //! this crate performs I/O or allocation beyond `Vec`.

@@ -1,22 +1,57 @@
-//! An inline, allocation-free symbol-index vector.
+//! A spill-capable, small-vector symbol-index store.
 //!
 //! Tree-search detectors decide one constellation-symbol index per transmit
-//! stream, and the paper's experiments never exceed 16 streams (12×12 is
-//! the largest configuration in §5). [`SymVec`] exploits that bound: a
-//! fixed `[u16; 16]` plus a length, `Copy`, fully stack-resident — the
-//! storage behind every `_into` detection kernel, letting a processing
-//! element evaluate a (path × symbol-vector) pair without touching the
-//! heap.
+//! stream. The paper's experiments top out at 12×12, and for that regime
+//! [`SymVec`] keeps the PR 2 contract: up to [`INLINE_STREAMS`] indices
+//! live in a fixed `[u16; 16]` directly inside the value — fully
+//! stack-resident, no heap traffic — the storage behind every `_into`
+//! detection kernel, letting a processing element evaluate a
+//! (path × symbol-vector) pair without touching the heap.
+//!
+//! Deployed base stations are 32/64-antenna, so the inline bound is a fast
+//! path, not a limit: widths beyond [`INLINE_STREAMS`] *spill* to a heap
+//! buffer. The spill is transparent — same API, same `Clone`/`Eq`/`Hash`
+//! semantics regardless of representation — and steady-state
+//! allocation-free: [`SymVec::reset`] and [`Clone::clone_from`] reuse an
+//! existing spill buffer instead of reallocating, so a warmed scratch
+//! workspace detects 32- or 64-stream vectors without per-vector heap
+//! traffic (`tests/alloc_regression.rs` enforces both regimes).
 
-/// Maximum number of streams a [`SymVec`] can hold (the paper's largest
-/// experiment is 12×12; 16 leaves headroom).
-pub const MAX_STREAMS: usize = 16;
-
-/// A fixed-capacity vector of per-stream symbol indices.
+/// Number of streams held without heap allocation — the inline fast-path
+/// capacity (the paper's largest experiment is 12×12; 16 leaves headroom).
 ///
-/// Indices are stored as `u16` (constellations up to 64-QAM need 6 bits;
-/// 16 bits leaves room for any realistic QAM order). The type is `Copy`,
-/// so pool tasks can return it by value without allocating.
+/// This is **not** an upper bound on [`SymVec::len`]: larger widths spill
+/// to the heap.
+pub const INLINE_STREAMS: usize = 16;
+
+/// Former hard capacity of a [`SymVec`], kept as an alias for
+/// [`INLINE_STREAMS`]. Since the massive-MIMO storage refactor it bounds
+/// only the *allocation-free inline* representation; `SymVec` itself holds
+/// any number of streams by spilling to the heap.
+pub const MAX_STREAMS: usize = INLINE_STREAMS;
+
+/// Storage behind a [`SymVec`]: inline registers for the ≤ 16-stream hot
+/// path, a heap buffer beyond. `Spilled` may also hold ≤ 16 entries — a
+/// workspace that has once seen a wide channel keeps its buffer (freeing
+/// and re-spilling on every width change would put allocator calls in the
+/// hot path), so all observable behaviour is representation-independent.
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline { buf: [u16; INLINE_STREAMS], len: u8 },
+    Spilled(Vec<u16>),
+}
+
+/// A small-vector of per-stream symbol indices.
+///
+/// Indices are stored as `u16` (constellations up to 256-QAM need 8 bits;
+/// 16 bits leaves room for any realistic QAM order — wider indices are
+/// rejected, see [`SymVec::from_indices`]). Up to [`INLINE_STREAMS`]
+/// entries are stored inline (allocation-free, cheap to clone by memcpy);
+/// beyond that the storage spills to the heap.
+///
+/// Equality and hashing see only the held indices, never the
+/// representation: an inline and a spilled `SymVec` holding the same
+/// indices are equal and hash identically.
 ///
 /// ```
 /// use flexcore_numeric::SymVec;
@@ -24,80 +59,148 @@ pub const MAX_STREAMS: usize = 16;
 /// s.set(2, 7);
 /// assert_eq!(s.as_slice(), &[0, 0, 7, 0]);
 /// assert_eq!(s.to_indices(), vec![0usize, 0, 7, 0]);
+/// // Massive-MIMO widths spill transparently:
+/// let wide = SymVec::zeroed(64);
+/// assert_eq!(wide.len(), 64);
+/// assert!(wide.is_spilled());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SymVec {
-    buf: [u16; MAX_STREAMS],
-    len: u8,
+    repr: Repr,
 }
 
-impl SymVec {
-    /// An empty vector (length 0).
-    pub const fn new() -> Self {
+impl Clone for SymVec {
+    fn clone(&self) -> Self {
         SymVec {
-            buf: [0; MAX_STREAMS],
-            len: 0,
+            repr: self.repr.clone(),
         }
     }
 
-    /// An all-zero vector of length `len`.
-    ///
-    /// # Panics
-    /// Panics if `len > MAX_STREAMS`.
-    pub fn zeroed(len: usize) -> Self {
-        assert!(
-            len <= MAX_STREAMS,
-            "SymVec: {len} streams exceeds the inline capacity of {MAX_STREAMS}"
-        );
+    /// Capacity-reusing overwrite (forwards to [`SymVec::assign`]): a
+    /// spilled destination keeps its heap buffer, so `best.clone_from(&cur)`
+    /// in a detector's reduction loop is allocation-free once warmed.
+    fn clone_from(&mut self, source: &Self) {
+        self.assign(source.as_slice());
+    }
+}
+
+impl SymVec {
+    /// An empty vector (length 0, inline).
+    pub const fn new() -> Self {
         SymVec {
-            buf: [0; MAX_STREAMS],
-            len: len as u8,
+            repr: Repr::Inline {
+                buf: [0; INLINE_STREAMS],
+                len: 0,
+            },
+        }
+    }
+
+    /// An all-zero vector of length `len` — inline when
+    /// `len <= INLINE_STREAMS`, spilled to the heap otherwise.
+    pub fn zeroed(len: usize) -> Self {
+        if len <= INLINE_STREAMS {
+            SymVec {
+                repr: Repr::Inline {
+                    buf: [0; INLINE_STREAMS],
+                    len: len as u8,
+                },
+            }
+        } else {
+            SymVec {
+                repr: Repr::Spilled(vec![0; len]),
+            }
         }
     }
 
     /// Builds from a slice of symbol indices.
     ///
     /// # Panics
-    /// Panics if `syms.len() > MAX_STREAMS` or any index exceeds `u16`.
+    /// Panics if any index exceeds `u16` (no realistic QAM order does; the
+    /// check guards against garbage indices silently truncating).
     pub fn from_indices(syms: &[usize]) -> Self {
         let mut v = SymVec::zeroed(syms.len());
         for (i, &s) in syms.iter().enumerate() {
-            v.buf[i] = u16::try_from(s).expect("SymVec: symbol index exceeds u16");
+            v.set(
+                i,
+                u16::try_from(s).expect("SymVec: symbol index exceeds u16"),
+            );
         }
         v
     }
 
-    /// Resets to an all-zero vector of length `len` (no reallocation — this
-    /// is the per-evaluation initialisation of the detection hot path).
+    /// Resets to an all-zero vector of length `len` — the per-evaluation
+    /// initialisation of the detection hot path.
     ///
-    /// # Panics
-    /// Panics if `len > MAX_STREAMS`.
+    /// Storage is reused, never discarded: an inline vector stays inline
+    /// for `len <= INLINE_STREAMS` (no allocation, ever), and a spilled
+    /// vector keeps its heap buffer whatever the new length (no allocation
+    /// unless `len` exceeds the buffer's capacity). Only an inline vector
+    /// asked for a width beyond [`INLINE_STREAMS`] allocates — the spill
+    /// boundary crossing itself.
     #[inline]
     pub fn reset(&mut self, len: usize) {
-        assert!(
-            len <= MAX_STREAMS,
-            "SymVec: {len} streams exceeds the inline capacity of {MAX_STREAMS}"
-        );
-        self.buf = [0; MAX_STREAMS];
-        self.len = len as u8;
+        match &mut self.repr {
+            Repr::Spilled(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Repr::Inline { buf, len: l } if len <= INLINE_STREAMS => {
+                *buf = [0; INLINE_STREAMS];
+                *l = len as u8;
+            }
+            repr => *repr = Repr::Spilled(vec![0; len]),
+        }
+    }
+
+    /// Overwrites `self` with the indices in `syms`, reusing existing
+    /// storage exactly like [`SymVec::reset`] (this is what
+    /// [`Clone::clone_from`] forwards to, so `best.clone_from(&scratch)`
+    /// in a detector's reduction loop stays allocation-free once warmed).
+    #[inline]
+    pub fn assign(&mut self, syms: &[u16]) {
+        match &mut self.repr {
+            Repr::Spilled(v) => {
+                v.clear();
+                v.extend_from_slice(syms);
+            }
+            Repr::Inline { buf, len } if syms.len() <= INLINE_STREAMS => {
+                buf[..syms.len()].copy_from_slice(syms);
+                *len = syms.len() as u8;
+            }
+            repr => *repr = Repr::Spilled(syms.to_vec()),
+        }
     }
 
     /// Number of streams held.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len as usize
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spilled(v) => v.len(),
+        }
     }
 
     /// True if the vector holds no streams.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// True if the indices live in a heap buffer rather than the inline
+    /// registers. Observable behaviour never depends on this; it exists so
+    /// the edge-case and allocation-regression tests can pin down which
+    /// representation a scenario exercises.
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spilled(_))
     }
 
     /// The stored indices as a slice.
     #[inline]
     pub fn as_slice(&self) -> &[u16] {
-        &self.buf[..self.len as usize]
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
     }
 
     /// The index at `i`.
@@ -112,8 +215,16 @@ impl SymVec {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn set(&mut self, i: usize, sym: u16) {
-        assert!(i < self.len as usize, "SymVec: index {i} out of bounds");
-        self.buf[i] = sym;
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                assert!(i < *len as usize, "SymVec: index {i} out of bounds");
+                buf[i] = sym;
+            }
+            Repr::Spilled(v) => {
+                assert!(i < v.len(), "SymVec: index {i} out of bounds");
+                v[i] = sym;
+            }
+        }
     }
 
     /// Widens to the `Vec<usize>` shape of the allocating detector APIs.
@@ -128,6 +239,22 @@ impl Default for SymVec {
     }
 }
 
+// Equality/ordering/hashing are over the held indices only — an inline and
+// a spilled representation of the same indices are indistinguishable.
+impl PartialEq for SymVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SymVec {}
+
+impl std::hash::Hash for SymVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl std::fmt::Debug for SymVec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_list().entries(self.as_slice()).finish()
@@ -137,6 +264,27 @@ impl std::fmt::Debug for SymVec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// A spilled `SymVec` holding the given (short) contents — reached
+    /// through the public API: spill past the boundary, then shrink (the
+    /// buffer is kept by design).
+    fn spilled_from(syms: &[u16]) -> SymVec {
+        let mut v = SymVec::zeroed(INLINE_STREAMS + 1);
+        v.reset(syms.len());
+        for (i, &s) in syms.iter().enumerate() {
+            v.set(i, s);
+        }
+        assert!(v.is_spilled());
+        v
+    }
+
+    fn hash_of(v: &SymVec) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn construction_and_access() {
@@ -175,17 +323,115 @@ mod tests {
     }
 
     #[test]
-    fn full_capacity_works() {
-        let idx: Vec<usize> = (0..MAX_STREAMS).collect();
+    fn full_inline_capacity_stays_inline() {
+        let idx: Vec<usize> = (0..INLINE_STREAMS).collect();
         let v = SymVec::from_indices(&idx);
-        assert_eq!(v.len(), MAX_STREAMS);
+        assert_eq!(v.len(), INLINE_STREAMS);
+        assert!(!v.is_spilled(), "exactly 16 must not spill");
         assert_eq!(v.to_indices(), idx);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the inline capacity")]
-    fn over_capacity_rejected() {
-        let _ = SymVec::zeroed(MAX_STREAMS + 1);
+    fn first_spill_width_works() {
+        // 17 streams: the first width past the inline boundary.
+        let idx: Vec<usize> = (0..INLINE_STREAMS + 1).collect();
+        let v = SymVec::from_indices(&idx);
+        assert_eq!(v.len(), INLINE_STREAMS + 1);
+        assert!(v.is_spilled());
+        assert_eq!(v.to_indices(), idx);
+    }
+
+    #[test]
+    fn massive_mimo_width_works() {
+        let mut v = SymVec::zeroed(64);
+        assert_eq!(v.len(), 64);
+        assert!(v.is_spilled());
+        v.set(63, 255);
+        v.set(0, 7);
+        assert_eq!(v.get(63), 255);
+        assert_eq!(v.get(0), 7);
+        assert_eq!(v.as_slice().iter().filter(|&&s| s != 0).count(), 2);
+    }
+
+    #[test]
+    fn reset_across_spill_boundary_upward() {
+        let mut v = SymVec::zeroed(8);
+        assert!(!v.is_spilled());
+        v.reset(32);
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0u16; 32][..]);
+    }
+
+    #[test]
+    fn reset_across_spill_boundary_downward_keeps_buffer() {
+        let mut v = SymVec::zeroed(32);
+        v.set(3, 9);
+        v.reset(4);
+        // Shrinking below the inline bound reuses the spill buffer (no
+        // dealloc in the hot path); contents are still fully zeroed.
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 0, 0, 0]);
+        // And growing again within the retained capacity stays in place.
+        v.reset(20);
+        assert!(v.is_spilled());
+        assert_eq!(v.len(), 20);
+    }
+
+    #[test]
+    fn inline_and_spilled_holding_same_indices_are_equal() {
+        let inline = SymVec::from_indices(&[5, 0, 63]);
+        let spilled = spilled_from(&[5, 0, 63]);
+        assert!(!inline.is_spilled());
+        assert!(spilled.is_spilled());
+        assert_eq!(inline, spilled);
+        assert_eq!(spilled, inline);
+        assert_eq!(hash_of(&inline), hash_of(&spilled));
+        // And a one-index difference breaks equality in either direction.
+        let other = SymVec::from_indices(&[5, 1, 63]);
+        assert_ne!(other, spilled);
+        assert_ne!(spilled, other);
+    }
+
+    #[test]
+    fn clone_preserves_contents_across_representations() {
+        let spilled = spilled_from(&[1, 2, 3]);
+        let c = spilled.clone();
+        assert_eq!(c, spilled);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+        let inline = SymVec::from_indices(&[4, 5]);
+        assert_eq!(inline.clone(), inline);
+        // clone_from into a spilled destination reuses its buffer and
+        // equality still holds whatever the source representation.
+        let mut dst = spilled_from(&[9; 3]);
+        dst.clone_from(&inline);
+        assert_eq!(dst, inline);
+        assert_eq!(hash_of(&dst), hash_of(&inline));
+    }
+
+    #[test]
+    fn hash_set_parity_between_representations() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SymVec::from_indices(&[3, 1, 4]));
+        // The spilled twin must be found via the inline entry's hash.
+        assert!(set.contains(&spilled_from(&[3, 1, 4])));
+        assert!(!set.contains(&spilled_from(&[3, 1, 5])));
+    }
+
+    #[test]
+    fn over_inline_capacity_spills_instead_of_panicking() {
+        // Seed-era contract: `zeroed(MAX_STREAMS + 1)` panicked. The
+        // massive-MIMO refactor makes it spill and succeed.
+        let v = SymVec::zeroed(MAX_STREAMS + 1);
+        assert_eq!(v.len(), MAX_STREAMS + 1);
+        assert!(v.is_spilled());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16")]
+    fn u16_overflow_still_rejected() {
+        // The spill lifts the *length* bound, not the index-width bound.
+        let _ = SymVec::from_indices(&[usize::from(u16::MAX) + 1]);
     }
 
     #[test]
@@ -193,5 +439,12 @@ mod tests {
     fn set_out_of_bounds_rejected() {
         let mut v = SymVec::zeroed(2);
         v.set(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_rejected_when_spilled() {
+        let mut v = SymVec::zeroed(20);
+        v.set(20, 1);
     }
 }

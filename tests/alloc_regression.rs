@@ -1,0 +1,185 @@
+//! Allocation-regression guard for the detection hot path.
+//!
+//! The spill-capable `SymVec` must not tax the paper-regime (nt ≤ 16)
+//! kernels: after `prepare()`, a warmed path evaluation touches the heap
+//! zero times, exactly as the fixed-capacity storage guaranteed. Beyond
+//! the inline bound the contract weakens only to *steady state*: once a
+//! scratch has seen the width, further evaluations are allocation-free
+//! because `reset`/`clone_from` reuse the spill buffers.
+//!
+//! This binary installs a counting global allocator, so everything runs
+//! inside the single `#[test]` below — libtest would otherwise run tests
+//! on sibling threads and bleed their allocations into the counter.
+
+use flexcore::{FlexCoreDetector, PathScratch};
+use flexcore_channel::{sigma2_from_snr_db, ChannelEnsemble, MimoChannel};
+use flexcore_detect::common::Detector;
+use flexcore_detect::FcsdDetector;
+use flexcore_modulation::{Constellation, Modulation};
+use flexcore_numeric::symvec::{SymVec, INLINE_STREAMS};
+use flexcore_numeric::Cx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn allocs_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+fn workload(nt: usize, m: Modulation, seed: u64) -> (FlexCoreDetector, Vec<Vec<Cx>>, f64) {
+    let c = Constellation::new(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+    let snr = 18.0;
+    let ch = MimoChannel::new(h.clone(), snr);
+    let ys: Vec<Vec<Cx>> = (0..8)
+        .map(|_| {
+            let x: Vec<Cx> = (0..nt)
+                .map(|_| c.point(rng.gen_range(0..c.order())))
+                .collect();
+            ch.transmit(&x, &mut rng)
+        })
+        .collect();
+    let mut det = FlexCoreDetector::with_pes(c, 12);
+    det.prepare(&h, sigma2_from_snr_db(snr));
+    (det, ys, sigma2_from_snr_db(snr))
+}
+
+#[test]
+fn hot_path_allocation_budget() {
+    // --- SymVec storage itself -------------------------------------------
+    // Inline construction never allocates, right up to the boundary.
+    assert_eq!(allocs_in(|| drop(SymVec::new())), 0);
+    assert_eq!(allocs_in(|| drop(SymVec::zeroed(INLINE_STREAMS))), 0);
+    // The first spilled width allocates exactly its buffer.
+    assert_eq!(allocs_in(|| drop(SymVec::zeroed(INLINE_STREAMS + 1))), 1);
+    // A warmed spilled vector resets across the boundary (both
+    // directions) and is overwritten without further allocation.
+    let mut warmed = SymVec::zeroed(64);
+    let wide = SymVec::zeroed(40);
+    assert_eq!(
+        allocs_in(|| {
+            warmed.reset(4);
+            warmed.reset(64);
+            warmed.clone_from(&wide);
+        }),
+        0
+    );
+    // An inline vector stays allocation-free through inline resets.
+    let mut inline = SymVec::zeroed(12);
+    assert_eq!(
+        allocs_in(|| {
+            inline.reset(INLINE_STREAMS);
+            inline.reset(2);
+        }),
+        0
+    );
+
+    // --- Paper-regime kernels (nt ≤ 16): zero heap after prepare ---------
+    for nt in [4usize, 12, INLINE_STREAMS] {
+        let (det, ys, _) = workload(nt, Modulation::Qam16, nt as u64);
+        let tri = det.triangular();
+        let mut scratch = PathScratch::new();
+        // Warm the ybar buffer (sized on first rotate).
+        let mut ybar = vec![Cx::ZERO; nt];
+        tri.rotate_into(&ys[0], &mut ybar);
+        let _ = det.run_path_into(&ybar, &det.position_vectors()[0], &mut scratch);
+        let n = allocs_in(|| {
+            for y in &ys {
+                tri.rotate_into(y, &mut ybar);
+                for p in det.position_vectors() {
+                    let _ = det.run_path_into(&ybar, p, &mut scratch);
+                }
+            }
+        });
+        assert_eq!(n, 0, "FlexCore kernel allocated at nt={nt}");
+    }
+
+    // FCSD's kernel under the same discipline.
+    {
+        let nt = 8;
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(99);
+        let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+        let mut det = FcsdDetector::new(c.clone(), 1);
+        det.prepare(&h, sigma2_from_snr_db(18.0));
+        let tri = det.triangular();
+        let y: Vec<Cx> = (0..nt).map(|_| c.point(rng.gen_range(0..16))).collect();
+        let mut ybar = vec![Cx::ZERO; nt];
+        tri.rotate_into(&y, &mut ybar);
+        let mut scratch = PathScratch::new();
+        let _ = det.run_path_into(&ybar, 0, &mut scratch);
+        let n = allocs_in(|| {
+            for idx in 0..det.paths() {
+                let _ = det.run_path_into(&ybar, idx, &mut scratch);
+            }
+        });
+        assert_eq!(n, 0, "FCSD kernel allocated");
+    }
+
+    // --- Spilled regime (nt > 16): steady-state allocation-free ----------
+    for nt in [17usize, 32] {
+        let (det, ys, _) = workload(nt, Modulation::Qam16, 100 + nt as u64);
+        let tri = det.triangular();
+        let mut scratch = PathScratch::new();
+        let mut ybar = vec![Cx::ZERO; nt];
+        // First evaluation spills the scratch; everything after reuses it.
+        tri.rotate_into(&ys[0], &mut ybar);
+        let _ = det.run_path_into(&ybar, &det.position_vectors()[0], &mut scratch);
+        let n = allocs_in(|| {
+            for y in &ys {
+                tri.rotate_into(y, &mut ybar);
+                for p in det.position_vectors() {
+                    let _ = det.run_path_into(&ybar, p, &mut scratch);
+                }
+            }
+        });
+        assert_eq!(n, 0, "spilled FlexCore kernel allocated at nt={nt}");
+    }
+
+    // --- Full detect surface: per-vector cost is the output alone --------
+    // detect_batch_refs owes the caller one Vec per vector (plus a
+    // constant workspace warm-up); doubling the batch must cost exactly
+    // the extra outputs — at 4×4 and, in steady state, at 32×32 too.
+    for nt in [4usize, 32] {
+        let (det, ys, _) = workload(nt, Modulation::Qam16, 200 + nt as u64);
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        let short = &refs[..4];
+        let base = allocs_in(|| drop(det.detect_batch_refs(short)));
+        let full = allocs_in(|| drop(det.detect_batch_refs(&refs)));
+        // Each decision Vec<usize> is one allocation; the collected outer
+        // Vec and scratch warm-up are shared constants of both runs.
+        assert_eq!(
+            full - base,
+            (refs.len() - short.len()) as u64,
+            "detect at nt={nt} allocates beyond its outputs"
+        );
+    }
+}

@@ -131,6 +131,74 @@ fn repeated_prepare_is_idempotent() {
 }
 
 #[test]
+fn detection_works_at_the_exact_inline_capacity() {
+    // nt = 16 is the last width stored inline; noiseless recovery must be
+    // exact and the scratch must never spill.
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(16);
+    let h = ChannelEnsemble::iid(16, 16).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 8);
+    det.prepare(&h, 1e-9);
+    let s: Vec<usize> = (0..16).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    assert_eq!(det.detect(&h.mul_vec(&x)), s);
+}
+
+#[test]
+fn detection_works_at_the_first_spilled_width() {
+    // nt = 17: one past the inline bound — the first channel the seed-era
+    // prepare() rejected outright.
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(17);
+    let h = ChannelEnsemble::iid(17, 17).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 8);
+    det.prepare(&h, 1e-9);
+    let s: Vec<usize> = (0..17).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    assert_eq!(det.detect(&h.mul_vec(&x)), s);
+}
+
+#[test]
+fn detection_works_at_64_streams() {
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(64);
+    let h = ChannelEnsemble::iid(64, 64).draw(&mut rng);
+    let mut det = FlexCoreDetector::with_pes(c.clone(), 8);
+    det.prepare(&h, 1e-9);
+    let s: Vec<usize> = (0..64).map(|_| rng.gen_range(0..16)).collect();
+    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+    assert_eq!(det.detect(&h.mul_vec(&x)), s);
+}
+
+#[test]
+fn one_detector_instance_crosses_the_spill_boundary_both_ways() {
+    // The same detector (and thus the same scratch discipline) re-prepared
+    // narrow → wide → narrow: results must match a fresh instance at every
+    // step, i.e. no state from a wider channel may leak into a narrower one.
+    let c = Constellation::new(Modulation::Qam16);
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut reused = FlexCoreDetector::with_pes(c.clone(), 12);
+    for nt in [4usize, 32, 6, 20, 4] {
+        let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
+        let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+        let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+        let ch = MimoChannel::new(h.clone(), 25.0);
+        let y = ch.transmit(&x, &mut rng);
+        reused.prepare(&h, sigma2_from_snr_db(25.0));
+        let mut fresh = FlexCoreDetector::with_pes(c.clone(), 12);
+        fresh.prepare(&h, sigma2_from_snr_db(25.0));
+        assert_eq!(reused.detect(&y), fresh.detect(&y), "nt={nt}");
+        // The shared-scratch batch path crosses the boundary too.
+        let ys = [y.as_slice()];
+        assert_eq!(
+            reused.detect_batch_refs(&ys),
+            fresh.detect_batch_refs(&ys),
+            "batch nt={nt}"
+        );
+    }
+}
+
+#[test]
 fn adaptive_kbest_width_tracks_conditioning() {
     let c = Constellation::new(Modulation::Qam16);
     let mut rng = StdRng::seed_from_u64(7);

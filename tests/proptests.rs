@@ -7,8 +7,17 @@ use flexcore_numeric::fft::{fft, ifft};
 use flexcore_numeric::mat::norm_sqr;
 use flexcore_numeric::qr::{householder_qr, mgs_qr, sorted_qr_sqrd};
 use flexcore_numeric::solve::{back_substitute, hermitian_inverse};
+use flexcore_numeric::symvec::{SymVec, INLINE_STREAMS};
 use flexcore_numeric::{CMat, Cx};
 use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn symvec_hash(v: &SymVec) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
 
 /// Strategy: a finite complex number with moderate magnitude.
 fn cx() -> impl Strategy<Value = Cx> {
@@ -142,6 +151,45 @@ proptest! {
         for (p, _) in &out.paths {
             prop_assert!(p.within_order(16));
         }
+    }
+
+    #[test]
+    fn symvec_storage_is_representation_independent(
+        syms in proptest::collection::vec(0u16..1024, 0usize..65),
+    ) {
+        // The massive-MIMO storage contract: any length up to 64 round
+        // trips, spills exactly past the inline bound, and all observable
+        // behaviour (slice, equality, hash, clone, reset) is independent
+        // of whether the indices live inline or in a spill buffer.
+        let idx: Vec<usize> = syms.iter().map(|&s| s as usize).collect();
+        let v = SymVec::from_indices(&idx);
+        prop_assert_eq!(v.len(), syms.len());
+        prop_assert_eq!(v.as_slice(), &syms[..]);
+        prop_assert_eq!(v.is_spilled(), syms.len() > INLINE_STREAMS);
+        prop_assert_eq!(v.to_indices(), idx);
+        // A spilled twin with the same contents, forced through the
+        // boundary: equal and hash-identical whatever `v`'s representation.
+        let mut twin = SymVec::zeroed(INLINE_STREAMS + 1);
+        twin.assign(&syms);
+        prop_assert!(twin.is_spilled());
+        prop_assert_eq!(&twin, &v);
+        prop_assert_eq!(symvec_hash(&twin), symvec_hash(&v));
+        // Clone preserves contents; clone_from reuses the destination.
+        prop_assert_eq!(&v.clone(), &v);
+        let mut dst = SymVec::zeroed(INLINE_STREAMS + 1);
+        dst.clone_from(&v);
+        prop_assert_eq!(&dst, &v);
+        // reset() zeroes at the same length, and crossing the spill
+        // boundary in either direction keeps the vector well-formed.
+        let mut r = v.clone();
+        r.reset(syms.len());
+        prop_assert!(r.as_slice().iter().all(|&s| s == 0));
+        prop_assert_eq!(r.len(), syms.len());
+        r.reset(64);
+        prop_assert_eq!(r.len(), 64);
+        prop_assert!(r.is_spilled());
+        r.reset(1);
+        prop_assert_eq!(r.as_slice(), &[0u16][..]);
     }
 
     #[test]

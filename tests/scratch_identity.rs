@@ -22,19 +22,39 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Draws one random workload: channel, noisy observations, and noise power.
-fn draw_workload(seed: u64, nt: usize, snr_db: f64, n_vecs: usize) -> (CMat, f64, Vec<Vec<Cx>>) {
-    let c = Constellation::new(Modulation::Qam16);
+fn draw_workload_mod(
+    seed: u64,
+    nt: usize,
+    m: Modulation,
+    snr_db: f64,
+    n_vecs: usize,
+) -> (CMat, f64, Vec<Vec<Cx>>) {
+    let c = Constellation::new(m);
     let mut rng = StdRng::seed_from_u64(seed);
     let h = ChannelEnsemble::iid(nt, nt).draw(&mut rng);
     let ch = MimoChannel::new(h.clone(), snr_db);
     let ys: Vec<Vec<Cx>> = (0..n_vecs)
         .map(|_| {
-            let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..16)).collect();
+            let s: Vec<usize> = (0..nt).map(|_| rng.gen_range(0..c.order())).collect();
             let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
             ch.transmit(&x, &mut rng)
         })
         .collect();
     (h, sigma2_from_snr_db(snr_db), ys)
+}
+
+fn draw_workload(seed: u64, nt: usize, snr_db: f64, n_vecs: usize) -> (CMat, f64, Vec<Vec<Cx>>) {
+    draw_workload_mod(seed, nt, Modulation::Qam16, snr_db, n_vecs)
+}
+
+/// The widened test domain's modulations, indexed by a strategy draw.
+fn modulation(idx: usize) -> Modulation {
+    [
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+    ][idx % 4]
 }
 
 /// PR 1's nested batched reduction, re-enacted: evaluate every path with
@@ -207,6 +227,119 @@ proptest! {
             prop_assert_eq!(&det.detect(y), &reference);
             prop_assert_eq!(&det.detect_on_pool(y, &seq), &reference);
         }
+    }
+
+    #[test]
+    fn run_path_into_equals_run_path_at_any_width(
+        seed in 0u64..1_000_000,
+        nt in 1usize..65,
+        m_idx in 0usize..4,
+        n_pe in 1usize..17,
+    ) {
+        // The massive-MIMO domain: nt crosses the SymVec spill boundary
+        // (16→17) and reaches 64, across all four modulations. The
+        // spill-path kernels must stay bit-identical to the allocating
+        // reference, exactly as the inline path was gated in PR 2.
+        let m = modulation(m_idx);
+        let (h, sigma2, ys) = draw_workload_mod(seed, nt, m, 14.0, 2);
+        let c = Constellation::new(m);
+        let mut det = FlexCoreDetector::with_pes(c, n_pe);
+        det.prepare(&h, sigma2);
+        let tri = det.triangular();
+        let mut scratch = PathScratch::new();
+        for y in &ys {
+            let ybar = tri.rotate(y);
+            for p in det.position_vectors() {
+                let alloc = det.run_path(&ybar, p);
+                let metric = det.run_path_into(&ybar, p, &mut scratch);
+                match (alloc, metric) {
+                    (Some((symbols, m_alloc)), Some(m_into)) => {
+                        prop_assert_eq!(m_alloc.to_bits(), m_into.to_bits());
+                        prop_assert_eq!(symbols, scratch.symbols.to_indices());
+                    }
+                    (None, None) => {}
+                    (a, b) => prop_assert!(false, "activation mismatch: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detect_paths_agree_at_any_width(
+        seed in 0u64..1_000_000,
+        nt in 1usize..65,
+        m_idx in 0usize..4,
+        n_pe in 1usize..13,
+    ) {
+        // Every public detection surface must agree at every width: the
+        // trie-walk detect(), the shared-scratch batch, the per-vector and
+        // batched pool paths, and the soft output's hard decision.
+        let m = modulation(m_idx);
+        let (h, sigma2, ys) = draw_workload_mod(seed, nt, m, 16.0, 3);
+        let c = Constellation::new(m);
+        let mut det = FlexCoreDetector::with_pes(c, n_pe);
+        det.prepare(&h, sigma2);
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(&det.detect_batch_refs(&refs), &per_vector);
+        let seq = SequentialPool::new(4);
+        let par = CrossbeamPool::new(3);
+        for (y, want) in ys.iter().zip(&per_vector) {
+            prop_assert_eq!(&det.detect_on_pool(y, &seq), want);
+            prop_assert_eq!(&det.detect_on_pool(y, &par), want);
+            prop_assert_eq!(&det.detect_soft(y, sigma2).hard, want);
+        }
+        prop_assert_eq!(&det.detect_batch_on_pool(&ys, &seq), &per_vector);
+        prop_assert_eq!(&det.detect_batch_on_pool(&ys, &par), &per_vector);
+    }
+
+    #[test]
+    fn fcsd_scratch_equals_allocating_paths_at_any_width(
+        seed in 0u64..1_000_000,
+        nt in 1usize..65,
+        m_idx in 0usize..4,
+    ) {
+        let m = modulation(m_idx);
+        let (h, sigma2, ys) = draw_workload_mod(seed, nt, m, 14.0, 2);
+        let c = Constellation::new(m);
+        // One fully-enumerated level where the path count stays test-sized.
+        let l_full = usize::from(c.order() <= 64).min(nt);
+        let mut det = FcsdDetector::new(c, l_full);
+        det.prepare(&h, sigma2);
+        let tri = det.triangular();
+        let seq = SequentialPool::new(8);
+        for y in &ys {
+            let ybar = tri.rotate(y);
+            let best = (0..det.paths())
+                .map(|idx| det.run_path(&ybar, idx))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN metric"))
+                .expect("at least one path");
+            let reference = tri.unpermute(&best.0);
+            prop_assert_eq!(&det.detect(y), &reference);
+            prop_assert_eq!(&det.detect_on_pool(y, &seq), &reference);
+        }
+    }
+
+    #[test]
+    fn kbest_flat_survivors_equal_cloning_reference_at_any_width(
+        seed in 0u64..1_000_000,
+        nt in 1usize..65,
+        m_idx in 0usize..4,
+        k in 1usize..5,
+    ) {
+        let m = modulation(m_idx);
+        let (h, sigma2, ys) = draw_workload_mod(seed, nt, m, 14.0, 2);
+        let c = Constellation::new(m);
+        let mut det = KBestDetector::new(c.clone(), k);
+        det.prepare(&h, sigma2);
+        let tri = Triangular::new(sorted_qr_sqrd(&h), c.clone());
+        for y in &ys {
+            prop_assert_eq!(det.detect(y), kbest_pr1(&tri, &c, k, y));
+        }
+        let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+        let batched = det.detect_batch_refs(&refs);
+        let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();
+        prop_assert_eq!(batched, per_vector);
     }
 
     #[test]
