@@ -1,0 +1,96 @@
+//! Criterion microbenches: scalar vs lane numeric kernels (PR 7).
+//!
+//! Measures the three vectorized hot-path kernels head-to-head with their
+//! scalar fallbacks across the width sweep nt ∈ {4, 8, 16, 32, 64}:
+//!
+//! - `mul_vec_into`: lane path (`mul_vec_into_lanes`, four output rows per
+//!   pass) vs the scalar fold;
+//! - `mul_vec_hermitian_into`: the QR rotate front-end, lane vs scalar;
+//! - blocked QR rotate (`Qr::rotate_batch_into`, four observations per
+//!   pass) vs four independent `rotate_into` calls.
+//!
+//! Both sides compute bit-identical results (enforced by
+//! `tests/simd_identity.rs`), so any gap here is pure data-layout and
+//! vectorization win — the same ratio the BENCH_PR7.json `perf_smoke`
+//! rows measure end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcore_numeric::qr::sorted_qr_sqrd;
+use flexcore_numeric::rng::CxRng;
+use flexcore_numeric::{CMat, Cx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTHS: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn random_mat(rows: usize, cols: usize, rng: &mut StdRng) -> CMat {
+    CMat::from_fn(rows, cols, |_, _| rng.cx_normal(1.0))
+}
+
+fn random_vec(n: usize, rng: &mut StdRng) -> Vec<Cx> {
+    (0..n).map(|_| rng.cx_normal(1.0)).collect()
+}
+
+fn bench_mul_vec(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("mul_vec_into");
+    for nt in WIDTHS {
+        let mut rng = StdRng::seed_from_u64(0x51D0 + nt as u64);
+        let a = random_mat(nt, nt, &mut rng);
+        let x = random_vec(nt, &mut rng);
+        let mut out = vec![Cx::ZERO; nt];
+        group.bench_with_input(BenchmarkId::new("scalar", nt), &nt, |b, _| {
+            b.iter(|| a.mul_vec_into_scalar(&x, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("lanes", nt), &nt, |b, _| {
+            b.iter(|| a.mul_vec_into_lanes(&x, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_vec_hermitian(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("mul_vec_hermitian_into");
+    for nt in WIDTHS {
+        let mut rng = StdRng::seed_from_u64(0x51D1 + nt as u64);
+        let a = random_mat(nt, nt, &mut rng);
+        let x = random_vec(nt, &mut rng);
+        let mut out = vec![Cx::ZERO; nt];
+        group.bench_with_input(BenchmarkId::new("scalar", nt), &nt, |b, _| {
+            b.iter(|| a.mul_vec_hermitian_into_scalar(&x, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("lanes", nt), &nt, |b, _| {
+            b.iter(|| a.mul_vec_hermitian_into_lanes(&x, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotate_batch(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("qr_rotate_batch4");
+    for nt in WIDTHS {
+        let mut rng = StdRng::seed_from_u64(0x51D2 + nt as u64);
+        let qr = sorted_qr_sqrd(&random_mat(nt, nt, &mut rng));
+        let ys: Vec<Vec<Cx>> = (0..4).map(|_| random_vec(nt, &mut rng)).collect();
+        let refs: Vec<&[Cx]> = ys.iter().map(|y| y.as_slice()).collect();
+        let mut out = vec![Cx::ZERO; 4 * nt];
+        group.bench_with_input(BenchmarkId::new("per_vector", nt), &nt, |b, _| {
+            b.iter(|| {
+                for (j, y) in ys.iter().enumerate() {
+                    qr.rotate_into(y, &mut out[j * nt..(j + 1) * nt]);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", nt), &nt, |b, _| {
+            b.iter(|| qr.rotate_batch_into(&refs, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul_vec,
+    bench_mul_vec_hermitian,
+    bench_rotate_batch
+);
+criterion_main!(benches);

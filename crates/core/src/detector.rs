@@ -21,9 +21,9 @@ use crate::position::PositionVector;
 use crate::preprocess::Preprocessor;
 use flexcore_detect::common::{first_min_metric, Detector, PathScratch, Triangular};
 use flexcore_modulation::ordering::kth_nearest_exact;
-use flexcore_modulation::{Constellation, OrderingLut};
+use flexcore_modulation::{Constellation, LocatedOrderingTable, OrderingLut};
 use flexcore_numeric::qr::{fcsd_sorted_qr, mgs_qr, sorted_qr_sqrd};
-use flexcore_numeric::{CMat, Cx, SymVec};
+use flexcore_numeric::{lanes_enabled, CMat, Cx, CxLane, SymVec, LANES};
 use flexcore_parallel::PePool;
 
 /// How each level finds its k-th closest symbol.
@@ -230,12 +230,46 @@ pub(crate) struct WalkScratch {
     branch: SymVec,
 }
 
+/// Structure-of-arrays workspace for the four-observation block walk:
+/// every per-path quantity is a contiguous lane-minor plane, so one trie
+/// traversal streams four subcarriers' observations through the lane
+/// kernels at once. Sized on first use and reused across blocks.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WalkBlockScratch {
+    /// Path-metric plane, lane-minor: `metrics[path * LANES + lane]` is
+    /// lane `lane`'s metric for path `path` (`NaN` = deactivated for that
+    /// observation).
+    pub(crate) metrics: Vec<f64>,
+    /// Completed tree-order decision plane:
+    /// `syms[(path * LANES + lane) * nt + row]`. Slots are reused across
+    /// blocks; an entry is only read when its metric is non-`NaN`, and the
+    /// two planes are always written together.
+    pub(crate) syms: Vec<u16>,
+    /// The walk's branch-state plane, lane-major
+    /// (`branch[lane * nt + row]`), so a completed path's decision vector
+    /// is one contiguous `nt`-run per lane and the path-completion store
+    /// is a straight `copy_from_slice`.
+    branch: Vec<u16>,
+    /// Lane-resident constellation points of the branch decisions
+    /// (`points[row]` = the four decided points at `row`), kept in sync
+    /// with `branch` so the effective-point cancellation and the per-node
+    /// distance are contiguous lane arithmetic with no index gathers.
+    points: Vec<CxLane>,
+}
+
 /// The FlexCore detector.
 #[derive(Clone, Debug)]
 pub struct FlexCoreDetector {
     constellation: Constellation,
     config: FlexCoreConfig,
     lut: OrderingLut,
+    /// Materialised `(centre, triangle, rank) → symbol` form of `lut` for
+    /// the SIMD block walk, resolved in [`FlexCoreDetector::prepare`]
+    /// through the process-wide `OrderingLut::shared_table` cache: every
+    /// detector clone (one per subcarrier in a frame engine) points at the
+    /// *same* ~100 KiB table, which depends only on the constellation and
+    /// the ordering semantics — never on the channel.
+    fast_lut: std::sync::OnceLock<std::sync::Arc<LocatedOrderingTable>>,
     state: Option<State>,
 }
 
@@ -249,6 +283,7 @@ impl FlexCoreDetector {
             constellation,
             config,
             lut,
+            fast_lut: std::sync::OnceLock::new(),
             state: None,
         }
     }
@@ -443,6 +478,211 @@ impl FlexCoreDetector {
         }
     }
 
+    /// Four-observation block form of [`FlexCoreDetector::walk_paths`]:
+    /// one trie traversal evaluates **four rotated observations** at once.
+    /// `ybars` is the flat observation-major plane a blocked rotate
+    /// produces (`ybars[lane * nt + row]`); lane `l` of every output plane
+    /// corresponds to observation `l`.
+    ///
+    /// The trie is walked exactly once per block — each distinct
+    /// rank-prefix node costs one *four-wide* effective point (through
+    /// `Triangular::effective_point_lanes`) instead of four scalar ones,
+    /// and the sibling-chain pointer chasing is amortised ×4. Per lane,
+    /// term values and accumulation order replay the scalar walk exactly,
+    /// so every completed path's metric and symbols are bit-identical to
+    /// [`FlexCoreDetector::walk_paths`] on that lane's observation.
+    pub(crate) fn walk_paths_block(&self, ybars: &[Cx], out: &mut WalkBlockScratch) {
+        self.walk_paths_block_masked(ybars, [true; LANES], out);
+    }
+
+    /// [`FlexCoreDetector::walk_paths_block`] with an initial lane mask —
+    /// the partial-tail form. A batch whose length is not a multiple of
+    /// [`LANES`] pads the last block by repeating its final observation
+    /// and walks it with only the real lanes active: padding lanes ride
+    /// along in the lane kernels but never reach a store, so the active
+    /// lanes' metric/symbol planes are bit-identical to a full block's
+    /// (and hence to the scalar walk). Lanes inactive from the start keep
+    /// `NaN` metrics on every path — callers must not extract them.
+    pub(crate) fn walk_paths_block_masked(
+        &self,
+        ybars: &[Cx],
+        active: [bool; LANES],
+        out: &mut WalkBlockScratch,
+    ) {
+        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let nt = state.tri.nt();
+        assert_eq!(ybars.len(), LANES * nt, "walk_paths_block: plane length");
+        let n = state.paths.len();
+        out.metrics.clear();
+        out.metrics.resize(n * LANES, f64::NAN);
+        // No clear(): stale symbol entries are unreachable (read only when
+        // the paired metric is non-NaN, and both planes are written
+        // together).
+        out.syms.resize(n * LANES * nt, 0);
+        out.branch.clear();
+        out.branch.resize(nt * LANES, 0);
+        out.points.clear();
+        out.points.resize(nt, CxLane::zero());
+        // The block walk's rank lookups go through the materialised
+        // (centre, triangle, rank) table — bit-identical to the scan path
+        // by construction, built once per detector on the first blocked
+        // batch. `Exact` ordering has no LUT; a table built under a
+        // different ordering semantics (the config changed after the first
+        // build) is discarded in favour of the scan.
+        let fast: Option<&LocatedOrderingTable> = match self.config.path_ordering {
+            PathOrdering::Exact => None,
+            mode => {
+                let strict = matches!(mode, PathOrdering::TriangleLutStrict);
+                let t = self
+                    .fast_lut
+                    .get_or_init(|| self.lut.shared_table(&self.constellation, strict));
+                (t.strict() == strict).then(|| &**t)
+            }
+        };
+        // Detach the branch planes to dodge the double &mut borrow of `out`.
+        let mut branch = std::mem::take(&mut out.branch);
+        let mut points = std::mem::take(&mut out.points);
+        self.walk_level_block(
+            state,
+            ybars,
+            state.trie.first_root,
+            &mut branch,
+            &mut points,
+            [0.0; LANES],
+            active,
+            fast,
+            out,
+        );
+        out.branch = branch;
+        out.points = points;
+    }
+
+    /// Blocked form of [`FlexCoreDetector::walk_level`]: walks one sibling
+    /// chain for four observations at once. The effective point is
+    /// computed four-wide once per chain; symbol picks, metric updates and
+    /// deactivation stay per-lane (`active` is the masked-tail rule: a
+    /// lane that leaves the constellation is masked out of the subtree,
+    /// not branched around). Inactive lanes still ride along in the lane
+    /// kernels — their results are garbage but provably unreachable, since
+    /// the mask gates every store and recursion.
+    ///
+    /// The triangle-LUT locate is memoised per chain per lane (all
+    /// siblings share the lane's effective point) through the filtered
+    /// `locate_fast`, and each sibling's rank lookup is a direct
+    /// [`LocatedOrderingTable`] read instead of re-locating and re-scanning
+    /// the predefined order — both bit-identical to the scalar
+    /// `pick_symbol` path, which stays untouched as the PR 2 baseline.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_level_block(
+        &self,
+        state: &State,
+        ybars: &[Cx],
+        first: u32,
+        branch: &mut [u16],
+        points: &mut [CxLane],
+        parent_metric: [f64; LANES],
+        active: [bool; LANES],
+        fast: Option<&LocatedOrderingTable>,
+        out: &mut WalkBlockScratch,
+    ) {
+        if first == NIL {
+            return;
+        }
+        let tri = &state.tri;
+        let nt = tri.nt();
+        let row = state.trie.nodes[first as usize].row as usize;
+        let ybar_lane = CxLane::from_fn(|l| ybars[l * nt + row]);
+        let eff = tri.effective_point_from_points(ybar_lane, points, row);
+        let rdiag = tri.qr.r[(row, row)].norm_sqr();
+        // One locate per lane per chain: every sibling shares it. Inactive
+        // lanes are located on garbage effective points — the clamp window
+        // makes that safe, and the mask keeps the results unreachable.
+        // Chain-constant pick state, one locate + window check per lane:
+        // `Some(base)` = every sibling's rank is a single table read at
+        // `base`; `None` = centre outside the window (deep-noise outlier),
+        // exact scan path per node.
+        let bases: Option<[Option<usize>; LANES]> = fast.map(|t| {
+            let pts: [Cx; LANES] = std::array::from_fn(|l| eff.get(l));
+            let cells = t.locate_array(&self.lut, &self.constellation, &pts);
+            std::array::from_fn(|l| {
+                let (ci, cj, tr) = cells[l];
+                t.base(ci, cj, tr)
+            })
+        });
+        let mut idx = first;
+        while idx != NIL {
+            let node = state.trie.nodes[idx as usize];
+            let mut child_active = [false; LANES];
+            let k = node.rank as usize;
+            for l in 0..LANES {
+                if !active[l] {
+                    continue;
+                }
+                let eff_l = eff.get(l);
+                let picked = match (fast, &bases) {
+                    (Some(t), Some(bs)) => match bs[l] {
+                        Some(b) => {
+                            let s = t.get(b, k);
+                            if s.is_none() && k == 1 {
+                                // Rank-1 clamped-slicer fallback, as in
+                                // `pick_symbol`.
+                                Some(self.constellation.slice(eff_l))
+                            } else {
+                                s
+                            }
+                        }
+                        None => self.pick_symbol(eff_l, k),
+                    },
+                    _ => self.pick_symbol(eff_l, k),
+                };
+                if let Some(sym) = picked {
+                    branch[l * nt + row] = sym as u16;
+                    let pt = self.constellation.point(sym);
+                    points[row].re[l] = pt.re;
+                    points[row].im[l] = pt.im;
+                    child_active[l] = true;
+                }
+            }
+            if child_active.iter().any(|&a| a) {
+                // Four-wide metric: the freshly-decided points at `row`
+                // against the chain's effective point, then the scalar
+                // chain `parent + rdiag·dist` replayed per lane. Lanes
+                // that weren't picked compute garbage on stale points —
+                // masked out of `child_metric` and every store below.
+                let dist = points[row].dist_sqr(eff);
+                let mut child_metric = [f64::NAN; LANES];
+                for l in 0..LANES {
+                    if child_active[l] {
+                        child_metric[l] = parent_metric[l] + rdiag * dist[l];
+                    }
+                }
+                if node.path_idx != NIL {
+                    for l in 0..LANES {
+                        if !child_active[l] {
+                            continue;
+                        }
+                        let slot = (node.path_idx as usize * LANES + l) * nt;
+                        out.metrics[node.path_idx as usize * LANES + l] = child_metric[l];
+                        // Lane-major `branch` makes this one contiguous run.
+                        out.syms[slot..slot + nt].copy_from_slice(&branch[l * nt..(l + 1) * nt]);
+                    }
+                }
+                self.walk_level_block(
+                    state,
+                    ybars,
+                    node.first_child,
+                    branch,
+                    points,
+                    child_metric,
+                    child_active,
+                    fast,
+                    out,
+                );
+            }
+            idx = node.next_sibling;
+        }
+    }
+
     /// Detection with explicit parallelism: one task per position vector on
     /// the given pool. The single rotated observation is shared by
     /// reference across tasks, and each task returns a stack-resident
@@ -585,6 +825,16 @@ impl Detector for FlexCoreDetector {
             cumulative_prob: out.cumulative_prob,
             preprocess_mults: out.real_mults,
         });
+        // Materialise the blocked walk's (centre, triangle, rank) table
+        // here rather than on the first blocked batch: it depends only on
+        // (constellation, ordering semantics) — not the channel — so the
+        // `OnceLock` makes re-prepares free, and `detect_batch_refs` stays
+        // allocation-free beyond its outputs.
+        if !matches!(self.config.path_ordering, PathOrdering::Exact) {
+            let strict = matches!(self.config.path_ordering, PathOrdering::TriangleLutStrict);
+            self.fast_lut
+                .get_or_init(|| self.lut.shared_table(&self.constellation, strict));
+        }
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
@@ -594,20 +844,65 @@ impl Detector for FlexCoreDetector {
         self.detect_prepared(&ybar, &mut walk)
     }
 
-    /// Scratch-based batch override: one rotate buffer and one walk
-    /// workspace serve the whole batch, so a frame-engine PE streams a
-    /// subcarrier's symbols with zero per-vector heap traffic (results
-    /// stay bit-identical to per-vector [`Detector::detect`]).
+    /// Scratch-based batch override — the SoA streaming path a
+    /// frame-engine PE drives: with lane dispatch enabled, observations go
+    /// through in blocks of four (one blocked `rotate_batch_into` + one
+    /// four-wide trie walk per block); a batch tail shorter than a block
+    /// is padded by repeating its last observation and walked as a masked
+    /// partial block, so no observation ever falls back to the scalar
+    /// per-vector loop. All scratch planes are allocated once for the
+    /// whole batch. With dispatch disabled the whole batch runs the scalar
+    /// loop. Results stay bit-identical to per-vector [`Detector::detect`]
+    /// either way.
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
         let state = self.state.as_ref().expect("FlexCore: prepare() not called");
-        let mut ybar = vec![Cx::ZERO; state.tri.nt()];
+        let nt = state.tri.nt();
+        let n_paths = state.paths.len();
+        let mut results = Vec::with_capacity(ys.len());
+        if lanes_enabled() && !ys.is_empty() {
+            let full = ys.len() / LANES * LANES;
+            let mut ybars = vec![Cx::ZERO; LANES * nt];
+            let mut block = WalkBlockScratch::default();
+            let emit = |block: &WalkBlockScratch, l: usize, results: &mut Vec<Vec<usize>>| {
+                let (i, _) = first_min_metric((0..n_paths).map(|p| block.metrics[p * LANES + l]))
+                    .expect("the SIC path always completes");
+                let slot = (i * LANES + l) * nt;
+                results.push(state.tri.unpermute_sym(&block.syms[slot..slot + nt]));
+            };
+            let mut j = 0;
+            while j < full {
+                state
+                    .tri
+                    .qr
+                    .rotate_batch_into(&ys[j..j + LANES], &mut ybars);
+                self.walk_paths_block(&ybars, &mut block);
+                for l in 0..LANES {
+                    emit(&block, l, &mut results);
+                }
+                j += LANES;
+            }
+            let rem = ys.len() - full;
+            if rem > 0 {
+                // Masked partial tail: pad to a full block by repeating
+                // the last real observation (valid data, so every lane
+                // kernel sees finite inputs), walk with only the real
+                // lanes active, and extract those lanes only.
+                let padded: [&[Cx]; LANES] = std::array::from_fn(|l| ys[full + l.min(rem - 1)]);
+                state.tri.qr.rotate_batch_into(&padded, &mut ybars);
+                self.walk_paths_block_masked(&ybars, std::array::from_fn(|l| l < rem), &mut block);
+                for l in 0..rem {
+                    emit(&block, l, &mut results);
+                }
+            }
+            return results;
+        }
+        let mut ybar = vec![Cx::ZERO; nt];
         let mut walk = WalkScratch::default();
-        ys.iter()
-            .map(|y| {
-                state.tri.rotate_into(y, &mut ybar);
-                self.detect_prepared(&ybar, &mut walk)
-            })
-            .collect()
+        for y in ys {
+            state.tri.rotate_into(y, &mut ybar);
+            results.push(self.detect_prepared(&ybar, &mut walk));
+        }
+        results
     }
 
     /// Per-vector cost = tree paths evaluated, i.e. the PEs the prepared
@@ -891,6 +1186,33 @@ mod tests {
             assert_eq!(fc.detect(&y), reference, "trial {trial}");
             let seq = SequentialPool::new(4);
             assert_eq!(fc.detect_on_pool(&y, &seq), reference, "pool {trial}");
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_per_vector_under_strict_deactivation() {
+        // The four-wide block walk must deactivate exactly the (path, lane)
+        // pairs the scalar walk deactivates — strict LUT semantics at low
+        // SNR maximise deactivation, and odd batch sizes exercise every
+        // scalar-tail remainder.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut cfg = FlexCoreConfig::new(24);
+        cfg.path_ordering = PathOrdering::TriangleLutStrict;
+        let mut rng = StdRng::seed_from_u64(55);
+        let h = ChannelEnsemble::iid(5, 5).draw(&mut rng);
+        let mut fc = FlexCoreDetector::new(c.clone(), cfg);
+        fc.prepare(&h, sigma2_from_snr_db(6.0));
+        let ch = MimoChannel::new(h, 6.0);
+        for n_obs in [1usize, 2, 3, 4, 5, 7, 9, 16] {
+            let ys: Vec<Vec<Cx>> = (0..n_obs)
+                .map(|_| {
+                    let s: Vec<usize> = (0..5).map(|_| rng.gen_range(0..16)).collect();
+                    let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
+                    ch.transmit(&x, &mut rng)
+                })
+                .collect();
+            let per_vector: Vec<Vec<usize>> = ys.iter().map(|y| fc.detect(y)).collect();
+            assert_eq!(fc.detect_batch(&ys), per_vector, "batch of {n_obs}");
         }
     }
 

@@ -3,7 +3,7 @@
 
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::Qr;
-use flexcore_numeric::{CMat, Cx, FlopCounter, SymVec};
+use flexcore_numeric::{CMat, Cx, CxLane, FlopCounter, SymVec, LANES};
 
 /// Object-safe detector interface shared by every scheme in the workspace.
 ///
@@ -134,6 +134,11 @@ pub struct PathScratch {
     /// Reusable buffer for the rotated observation `ȳ = Q*·y` (length
     /// `Nt` once primed by [`PathScratch::rotate`]).
     pub ybar: Vec<Cx>,
+    /// Level-major, lane-minor SoA symbol plane for the four-wide block
+    /// kernels: `plane[row * LANES + lane]` is lane `lane`'s decision at
+    /// tree row `row`. Empty until a blocked evaluation first primes it;
+    /// reused (no reallocation) thereafter.
+    pub plane: Vec<u16>,
 }
 
 impl PathScratch {
@@ -257,6 +262,114 @@ impl Triangular {
         let mut acc = ybar[row] - r[(row, row)] * self.constellation.point(sym);
         for p in row + 1..self.nt() {
             acc -= r[(row, p)] * self.constellation.point(symbols[p] as usize);
+        }
+        acc.norm_sqr()
+    }
+
+    /// Four-wide [`Triangular::effective_point_sym`]: computes the
+    /// effective received point at `row` for **four independent lanes at
+    /// once** (four tree paths, or four observations sharing one channel).
+    ///
+    /// * `ybar_lane` — lane `l` holds `ȳ_row` of lane `l`'s observation
+    ///   (splat one value when all lanes share an observation);
+    /// * `symbols_plane` — level-major, lane-minor SoA plane:
+    ///   `symbols_plane[p * LANES + l]` is lane `l`'s decision for row `p`
+    ///   (entries at rows `≤ row` are ignored).
+    ///
+    /// The `R` coefficients are broadcast, the cancellation runs in
+    /// ascending `p` exactly as the scalar kernel, and the division
+    /// replicates `Cx`'s divide-via-reciprocal — so lane `l` is
+    /// bit-identical to `effective_point_sym` on lane `l`'s inputs.
+    pub fn effective_point_lanes(
+        &self,
+        ybar_lane: CxLane,
+        symbols_plane: &[u16],
+        row: usize,
+    ) -> CxLane {
+        let r = &self.qr.r;
+        let mut acc = ybar_lane;
+        for p in row + 1..self.nt() {
+            let coef = CxLane::splat(r[(row, p)]);
+            let pts = CxLane::from_fn(|l| {
+                self.constellation
+                    .point(symbols_plane[p * LANES + l] as usize)
+            });
+            acc.sub_mul(coef, pts);
+        }
+        acc.div_scalar(r[(row, row)])
+    }
+
+    /// [`Triangular::effective_point_lanes`] over a **lane-resident points
+    /// plane**: `points[p]` already holds the four decided constellation
+    /// points at row `p` (entries at rows `≤ row` are ignored), so the
+    /// cancellation is pure contiguous lane arithmetic with no per-term
+    /// symbol-index gather. Values and order are identical to the plane
+    /// variant — the caller just materialised the same points earlier.
+    pub fn effective_point_from_points(
+        &self,
+        ybar_lane: CxLane,
+        points: &[CxLane],
+        row: usize,
+    ) -> CxLane {
+        let r = &self.qr.r;
+        let mut acc = ybar_lane;
+        for p in row + 1..self.nt() {
+            acc.sub_mul(CxLane::splat(r[(row, p)]), points[p]);
+        }
+        acc.div_scalar(r[(row, row)])
+    }
+
+    /// Four-wide [`Triangular::ped_increment_sym`] over **four consecutive
+    /// candidate symbols** `sym0..sym0+4` of one survivor path: lane `l`
+    /// returns the PED increment for candidate `sym0 + l`. The survivor's
+    /// interference terms (identical across candidates) are broadcast;
+    /// per-lane operation order matches the scalar kernel exactly.
+    ///
+    /// # Panics
+    /// Panics if `sym0 + LANES` exceeds the constellation order.
+    pub fn ped_increment_block(
+        &self,
+        ybar: &[Cx],
+        symbols: &[u16],
+        row: usize,
+        sym0: usize,
+    ) -> [f64; LANES] {
+        let r = &self.qr.r;
+        let mut acc = CxLane::splat(ybar[row]);
+        let pts = CxLane::load(&self.constellation.points()[sym0..sym0 + LANES]);
+        acc.sub_mul(CxLane::splat(r[(row, row)]), pts);
+        for p in row + 1..self.nt() {
+            let coef = CxLane::splat(r[(row, p)]);
+            let s = CxLane::splat(self.constellation.point(symbols[p] as usize));
+            acc.sub_mul(coef, s);
+        }
+        acc.norm_sqr()
+    }
+
+    /// Four-wide [`Triangular::ped_increment_sym`] over **four independent
+    /// lanes** (paths/observations): lane `l` scores its own chosen symbol
+    /// `syms[l]` at `row` against its own observation and its own decisions
+    /// above (`symbols_plane`, level-major lane-minor as in
+    /// [`Triangular::effective_point_lanes`]). Bit-identical per lane to
+    /// the scalar kernel.
+    pub fn ped_increment_lanes(
+        &self,
+        ybar_lane: CxLane,
+        symbols_plane: &[u16],
+        row: usize,
+        syms: [u16; LANES],
+    ) -> [f64; LANES] {
+        let r = &self.qr.r;
+        let mut acc = ybar_lane;
+        let pts = CxLane::from_fn(|l| self.constellation.point(syms[l] as usize));
+        acc.sub_mul(CxLane::splat(r[(row, row)]), pts);
+        for p in row + 1..self.nt() {
+            let coef = CxLane::splat(r[(row, p)]);
+            let s = CxLane::from_fn(|l| {
+                self.constellation
+                    .point(symbols_plane[p * LANES + l] as usize)
+            });
+            acc.sub_mul(coef, s);
         }
         acc.norm_sqr()
     }
@@ -402,6 +515,55 @@ mod tests {
             tri.path_metric_sym(&ybar, sym.as_slice()).to_bits()
         );
         assert_eq!(tri.unpermute(&s), tri.unpermute_sym(sym.as_slice()));
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_kernels_bitwise() {
+        use flexcore_numeric::{CxLane, SymVec, LANES};
+        let (tri, s, y) = setup(6, 16);
+        let ybar = tri.rotate(&y);
+        let mut rng = StdRng::seed_from_u64(99);
+        // Four independent symbol vectors → one level-major lane-minor plane.
+        let lanes_syms: Vec<Vec<usize>> = (0..LANES)
+            .map(|_| {
+                (0..6)
+                    .map(|_| rng.gen_range(0..tri.constellation.order()))
+                    .collect()
+            })
+            .collect();
+        let mut plane = vec![0u16; 6 * LANES];
+        for (l, v) in lanes_syms.iter().enumerate() {
+            for (p, &sym) in v.iter().enumerate() {
+                plane[p * LANES + l] = sym as u16;
+            }
+        }
+        let ybar_lane = CxLane::splat(ybar[2]);
+        // effective_point_lanes vs scalar per lane.
+        let eff = tri.effective_point_lanes(ybar_lane, &plane, 2);
+        for l in 0..LANES {
+            let want = tri.effective_point(&ybar, &lanes_syms[l], 2);
+            let got = eff.get(l);
+            assert_eq!(
+                (want.re.to_bits(), want.im.to_bits()),
+                (got.re.to_bits(), got.im.to_bits())
+            );
+        }
+        // ped_increment_lanes vs scalar per lane.
+        let chosen = [1u16, 5, 9, 14];
+        let peds = tri.ped_increment_lanes(ybar_lane, &plane, 2, chosen);
+        for l in 0..LANES {
+            let want = tri.ped_increment(&ybar, &lanes_syms[l], 2, chosen[l] as usize);
+            assert_eq!(want.to_bits(), peds[l].to_bits());
+        }
+        // ped_increment_block vs scalar per candidate, one shared survivor.
+        let sym = SymVec::from_indices(&s);
+        for sym0 in (0..tri.constellation.order() - LANES + 1).step_by(LANES) {
+            let block = tri.ped_increment_block(&ybar, sym.as_slice(), 1, sym0);
+            for l in 0..LANES {
+                let want = tri.ped_increment(&ybar, &s, 1, sym0 + l);
+                assert_eq!(want.to_bits(), block[l].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::common::{first_min_metric, replaces_best, Detector, PathScratch, Triangular};
 use flexcore_modulation::Constellation;
 use flexcore_numeric::qr::fcsd_sorted_qr;
-use flexcore_numeric::{CMat, Cx, SymVec};
+use flexcore_numeric::{lanes_enabled, CMat, Cx, CxLane, SymVec, LANES};
 use flexcore_parallel::PePool;
 
 /// Fixed-complexity sphere decoder with `L` fully-enumerated levels.
@@ -120,15 +120,81 @@ impl FcsdDetector {
         tri.unpermute_sym(results[i].0.as_slice())
     }
 
+    /// Evaluates four consecutive paths `path0..path0+4` at once through
+    /// the lane kernels: lane `l` is path `path0 + l`. The per-lane digit
+    /// fix, SIC descent and path-metric sum replay the scalar
+    /// [`FcsdDetector::run_path_into`] operation chain exactly (the `R`
+    /// coefficients are broadcast, the per-lane symbol decisions live in
+    /// `scratch.plane`, and the metric accumulates row-ascending from
+    /// `0.0`), so each lane's metric and symbols are bit-identical to the
+    /// scalar path evaluation.
+    fn run_path_block(&self, ybar: &[Cx], path0: usize, scratch: &mut PathScratch) -> [f64; LANES] {
+        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let nt = tri.nt();
+        let q = self.constellation.order();
+        scratch.plane.clear();
+        scratch.plane.resize(nt * LANES, 0);
+        let plane = &mut scratch.plane;
+        // Fix the fully-enumerated top levels, per lane.
+        for l in 0..LANES {
+            let mut rem = path0 + l;
+            for lvl in 0..self.l_full {
+                plane[(nt - 1 - lvl) * LANES + l] = (rem % q) as u16;
+                rem /= q;
+            }
+            debug_assert_eq!(rem, 0, "path_idx out of range");
+        }
+        // Four-wide SIC descent: one effective point per row for all four
+        // paths, sliced per lane.
+        for row in (0..nt - self.l_full).rev() {
+            let eff = tri.effective_point_lanes(CxLane::splat(ybar[row]), plane, row);
+            for l in 0..LANES {
+                plane[row * LANES + l] = self.constellation.slice(eff.get(l)) as u16;
+            }
+        }
+        // Four-wide path metric, row-ascending as in `path_metric_sym`.
+        let mut metrics = [0.0; LANES];
+        for row in 0..nt {
+            let mut syms = [0u16; LANES];
+            syms.copy_from_slice(&plane[row * LANES..(row + 1) * LANES]);
+            let incs = tri.ped_increment_lanes(CxLane::splat(ybar[row]), plane, row, syms);
+            for l in 0..LANES {
+                metrics[l] += incs[l];
+            }
+        }
+        metrics
+    }
+
     /// Streams every path over one rotated observation with a shared
     /// scratch, returning the first-minimum decision ([`replaces_best`]
     /// semantics) — the allocation-free core of `detect` /
-    /// `detect_batch_refs`.
+    /// `detect_batch_refs`. With lane dispatch enabled, paths run four
+    /// per iteration through [`FcsdDetector::run_path_block`]; the
+    /// reduction still visits metrics in ascending path order, so the
+    /// decision is bit-identical to the scalar loop.
     fn detect_prepared(&self, ybar: &[Cx], scratch: &mut PathScratch) -> Vec<usize> {
         let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let nt = tri.nt();
+        let n_paths = self.paths();
         let mut best_metric: Option<f64> = None;
         let mut best_syms = SymVec::new();
-        for idx in 0..self.paths() {
+        let mut idx = 0;
+        if lanes_enabled() && n_paths >= LANES {
+            while idx + LANES <= n_paths {
+                let metrics = self.run_path_block(ybar, idx, scratch);
+                for (l, &metric) in metrics.iter().enumerate() {
+                    if replaces_best(metric, best_metric) {
+                        best_metric = Some(metric);
+                        best_syms.reset(nt);
+                        for row in 0..nt {
+                            best_syms.set(row, scratch.plane[row * LANES + l]);
+                        }
+                    }
+                }
+                idx += LANES;
+            }
+        }
+        while idx < n_paths {
             let metric = self.run_path_into(ybar, idx, scratch);
             if replaces_best(metric, best_metric) {
                 best_metric = Some(metric);
@@ -136,6 +202,7 @@ impl FcsdDetector {
                 // any width.
                 best_syms.clone_from(&scratch.symbols);
             }
+            idx += 1;
         }
         best_metric.expect("at least one path");
         tri.unpermute_sym(best_syms.as_slice())

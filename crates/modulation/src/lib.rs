@@ -20,5 +20,5 @@
 pub mod ordering;
 pub mod qam;
 
-pub use ordering::{triangle_index, OrderingLut};
+pub use ordering::{triangle_index, triangle_index_fast, LocatedOrderingTable, OrderingLut};
 pub use qam::{Constellation, Modulation};

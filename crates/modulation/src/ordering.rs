@@ -70,6 +70,48 @@ pub fn triangle_index(dx: f64, dy: f64) -> usize {
     ((norm / (std::f64::consts::PI / 4.0)) as usize).min(7)
 }
 
+/// Filtered form of [`triangle_index`]: sign/magnitude comparisons decide
+/// the octant whenever the point is provably far from every octant
+/// boundary, and only points inside a narrow guard band around the
+/// boundaries fall back to the `atan2` definition.
+///
+/// The result is identical to [`triangle_index`] for **every** input: the
+/// comparison fast path only fires when the angular distance to the
+/// nearest boundary (a multiple of 45°) exceeds ~`GUARD/2` radians, which
+/// dwarfs the combined rounding error of `atan2` (≤ a few ulp in any libm)
+/// plus one addition and one division (≤ 1 ulp each, ~1e-14 rad absolute
+/// here) — so the floored octant in [`triangle_index`] cannot land on the
+/// other side of the boundary. Inputs inside the guard band — including
+/// zeros and signed zeros — take the exact `atan2` path unchanged. This is
+/// the classic floating-point-filter construction; the SIMD block walk
+/// uses it to drop `atan2` from the per-chain locate without perturbing a
+/// single bit of any decision.
+#[inline]
+pub fn triangle_index_fast(dx: f64, dy: f64) -> usize {
+    const GUARD: f64 = 1e-9;
+    let ax = dx.abs();
+    let ay = dy.abs();
+    let guard = GUARD * ax.max(ay);
+    if ax > guard && ay > guard && (ax - ay).abs() > guard {
+        // Strictly inside an octant, with margin: quadrant signs plus the
+        // |dy| vs |dx| comparison pick it exactly. Branchless (selects, no
+        // data-dependent jumps — the octant of a noisy effective point is
+        // unpredictable) encoding of the truth table
+        //   (dx>0, dy>0, ay>ax):  TTf→0 TTt→1 FTt→2 FTf→3
+        //                         FFf→4 FFt→5 TFt→6 TFf→7
+        // as `quadrant-base + within-quadrant index`.
+        let d = (ay > ax) as usize;
+        let inner = if (dx > 0.0) == (dy > 0.0) { d } else { 3 - d };
+        if dy > 0.0 {
+            inner
+        } else {
+            4 + inner
+        }
+    } else {
+        triangle_index(dx, dy)
+    }
+}
+
 /// The approximate predefined symbol ordering of §3.2.
 ///
 /// Built once per (modulation, depth) — the paper computes it offline and
@@ -188,6 +230,19 @@ impl OrderingLut {
             return self.bpsk_kth(c, y, k);
         }
         let (ci, cj, tri) = self.locate(c, y);
+        self.kth_from_centre_strict(c, ci, cj, tri, k)
+    }
+
+    /// Post-locate half of [`OrderingLut::kth_nearest`]: the strict lookup
+    /// for an already-located centre `(ci, cj)` and triangle `tri`.
+    fn kth_from_centre_strict(
+        &self,
+        c: &Constellation,
+        ci: i32,
+        cj: i32,
+        tri: usize,
+        k: usize,
+    ) -> Option<usize> {
         let side = c.grid_side() as i32;
         let (di, dj) = self.orders[tri][k - 1];
         let col = ci + di;
@@ -219,6 +274,19 @@ impl OrderingLut {
             return self.bpsk_kth(c, y, k);
         }
         let (ci, cj, tri) = self.locate(c, y);
+        self.kth_from_centre_skip(c, ci, cj, tri, k)
+    }
+
+    /// Post-locate half of [`OrderingLut::kth_nearest_skip`]: the in-bounds
+    /// scan for an already-located centre `(ci, cj)` and triangle `tri`.
+    fn kth_from_centre_skip(
+        &self,
+        c: &Constellation,
+        ci: i32,
+        cj: i32,
+        tri: usize,
+        k: usize,
+    ) -> Option<usize> {
         let side = c.grid_side() as i32;
         let mut valid = 0usize;
         for &(di, dj) in &self.orders[tri] {
@@ -244,6 +312,41 @@ impl OrderingLut {
         }
     }
 
+    /// [`OrderingLut::locate`] with the filtered octant test
+    /// ([`triangle_index_fast`]): bit-identical `(ci, cj, tri)` for every
+    /// input, without the unconditional `atan2`. This is the SIMD block
+    /// walk's per-chain locate; the scalar detection path keeps the plain
+    /// [`triangle_index`] form so the PR 2 baseline re-enactment stays
+    /// byte-for-byte the historical code.
+    #[inline]
+    pub fn locate_fast(&self, c: &Constellation, y: Cx) -> (i32, i32, usize) {
+        let side = c.grid_side() as i32;
+        let u = y.re / c.scale();
+        let v = y.im / c.scale();
+        let window = |x: f64| x.clamp(-(2 * side) as f64, (3 * side) as f64) as i32;
+        let ci = window(((u + (side - 1) as f64) / 2.0).round());
+        let cj = window(((v + (side - 1) as f64) / 2.0).round());
+        let dx = u - level_value_i(ci, side);
+        let dy = v - level_value_i(cj, side);
+        (ci, cj, triangle_index_fast(dx, dy))
+    }
+
+    /// Four-lane form of [`OrderingLut::locate_fast`]: locates four
+    /// effective points (split re/im planes) in one call — per-lane
+    /// applications of the identical scalar locate. (A hand-written
+    /// elementwise-array form measured *slower* than four scalar calls:
+    /// the locate is round/clamp/cast-heavy, not flop-heavy, and gains
+    /// nothing from lane-major layout.)
+    #[inline]
+    pub fn locate_fast_lanes(
+        &self,
+        c: &Constellation,
+        re: &[f64; 4],
+        im: &[f64; 4],
+    ) -> [(i32, i32, usize); 4] {
+        std::array::from_fn(|l| self.locate_fast(c, Cx::new(re[l], im[l])))
+    }
+
     /// Locates the effective point: nearest infinite-lattice centre
     /// `(ci, cj)` in level-index units and the triangle index within its
     /// minimum-distance square.
@@ -263,6 +366,312 @@ impl OrderingLut {
         let dx = u - level_value_i(ci, side);
         let dy = v - level_value_i(cj, side);
         (ci, cj, triangle_index(dx, dy))
+    }
+}
+
+/// Sentinel for "no symbol" entries in [`LocatedOrderingTable`].
+const NO_SYM: u16 = u16::MAX;
+
+/// Direct-lookup form of the triangle-LUT ordering for every lattice
+/// centre near the constellation: `(centre, triangle, rank) → symbol`,
+/// materialised once per `(modulation, depth, semantics)`.
+///
+/// Each entry is computed with the **same** post-locate code the scan path
+/// runs ([`OrderingLut::kth_nearest`] / [`OrderingLut::kth_nearest_skip`]
+/// after `locate`), so a lookup is bit-identical to the scan by
+/// construction — it just happens at prepare time instead of once per tree
+/// node per lane. The window covers centres within two steps of the grid
+/// (`ci, cj ∈ [−2, side+1]`), which is every effective point that isn't a
+/// deep-noise outlier; out-of-window centres return `None` from
+/// [`LocatedOrderingTable::lookup`] and the caller falls back to the scan.
+/// BPSK's degenerate ordering reads the observation directly, so its table
+/// is built windowless (every lookup falls back).
+#[derive(Clone, Debug)]
+pub struct LocatedOrderingTable {
+    strict: bool,
+    lo: i32,
+    w: i32,
+    depth: usize,
+    /// Constellation grid side, cached for [`LocatedOrderingTable::locate`].
+    side: i32,
+    /// `1 / scale`, precomputed so the hot locate multiplies instead of
+    /// divides (the guard in `locate` makes the substitution exact).
+    inv_scale: f64,
+    /// `syms[((j·w + i)·8 + tri)·depth + (k−1)]`, `NO_SYM` = deactivated.
+    syms: Vec<u16>,
+}
+
+/// Process-wide [`LocatedOrderingTable`] cache, keyed by
+/// `(modulation, depth, strict)`.
+///
+/// The table is a pure function of that key (the predefined order is
+/// seeded deterministically), and at 16-QAM it weighs ~100 KiB — so when a
+/// frame engine clones one detector per subcarrier, 48 private copies
+/// would blow the last-level cache and tax every blocked batch with table
+/// re-faults. An association list suffices: at most one entry per
+/// `(modulation, semantics)` pair ever exists.
+#[allow(clippy::type_complexity)]
+static TABLE_CACHE: std::sync::Mutex<
+    Vec<(
+        (Modulation, usize, bool),
+        std::sync::Arc<LocatedOrderingTable>,
+    )>,
+> = std::sync::Mutex::new(Vec::new());
+
+impl OrderingLut {
+    /// The shared, process-wide [`LocatedOrderingTable`] for this ordering
+    /// — [`OrderingLut::build_table`] memoised by
+    /// `(modulation, depth, strict)`, so every detector clone (one per
+    /// subcarrier in a frame engine) reads the *same* table instead of
+    /// faulting a private ~100 KiB copy per clone.
+    pub fn shared_table(
+        &self,
+        c: &Constellation,
+        strict: bool,
+    ) -> std::sync::Arc<LocatedOrderingTable> {
+        let key = (self.modulation, self.depth, strict);
+        let mut cache = TABLE_CACHE.lock().expect("table cache poisoned");
+        if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
+            return t.clone();
+        }
+        let t = std::sync::Arc::new(self.build_table(c, strict));
+        cache.push((key, t.clone()));
+        t
+    }
+
+    /// Builds the [`LocatedOrderingTable`] for this ordering, with strict
+    /// (deactivating) or skip-outside lookup semantics.
+    pub fn build_table(&self, c: &Constellation, strict: bool) -> LocatedOrderingTable {
+        debug_assert_eq!(c.modulation(), self.modulation);
+        let side = c.grid_side() as i32;
+        let (lo, w) = if self.modulation == Modulation::Bpsk {
+            (0, 0) // windowless: bpsk_kth slices the observation itself
+        } else {
+            (-2, side + 4)
+        };
+        let mut syms = vec![NO_SYM; (w as usize * w as usize) * 8 * self.depth];
+        for j in 0..w {
+            for i in 0..w {
+                let (ci, cj) = (lo + i, lo + j);
+                for tri in 0..8 {
+                    let base = ((j as usize * w as usize + i as usize) * 8 + tri) * self.depth;
+                    if strict {
+                        for k in 1..=self.depth {
+                            if let Some(s) = self.kth_from_centre_strict(c, ci, cj, tri, k) {
+                                syms[base + k - 1] = s as u16;
+                            }
+                        }
+                    } else {
+                        // One pass over the predefined order collects every
+                        // in-bounds entry in rank order.
+                        let mut valid = 0usize;
+                        for &(di, dj) in &self.orders[tri] {
+                            let col = ci + di;
+                            let row = cj + dj;
+                            if col >= 0 && col < side && row >= 0 && row < side {
+                                syms[base + valid] =
+                                    c.grid_to_index(col as usize, row as usize) as u16;
+                                valid += 1;
+                                if valid == self.depth {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LocatedOrderingTable {
+            strict,
+            lo,
+            w,
+            depth: self.depth,
+            side,
+            inv_scale: 1.0 / c.scale(),
+            syms,
+        }
+    }
+}
+
+impl LocatedOrderingTable {
+    /// Which semantics this table was built with (`true` = strict).
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Division- and `atan2`-free locate: nearest lattice centre and
+    /// octant triangle from one unit-grid `floor` per axis, guarded so the
+    /// result is bit-identical to [`OrderingLut::locate_fast`] (and hence
+    /// to the scalar path's locate) for **every** input.
+    ///
+    /// Geometry: in level units `u = re/scale`, centres sit at odd
+    /// integers, their minimum-distance cells are `[c−1, c+1]²`, and the
+    /// eight octant boundaries are the integer grid lines plus the unit
+    /// squares' diagonals. So `n = ⌊u⌋` determines the centre
+    /// (`c = n|1` — the odd end of the unit interval) and the octant
+    /// follows from the parities of `n, m` and a fractional-part
+    /// comparison — floor, subtract, compare; no round-half-away, no
+    /// division, no arctangent.
+    ///
+    /// Exactness: `u' = re·inv_scale` differs from the scalar path's
+    /// `u = re/scale` by ≤ 2 ulp, the fractional parts are computed to
+    /// within ~4·10⁻¹⁶ absolute, and `|u'|` is capped at `2·side ≤ 128` —
+    /// so if `u', v'` clear every decision boundary (integer lines, both
+    /// unit-square diagonals, the window cap) by the relative guard
+    /// `10⁻⁹·max(1, |u'|, |v'|)`, then `u, v` lie strictly on the same
+    /// side of each boundary and the scalar locate provably makes the
+    /// identical cell/octant decisions (its round-half-away ties and the
+    /// `triangle_index` boundary rays all live on those same boundaries).
+    /// Any guard failure — including NaN, whose comparisons are all false
+    /// — falls back to the exact [`OrderingLut::locate_fast`].
+    #[inline]
+    pub fn locate(&self, lut: &OrderingLut, c: &Constellation, y: Cx) -> (i32, i32, usize) {
+        let u = y.re * self.inv_scale;
+        let v = y.im * self.inv_scale;
+        let (au, av) = (u.abs(), v.abs());
+        let m = 1e-9 * au.max(av).max(1.0);
+        let (nu, nv) = (u.floor(), v.floor());
+        let (fu, fv) = (u - nu, v - nv);
+        let lim = (2 * self.side) as f64;
+        let ok = au < lim
+            && av < lim
+            && fu > m
+            && 1.0 - fu > m
+            && fv > m
+            && 1.0 - fv > m
+            && (fu - fv).abs() > m
+            && (fu + fv - 1.0).abs() > m;
+        if !ok {
+            return lut.locate_fast(c, y);
+        }
+        let (n, mm) = (nu as i32, nv as i32);
+        // Odd end of the unit interval = the cell centre; its level index.
+        // `c + (side−1)` is even (odd+odd), so the shift is an exact /2.
+        let (cu, cv) = (n | 1, mm | 1);
+        let ci = (cu + (self.side - 1)) >> 1;
+        let cj = (cv + (self.side - 1)) >> 1;
+        // du = u − cu is positive iff n is odd, with |du| = fu (n odd) or
+        // 1−fu (n even); same for dv. Octant encoding as in
+        // `triangle_index_fast`.
+        let sx = (n & 1) != 0;
+        let sy = (mm & 1) != 0;
+        let adu = if sx { fu } else { 1.0 - fu };
+        let adv = if sy { fv } else { 1.0 - fv };
+        let d = (adv > adu) as usize;
+        let inner = if sx == sy { d } else { 3 - d };
+        let tri = if sy { inner } else { 4 + inner };
+        (ci, cj, tri)
+    }
+
+    /// `N` [`LocatedOrderingTable::locate`]s at once, elementwise over an
+    /// array of points — the form the four-wide trie walk calls once per
+    /// sibling chain.
+    ///
+    /// The floating-point front half (scale, `abs`, `floor`, fractional
+    /// parts, all eight guard comparisons) is straight-line elementwise
+    /// arithmetic over fixed-size arrays, which the compiler turns into
+    /// `N`-wide vector ops; only the cheap integer cell/octant encoding —
+    /// and the rare guard-failure fallback — runs per lane. Results are
+    /// exactly `[self.locate(..); N]`, lane by lane. (The *old*
+    /// round/clamp/scan locate did not benefit from this treatment — its
+    /// hand-vectorised form measured slower than four scalar calls — but
+    /// the grid locate's front half is pure FP arithmetic and compares,
+    /// which is precisely what auto-vectorisation rewards.)
+    #[inline]
+    pub fn locate_array<const N: usize>(
+        &self,
+        lut: &OrderingLut,
+        c: &Constellation,
+        ys: &[Cx; N],
+    ) -> [(i32, i32, usize); N] {
+        let mut u = [0.0f64; N];
+        let mut v = [0.0f64; N];
+        for l in 0..N {
+            u[l] = ys[l].re * self.inv_scale;
+            v[l] = ys[l].im * self.inv_scale;
+        }
+        let mut fu = [0.0f64; N];
+        let mut fv = [0.0f64; N];
+        let mut nu = [0.0f64; N];
+        let mut nv = [0.0f64; N];
+        let mut ok = [false; N];
+        let lim = (2 * self.side) as f64;
+        for l in 0..N {
+            let (au, av) = (u[l].abs(), v[l].abs());
+            let m = 1e-9 * au.max(av).max(1.0);
+            nu[l] = u[l].floor();
+            nv[l] = v[l].floor();
+            fu[l] = u[l] - nu[l];
+            fv[l] = v[l] - nv[l];
+            ok[l] = au < lim
+                && av < lim
+                && fu[l] > m
+                && 1.0 - fu[l] > m
+                && fv[l] > m
+                && 1.0 - fv[l] > m
+                && (fu[l] - fv[l]).abs() > m
+                && (fu[l] + fv[l] - 1.0).abs() > m;
+        }
+        std::array::from_fn(|l| {
+            if !ok[l] {
+                return lut.locate_fast(c, ys[l]);
+            }
+            let (n, mm) = (nu[l] as i32, nv[l] as i32);
+            let (cu, cv) = (n | 1, mm | 1);
+            let ci = (cu + (self.side - 1)) >> 1;
+            let cj = (cv + (self.side - 1)) >> 1;
+            let sx = (n & 1) != 0;
+            let sy = (mm & 1) != 0;
+            let adu = if sx { fu[l] } else { 1.0 - fu[l] };
+            let adv = if sy { fv[l] } else { 1.0 - fv[l] };
+            let d = (adv > adu) as usize;
+            let inner = if sx == sy { d } else { 3 - d };
+            let tri = if sy { inner } else { 4 + inner };
+            (ci, cj, tri)
+        })
+    }
+
+    /// Looks up the `k`-th symbol for a located centre.
+    ///
+    /// Outer `None`: the centre is outside the table window — the caller
+    /// must use the scan path. Inner option: the lookup result, exactly as
+    /// the corresponding scan would return it (`None` = deactivated /
+    /// exhausted).
+    #[inline]
+    pub fn lookup(&self, ci: i32, cj: i32, tri: usize, k: usize) -> Option<Option<usize>> {
+        if k == 0 || k > self.depth {
+            return Some(None);
+        }
+        Some(self.get(self.base(ci, cj, tri)?, k))
+    }
+
+    /// The rank-independent half of [`LocatedOrderingTable::lookup`]: the
+    /// flat index base for a located `(centre, triangle)`, or `None` when
+    /// the centre is outside the table window (the caller must use the
+    /// scan path). The blocked trie walk computes this once per sibling
+    /// chain per lane — every node of the chain then reads its rank with
+    /// one [`LocatedOrderingTable::get`] instead of re-checking the
+    /// window.
+    #[inline]
+    pub fn base(&self, ci: i32, cj: i32, tri: usize) -> Option<usize> {
+        let i = ci - self.lo;
+        let j = cj - self.lo;
+        if i < 0 || i >= self.w || j < 0 || j >= self.w {
+            return None;
+        }
+        Some(((j as usize * self.w as usize + i as usize) * 8 + tri) * self.depth)
+    }
+
+    /// Rank-`k` read at a [`LocatedOrderingTable::base`] — exactly the
+    /// inner option of [`LocatedOrderingTable::lookup`] (`None` =
+    /// deactivated / exhausted).
+    #[inline]
+    pub fn get(&self, base: usize, k: usize) -> Option<usize> {
+        if k == 0 || k > self.depth {
+            return None;
+        }
+        let s = self.syms[base + k - 1];
+        (s != NO_SYM).then_some(s as usize)
     }
 }
 
@@ -401,6 +810,208 @@ mod tests {
             }
         }
         assert!(nones > 0);
+    }
+
+    #[test]
+    fn triangle_index_fast_matches_exact_everywhere() {
+        // Random points, exact boundary points, near-boundary points a few
+        // ulp off, zeros and signed zeros: the filtered octant test must
+        // agree with the atan2 definition on every one.
+        let mut rng = StdRng::seed_from_u64(0x0C7A);
+        for _ in 0..200_000 {
+            let dx: f64 = rng.gen_range(-1.0..1.0);
+            let dy: f64 = rng.gen_range(-1.0..1.0);
+            assert_eq!(
+                triangle_index_fast(dx, dy),
+                triangle_index(dx, dy),
+                "({dx},{dy})"
+            );
+        }
+        let mut adversarial: Vec<(f64, f64)> = vec![
+            (0.0, 0.0),
+            (-0.0, 0.0),
+            (0.0, -0.0),
+            (-0.0, -0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (-1.0, 0.0),
+            (0.0, -1.0),
+            (1.0, 1.0),
+            (-1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+        ];
+        // Points a few ulp around every boundary ray, at several radii.
+        for i in 0..8 {
+            let a = i as f64 * std::f64::consts::PI / 4.0;
+            for r in [1e-12, 0.3, 1.0, 1e9] {
+                let (x, y) = (r * a.cos(), r * a.sin());
+                for (ex, ey) in [(0.0, 0.0), (f64::EPSILON, 0.0), (-f64::EPSILON, 0.0)] {
+                    adversarial.push((x + ex * r, y + ey * r));
+                }
+            }
+        }
+        for &(dx, dy) in &adversarial {
+            assert_eq!(
+                triangle_index_fast(dx, dy),
+                triangle_index(dx, dy),
+                "({dx},{dy})"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_fast_matches_locate() {
+        for &m in &[Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::new(m);
+            let lut = OrderingLut::new(m, 8);
+            let mut rng = StdRng::seed_from_u64(0x10CA);
+            for _ in 0..20_000 {
+                let y = rng.cx_normal(1.5);
+                assert_eq!(lut.locate_fast(&c, y), lut.locate(&c, y), "{m:?} {y:?}");
+            }
+            // Lane form agrees with the scalar form on every lane.
+            for _ in 0..5_000 {
+                let ys: Vec<Cx> = (0..4).map(|_| rng.cx_normal(1.5)).collect();
+                let re = [ys[0].re, ys[1].re, ys[2].re, ys[3].re];
+                let im = [ys[0].im, ys[1].im, ys[2].im, ys[3].im];
+                let lanes = lut.locate_fast_lanes(&c, &re, &im);
+                for l in 0..4 {
+                    assert_eq!(lanes[l], lut.locate(&c, ys[l]), "{m:?} lane {l}");
+                }
+            }
+            // Exact lattice centres and boundary mid-points.
+            for gi in -3..(c.grid_side() as i32 + 3) {
+                for gj in -3..(c.grid_side() as i32 + 3) {
+                    for (dx, dy) in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.0), (0.5, 0.0)] {
+                        let y = Cx::new(
+                            (level_value_i(gi, c.grid_side() as i32) + dx) * c.scale(),
+                            (level_value_i(gj, c.grid_side() as i32) + dy) * c.scale(),
+                        );
+                        assert_eq!(lut.locate_fast(&c, y), lut.locate(&c, y), "{m:?} {y:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn located_table_matches_scan_for_all_window_centres() {
+        // Every in-window (centre, triangle, rank) must look up exactly
+        // what the scan path returns, under both semantics.
+        for &m in &[Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::new(m);
+            let depth = 16usize.min(c.order());
+            let lut = OrderingLut::new(m, depth);
+            let strict_t = lut.build_table(&c, true);
+            let skip_t = lut.build_table(&c, false);
+            let side = c.grid_side() as i32;
+            for cj in -2..=(side + 1) {
+                for ci in -2..=(side + 1) {
+                    for tri in 0..8usize {
+                        // A representative effective point inside (ci, cj,
+                        // tri): centre plus a mid-octant offset.
+                        let a = (tri as f64 + 0.5) * std::f64::consts::PI / 4.0;
+                        let y = Cx::new(
+                            (level_value_i(ci, side) + 0.5 * a.cos()) * c.scale(),
+                            (level_value_i(cj, side) + 0.5 * a.sin()) * c.scale(),
+                        );
+                        assert_eq!(lut.locate_fast(&c, y), (ci, cj, tri), "{m:?}");
+                        for k in 1..=depth + 1 {
+                            assert_eq!(
+                                strict_t.lookup(ci, cj, tri, k).expect("in window"),
+                                lut.kth_nearest(&c, y, k),
+                                "strict {m:?} ({ci},{cj},{tri},{k})"
+                            );
+                            assert_eq!(
+                                skip_t.lookup(ci, cj, tri, k).expect("in window"),
+                                lut.kth_nearest_skip(&c, y, k),
+                                "skip {m:?} ({ci},{cj},{tri},{k})"
+                            );
+                        }
+                    }
+                }
+            }
+            // Out-of-window centres must defer to the scan.
+            assert_eq!(strict_t.lookup(-3, 0, 0, 1), None);
+            assert_eq!(skip_t.lookup(0, side + 2, 0, 1), None);
+        }
+    }
+
+    #[test]
+    fn table_locate_matches_locate_fast_everywhere() {
+        // The grid (floor-based, division-free) locate must agree with the
+        // exact locate on random points, lattice centres, cell-boundary and
+        // diagonal points (where the guard must force the fallback), huge
+        // outliers past the window cap, and non-finite values.
+        for &m in &[
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+            Modulation::Qam256,
+        ] {
+            let c = Constellation::new(m);
+            let lut = OrderingLut::new(m, 8);
+            let t = lut.build_table(&c, false);
+            let mut rng = StdRng::seed_from_u64(0x6D1D);
+            for _ in 0..50_000 {
+                let y = rng.cx_normal(1.2);
+                assert_eq!(t.locate(&lut, &c, y), lut.locate_fast(&c, y), "{m:?} {y:?}");
+            }
+            let side = c.grid_side() as i32;
+            let mut adversarial = Vec::new();
+            for gi in -6..=(2 * side + 4) {
+                // Integer grid lines (cell boundaries and centres) and
+                // diagonal midpoints, a few ulp off in each direction.
+                for gj in -6..=(2 * side + 4) {
+                    for (eu, ev) in [
+                        (0.0, 0.0),
+                        (1e-16, 0.0),
+                        (-1e-16, 1e-16),
+                        (0.25, 0.25),
+                        (0.5, 0.5),
+                        (0.25, 0.75),
+                    ] {
+                        adversarial.push(Cx::new(
+                            (gi as f64 - side as f64 + eu) * c.scale(),
+                            (gj as f64 - side as f64 + ev) * c.scale(),
+                        ));
+                    }
+                }
+            }
+            adversarial.push(Cx::new(1e12, -3.0));
+            adversarial.push(Cx::new(-1e300, 1e300));
+            adversarial.push(Cx::new(f64::INFINITY, 0.5));
+            adversarial.push(Cx::new(f64::NAN, 0.5));
+            for &y in &adversarial {
+                assert_eq!(t.locate(&lut, &c, y), lut.locate_fast(&c, y), "{m:?} {y:?}");
+            }
+            // The array form is lane-for-lane the scalar locate — including
+            // blocks mixing fast-path lanes with fallback lanes.
+            for block in adversarial.chunks_exact(4) {
+                let pts: [Cx; 4] = [block[0], block[1], block[2], block[3]];
+                let got = t.locate_array(&lut, &c, &pts);
+                for l in 0..4 {
+                    assert_eq!(got[l], t.locate(&lut, &c, pts[l]), "{m:?} lane {l}");
+                }
+            }
+            let mut rng2 = StdRng::seed_from_u64(0xA44A);
+            for _ in 0..10_000 {
+                let pts: [Cx; 4] = std::array::from_fn(|_| rng2.cx_normal(1.5));
+                let got = t.locate_array(&lut, &c, &pts);
+                for l in 0..4 {
+                    assert_eq!(got[l], t.locate(&lut, &c, pts[l]), "{m:?} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn located_table_bpsk_is_windowless() {
+        let c = Constellation::new(Modulation::Bpsk);
+        let lut = OrderingLut::new(Modulation::Bpsk, 2);
+        let t = lut.build_table(&c, false);
+        assert_eq!(t.lookup(0, 0, 0, 1), None, "BPSK lookups must fall back");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   (module [`rng`]);
 //! * a lightweight FLOP-accounting helper (module [`flops`]) used to
 //!   regenerate Table 1 and Table 2 of the paper;
+//! * [`CxLane`] — a four-wide structure-of-arrays complex lane type
+//!   (module [`lanes`]) behind the runtime-dispatched SIMD kernels of
+//!   `mul_vec_into` / `mul_vec_hermitian_into` / `Qr::rotate_batch_into`,
+//!   bit-identical per lane to the scalar path by construction;
 //! * [`SymVec`] — a spill-capable small-vector of symbol indices (module
 //!   [`symvec`]): allocation-free inline storage for the paper's
 //!   ≤ 16-stream experiments, transparent heap spill for massive-MIMO
@@ -40,6 +44,7 @@ pub mod cx;
 pub mod eig;
 pub mod fft;
 pub mod flops;
+pub mod lanes;
 pub mod mat;
 pub mod qr;
 pub mod rng;
@@ -49,6 +54,7 @@ pub mod symvec;
 
 pub use cx::Cx;
 pub use flops::FlopCounter;
+pub use lanes::{lanes_enabled, set_lane_dispatch, CxLane, LANES};
 pub use mat::{CMat, CVec};
 pub use qr::{fcsd_sorted_qr, householder_qr, mgs_qr, sorted_qr_sqrd, Qr};
 pub use symvec::SymVec;

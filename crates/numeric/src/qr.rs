@@ -22,6 +22,7 @@
 //! probability model (Eq. 4 uses `|R(l,l)|`) and the slicer rely on.
 
 use crate::cx::Cx;
+use crate::lanes::{lanes_enabled, CxLane, LANES};
 use crate::mat::{dot, norm_sqr, CMat};
 use crate::solve::{hermitian_inverse, pseudo_inverse};
 
@@ -58,6 +59,54 @@ impl Qr {
     /// Panics if `y.len() != Nr` or `out.len() != Nt`.
     pub fn rotate_into(&self, y: &[Cx], out: &mut [Cx]) {
         self.q.mul_vec_hermitian_into(y, out);
+    }
+
+    /// Blocked batch rotate: rotates a whole batch of received vectors
+    /// (e.g. one PE's subcarrier batch) into the triangular domain in
+    /// blocks of four observations per kernel pass.
+    ///
+    /// `out` is observation-major: `out[j*Nt .. (j+1)*Nt]` receives
+    /// `Q*·ys[j]`. Lanes are four *observations* sharing one broadcast `Q`
+    /// entry, so each `Q` coefficient is loaded once per four rotates and
+    /// each lane replays the exact scalar `rotate_into` accumulation chain
+    /// — results are bit-identical to calling [`Qr::rotate_into`] per
+    /// observation (which is also the scalar fallback and the tail path
+    /// for the last `ys.len() % 4` observations).
+    ///
+    /// # Panics
+    /// Panics if any `ys[j].len() != Nr` or `out.len() != ys.len() * Nt`.
+    pub fn rotate_batch_into(&self, ys: &[&[Cx]], out: &mut [Cx]) {
+        let nt = self.q.cols();
+        assert_eq!(out.len(), ys.len() * nt, "rotate_batch_into: output length");
+        if !lanes_enabled() {
+            for (y, chunk) in ys.iter().zip(out.chunks_mut(nt.max(1))) {
+                self.rotate_into(y, chunk);
+            }
+            return;
+        }
+        let nr = self.q.rows();
+        let full = ys.len() / LANES * LANES;
+        let mut j = 0;
+        while j < full {
+            for y in &ys[j..j + LANES] {
+                assert_eq!(y.len(), nr, "rotate_batch_into: observation length");
+            }
+            for r in 0..nt {
+                let mut acc = CxLane::zero();
+                for c in 0..nr {
+                    let q = CxLane::splat(self.q[(c, r)]);
+                    let y = CxLane::from_fn(|l| ys[j + l][c]);
+                    acc.add_conj_mul(q, y);
+                }
+                for l in 0..LANES {
+                    out[(j + l) * nt + r] = acc.get(l);
+                }
+            }
+            j += LANES;
+        }
+        for (l, y) in ys[full..].iter().enumerate() {
+            self.rotate_into(y, &mut out[(full + l) * nt..(full + l + 1) * nt]);
+        }
     }
 
     /// Undoes the column permutation on a detected symbol vector:
@@ -485,6 +534,32 @@ mod tests {
         let y: Vec<Cx> = (0..4).map(|_| rng.cx_normal(1.0)).collect();
         let manual = qr.q.hermitian().mul_vec(&y);
         assert_eq!(qr.rotate(&y), manual);
+    }
+
+    #[test]
+    fn rotate_batch_into_matches_per_vector_bitwise() {
+        // Batch sizes exercising full lanes plus every tail remainder.
+        for &n_obs in &[1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let h = random_h(6, 5, 400 + n_obs as u64);
+            let qr = sorted_qr_sqrd(&h);
+            let mut rng = StdRng::seed_from_u64(n_obs as u64);
+            let ys: Vec<Vec<Cx>> = (0..n_obs)
+                .map(|_| (0..6).map(|_| rng.cx_normal(1.0)).collect())
+                .collect();
+            let refs: Vec<&[Cx]> = ys.iter().map(|y| y.as_slice()).collect();
+            let mut batch = vec![Cx::ZERO; n_obs * 5];
+            qr.rotate_batch_into(&refs, &mut batch);
+            let mut single = vec![Cx::ZERO; 5];
+            for (j, y) in ys.iter().enumerate() {
+                qr.rotate_into(y, &mut single);
+                for (w, g) in single.iter().zip(&batch[j * 5..(j + 1) * 5]) {
+                    assert_eq!(
+                        (w.re.to_bits(), w.im.to_bits()),
+                        (g.re.to_bits(), g.im.to_bits())
+                    );
+                }
+            }
+        }
     }
 
     #[test]
