@@ -124,6 +124,7 @@ fn identity_gate(user_counts: &[usize]) {
                 })
                 .collect();
             for tick in 0..2u64 {
+                #[allow(clippy::needless_range_loop)]
                 for u in 0..n_users {
                     let mut rng = StdRng::seed_from_u64(SEED + 31 * u as u64 + tick);
                     cell.advance_user(u, &mut rng);

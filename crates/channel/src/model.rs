@@ -94,6 +94,7 @@ impl ChannelEnsemble {
 /// matrix `R[i][j] = ρ^|i−j|`.
 fn correlation_sqrt(n: usize, rho: f64) -> CMat {
     let r = CMat::from_fn(n, n, |i, j| Cx::real(rho.powi((i as i32 - j as i32).abs())));
+    // flexcore-lint: allow(FL004, reason = "exponential correlation matrices are positive definite for rho in [0,1), which the ChannelModel constructor enforces")
     cholesky(&r).expect("exponential correlation matrix is PD for rho in [0,1)")
 }
 
@@ -188,8 +189,8 @@ mod tests {
         let mut sums = vec![0.0f64; 12];
         for _ in 0..n {
             let h = ens.draw(&mut rng);
-            for c in 0..12 {
-                sums[c] += norm_sqr(&h.col(c)) / 12.0;
+            for (c, sum) in sums.iter_mut().enumerate() {
+                *sum += norm_sqr(&h.col(c)) / 12.0;
             }
         }
         for s in &sums {

@@ -101,7 +101,7 @@ pub fn write_traces<W: Write>(w: &mut W, set: &TraceSet) -> io::Result<()> {
                 let z = ch[(r, c)];
                 buf.clear();
                 // 17 significant digits round-trips f64 exactly.
-                writeln!(buf, "{:.17e} {:.17e}", z.re, z.im).expect("string write");
+                let _ = writeln!(buf, "{:.17e} {:.17e}", z.re, z.im); // write to String is infallible
                 w.write_all(buf.as_bytes())?;
             }
         }

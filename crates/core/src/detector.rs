@@ -298,6 +298,15 @@ impl FlexCoreDetector {
         &self.config
     }
 
+    /// The prepared channel state. Every detection entry point funnels its
+    /// prepare-before-detect contract check through here so the panic
+    /// surface is a single audited site.
+    #[track_caller]
+    fn prepared(&self) -> &State {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; sole audited panic site, documented on every public entry point")
+        self.state.as_ref().expect("FlexCore: prepare() not called")
+    }
+
     /// Number of *active* paths selected for the current channel (equals
     /// `n_pe` unless the stopping criterion fired earlier) — the quantity
     /// plotted as "active PEs" in Fig. 10.
@@ -320,11 +329,7 @@ impl FlexCoreDetector {
     /// # Panics
     /// Panics if `prepare` was never called.
     pub fn triangular(&self) -> &Triangular {
-        &self
-            .state
-            .as_ref()
-            .expect("FlexCore: prepare() not called")
-            .tri
+        &self.prepared().tri
     }
 
     /// The selected position vectors (most promising first), borrowed from
@@ -371,7 +376,9 @@ impl FlexCoreDetector {
         p: &PositionVector,
         scratch: &mut PathScratch,
     ) -> Option<f64> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
+        let state = self.prepared();
         let tri = &state.tri;
         let nt = tri.nt();
         scratch.symbols.reset(nt);
@@ -426,7 +433,9 @@ impl FlexCoreDetector {
     /// every completed path's result is bit-identical to
     /// [`FlexCoreDetector::run_path_into`].
     pub(crate) fn walk_paths(&self, ybar: &[Cx], out: &mut WalkScratch) {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
+        let state = self.prepared();
         let n = state.paths.len();
         out.metrics.clear();
         out.metrics.resize(n, f64::NAN);
@@ -455,6 +464,8 @@ impl FlexCoreDetector {
         parent_metric: f64,
         out: &mut WalkScratch,
     ) {
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
         if first == NIL {
             return;
         }
@@ -492,6 +503,7 @@ impl FlexCoreDetector {
     /// so every completed path's metric and symbols are bit-identical to
     /// [`FlexCoreDetector::walk_paths`] on that lane's observation.
     pub(crate) fn walk_paths_block(&self, ybars: &[Cx], out: &mut WalkBlockScratch) {
+        // flexcore-lint: scalar-twin = walk_paths
         self.walk_paths_block_masked(ybars, [true; LANES], out);
     }
 
@@ -509,7 +521,10 @@ impl FlexCoreDetector {
         active: [bool; LANES],
         out: &mut WalkBlockScratch,
     ) {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        // flexcore-lint: scalar-twin = walk_paths
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
+        let state = self.prepared();
         let nt = state.tri.nt();
         assert_eq!(ybars.len(), LANES * nt, "walk_paths_block: plane length");
         let n = state.paths.len();
@@ -585,6 +600,9 @@ impl FlexCoreDetector {
         fast: Option<&LocatedOrderingTable>,
         out: &mut WalkBlockScratch,
     ) {
+        // flexcore-lint: scalar-twin = walk_level
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
         if first == NIL {
             return;
         }
@@ -689,7 +707,7 @@ impl FlexCoreDetector {
     /// `(SymVec, metric)` — no per-path allocation. Results are identical
     /// to [`Detector::detect`].
     pub fn detect_on_pool<P: PePool>(&self, y: &[Cx], pool: &P) -> Vec<usize> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         let ybar = state.tri.rotate(y);
         let ybar = &ybar;
         let tasks: Vec<_> = state
@@ -712,7 +730,9 @@ impl FlexCoreDetector {
                 .iter()
                 .map(|r| r.as_ref().map_or(f64::NAN, |&(_, m)| m)),
         )
+        // flexcore-lint: allow(FL004, reason = "rank-1 slicing fallback guarantees the SIC path completes, so a minimum exists and its slot is Some")
         .expect("the SIC path always completes");
+        // flexcore-lint: allow(FL004, reason = "first_min_metric only returns indices whose metric is finite, which requires the slot to be Some")
         let (symbols, _) = results[i].as_ref().expect("selected path is active");
         state.tri.unpermute_sym(symbols.as_slice())
     }
@@ -728,7 +748,7 @@ impl FlexCoreDetector {
     /// [`FlexCoreDetector::detect_batch_grid_on_pool`] and reduces each
     /// vector to its minimum-metric decision.
     pub fn detect_batch_on_pool<P: PePool>(&self, ys: &[Vec<Cx>], pool: &P) -> Vec<Vec<usize>> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         let grid = self.detect_batch_grid_on_pool(ys, pool);
         (0..ys.len())
             .map(|v| {
@@ -737,6 +757,7 @@ impl FlexCoreDetector {
                 // slicing fallback, so at least one path survives.
                 let (symbols, _) = grid
                     .best_for_vector(v)
+                    // flexcore-lint: allow(FL004, reason = "rank-1 slicing fallback guarantees the SIC path completes for every vector of the grid")
                     .expect("the SIC path always completes");
                 state.tri.unpermute_sym(symbols)
             })
@@ -750,7 +771,7 @@ impl FlexCoreDetector {
     /// position vector, reuses a single [`PathScratch`] across the whole
     /// batch, and borrows the shared plane of rotated observations.
     pub fn detect_batch_grid_on_pool<P: PePool>(&self, ys: &[Vec<Cx>], pool: &P) -> PathGrid {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         let tri = &state.tri;
         let nt = tri.nt();
         let n_vec = ys.len();
@@ -787,9 +808,10 @@ impl FlexCoreDetector {
     /// shared allocation-free core of `detect` and `detect_batch_refs`.
     /// Only the returned decision vector is allocated.
     fn detect_prepared(&self, ybar: &[Cx], walk: &mut WalkScratch) -> Vec<usize> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         self.walk_paths(ybar, walk);
         let (i, _) =
+            // flexcore-lint: allow(FL004, reason = "rank-1 slicing fallback guarantees the SIC path completes, so the walk always yields a finite metric")
             first_min_metric(walk.metrics.iter().copied()).expect("the SIC path always completes");
         state.tri.unpermute_sym(walk.syms[i].as_slice())
     }
@@ -838,7 +860,7 @@ impl Detector for FlexCoreDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         let ybar = state.tri.rotate(y);
         let mut walk = WalkScratch::default();
         self.detect_prepared(&ybar, &mut walk)
@@ -855,7 +877,7 @@ impl Detector for FlexCoreDetector {
     /// loop. Results stay bit-identical to per-vector [`Detector::detect`]
     /// either way.
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
-        let state = self.state.as_ref().expect("FlexCore: prepare() not called");
+        let state = self.prepared();
         let nt = state.tri.nt();
         let n_paths = state.paths.len();
         let mut results = Vec::with_capacity(ys.len());
@@ -865,6 +887,7 @@ impl Detector for FlexCoreDetector {
             let mut block = WalkBlockScratch::default();
             let emit = |block: &WalkBlockScratch, l: usize, results: &mut Vec<Vec<usize>>| {
                 let (i, _) = first_min_metric((0..n_paths).map(|p| block.metrics[p * LANES + l]))
+                    // flexcore-lint: allow(FL004, reason = "rank-1 slicing fallback guarantees the SIC path completes on every active lane")
                     .expect("the SIC path always completes");
                 let slot = (i * LANES + l) * nt;
                 results.push(state.tri.unpermute_sym(&block.syms[slot..slot + nt]));
@@ -1175,7 +1198,7 @@ mod tests {
             let mut best: Option<(Vec<usize>, f64)> = None;
             for p in fc.position_vectors() {
                 if let Some(m) = fc.run_path_into(&ybar, p, &mut scratch) {
-                    if best.as_ref().map_or(true, |(_, bm)| m < *bm) {
+                    if best.as_ref().is_none_or(|(_, bm)| m < *bm) {
                         best = Some((scratch.symbols.to_indices(), m));
                     }
                 }

@@ -74,11 +74,18 @@ impl AdaptiveKBest {
     /// # Panics
     /// Panics if `prepare` was never called.
     pub fn k_per_level(&self) -> &[usize] {
-        &self
-            .state
+        &self.prepared().k_per_level
+    }
+
+    /// The prepared state. Every detection entry point funnels its
+    /// prepare-before-detect contract check through here so the panic
+    /// surface is a single audited site.
+    #[track_caller]
+    fn prepared(&self) -> &State {
+        self.state
             .as_ref()
+            // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; sole audited panic site, documented on every public entry point")
             .expect("AdaptiveKBest: prepare() not called")
-            .k_per_level
     }
 
     /// Total survivor work `Σ K_l` — the complexity the model actually
@@ -120,8 +127,8 @@ impl Detector for AdaptiveKBest {
         let nt = qr.r.cols();
         let mut k_per_level = vec![1usize; nt];
         for (p, _) in &out.paths {
-            for row in 0..nt {
-                k_per_level[row] = k_per_level[row].max(p.rank(row) as usize);
+            for (row, k) in k_per_level.iter_mut().enumerate() {
+                *k = (*k).max(p.rank(row) as usize);
             }
         }
         self.state = Some(State {
@@ -131,10 +138,7 @@ impl Detector for AdaptiveKBest {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let state = self
-            .state
-            .as_ref()
-            .expect("AdaptiveKBest: prepare() not called");
+        let state = self.prepared();
         let mut scratch = AkbScratch::default();
         scratch.ybar.resize(state.tri.nt(), Cx::ZERO);
         state.tri.rotate_into(y, &mut scratch.ybar);
@@ -146,10 +150,7 @@ impl Detector for AdaptiveKBest {
     /// batch (bit-identical to per-vector [`Detector::detect`]). This is
     /// the path the frame engine schedules.
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
-        let state = self
-            .state
-            .as_ref()
-            .expect("AdaptiveKBest: prepare() not called");
+        let state = self.prepared();
         let mut scratch = AkbScratch::default();
         scratch.ybar.resize(state.tri.nt(), Cx::ZERO);
         ys.iter()

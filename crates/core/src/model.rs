@@ -162,7 +162,7 @@ mod tests {
         let hi = symbol_error_probability(1e-9, 10.0, Modulation::Qam64);
         let lo = symbol_error_probability(100.0, 1e-9, Modulation::Qam64);
         assert_eq!(hi, PE_CEIL);
-        assert!(lo >= PE_FLOOR && lo < 1e-50);
+        assert!((PE_FLOOR..1e-50).contains(&lo));
     }
 
     #[test]

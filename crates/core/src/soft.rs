@@ -115,6 +115,7 @@ impl FlexCoreDetector {
         }
         assert!(!cand_metrics.is_empty(), "the SIC path always completes");
         // Hard decision = first minimum metric (Iterator::min_by order).
+        // flexcore-lint: allow(FL004, reason = "non-emptiness asserted on the previous line; the SIC path always completes")
         let (best, _) = first_min_metric(cand_metrics.iter().copied()).expect("non-empty");
         let hard: Vec<usize> = cand_syms[best * nt..(best + 1) * nt]
             .iter()

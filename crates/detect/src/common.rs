@@ -101,7 +101,7 @@ pub trait Detector {
 /// (a deactivated path) never replaces.
 #[inline]
 pub fn replaces_best(candidate: f64, best: Option<f64>) -> bool {
-    !candidate.is_nan() && best.map_or(true, |b| candidate < b)
+    !candidate.is_nan() && best.is_none_or(|b| candidate < b)
 }
 
 /// First strict minimum over a metric sequence, skipping `NaN`
@@ -142,6 +142,7 @@ pub struct PathScratch {
 }
 
 impl PathScratch {
+    // flexcore-lint: hot-path
     /// A fresh workspace. No heap allocation happens until the rotate
     /// buffer is first primed (or, past 16 streams, until the symbol
     /// store first spills — after which both buffers are reused).
@@ -176,6 +177,8 @@ pub struct Triangular {
 }
 
 impl Triangular {
+    // flexcore-lint: hot-path
+    // flexcore-lint: bit-identity
     /// Prepares the system from QR factors and a constellation.
     pub fn new(qr: Qr, constellation: Constellation) -> Self {
         Triangular { qr, constellation }
@@ -334,6 +337,7 @@ impl Triangular {
         row: usize,
         sym0: usize,
     ) -> [f64; LANES] {
+        // flexcore-lint: scalar-twin = ped_increment_sym
         let r = &self.qr.r;
         let mut acc = CxLane::splat(ybar[row]);
         let pts = CxLane::load(&self.constellation.points()[sym0..sym0 + LANES]);
@@ -401,6 +405,7 @@ impl Triangular {
     /// output itself, which the public API owes the caller anyway.
     pub fn unpermute_sym(&self, symbols: &[u16]) -> Vec<usize> {
         assert_eq!(symbols.len(), self.qr.perm.len(), "unpermute_sym: length");
+        // flexcore-lint: allow(FL001, reason = "the returned decision vector is the one allocation the public detector API owes the caller; alloc_regression budgets it")
         let mut out = vec![0usize; symbols.len()];
         for (j, &p) in self.qr.perm.iter().enumerate() {
             out[p] = symbols[j] as usize;
@@ -540,8 +545,8 @@ mod tests {
         let ybar_lane = CxLane::splat(ybar[2]);
         // effective_point_lanes vs scalar per lane.
         let eff = tri.effective_point_lanes(ybar_lane, &plane, 2);
-        for l in 0..LANES {
-            let want = tri.effective_point(&ybar, &lanes_syms[l], 2);
+        for (l, lane_syms) in lanes_syms.iter().enumerate() {
+            let want = tri.effective_point(&ybar, lane_syms, 2);
             let got = eff.get(l);
             assert_eq!(
                 (want.re.to_bits(), want.im.to_bits()),
@@ -559,9 +564,9 @@ mod tests {
         let sym = SymVec::from_indices(&s);
         for sym0 in (0..tri.constellation.order() - LANES + 1).step_by(LANES) {
             let block = tri.ped_increment_block(&ybar, sym.as_slice(), 1, sym0);
-            for l in 0..LANES {
+            for (l, got) in block.iter().enumerate() {
                 let want = tri.ped_increment(&ybar, &s, 1, sym0 + l);
-                assert_eq!(want.to_bits(), block[l].to_bits());
+                assert_eq!(want.to_bits(), got.to_bits());
             }
         }
     }

@@ -54,6 +54,15 @@ impl FcsdDetector {
     /// # Panics
     /// Panics if `prepare` was never called.
     pub fn triangular(&self) -> &Triangular {
+        self.prepared()
+    }
+
+    /// The prepared triangular system. Every detection entry point funnels
+    /// its prepare-before-detect contract check through here so the panic
+    /// surface is a single audited site.
+    #[track_caller]
+    fn prepared(&self) -> &Triangular {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; sole audited panic site, documented on every public entry point")
         self.tri.as_ref().expect("FCSD: prepare() not called")
     }
 
@@ -76,7 +85,9 @@ impl FcsdDetector {
     /// # Panics
     /// Panics if `prepare` was never called.
     pub fn run_path_into(&self, ybar: &[Cx], path_idx: usize, scratch: &mut PathScratch) -> f64 {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
+        let tri = self.prepared();
         let nt = tri.nt();
         let q = self.constellation.order();
         scratch.symbols.reset(nt);
@@ -103,7 +114,7 @@ impl FcsdDetector {
     /// shared by reference across tasks; each task returns a
     /// stack-resident `(SymVec, metric)`.
     pub fn detect_on_pool<P: PePool>(&self, y: &[Cx], pool: &P) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let tri = self.prepared();
         let ybar = tri.rotate(y);
         let ybar = &ybar;
         let tasks: Vec<_> = (0..self.paths())
@@ -116,6 +127,7 @@ impl FcsdDetector {
             })
             .collect();
         let results = pool.run(tasks);
+        // flexcore-lint: allow(FL004, reason = "paths() = |Q|^L >= 1 and every FCSD path completes, so the minimum exists")
         let (i, _) = first_min_metric(results.iter().map(|&(_, m)| m)).expect("at least one path");
         tri.unpermute_sym(results[i].0.as_slice())
     }
@@ -129,7 +141,10 @@ impl FcsdDetector {
     /// `0.0`), so each lane's metric and symbols are bit-identical to the
     /// scalar path evaluation.
     fn run_path_block(&self, ybar: &[Cx], path0: usize, scratch: &mut PathScratch) -> [f64; LANES] {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        // flexcore-lint: scalar-twin = run_path_into
+        // flexcore-lint: hot-path
+        // flexcore-lint: bit-identity
+        let tri = self.prepared();
         let nt = tri.nt();
         let q = self.constellation.order();
         scratch.plane.clear();
@@ -173,7 +188,7 @@ impl FcsdDetector {
     /// reduction still visits metrics in ascending path order, so the
     /// decision is bit-identical to the scalar loop.
     fn detect_prepared(&self, ybar: &[Cx], scratch: &mut PathScratch) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let tri = self.prepared();
         let nt = tri.nt();
         let n_paths = self.paths();
         let mut best_metric: Option<f64> = None;
@@ -204,6 +219,7 @@ impl FcsdDetector {
             }
             idx += 1;
         }
+        // flexcore-lint: allow(FL004, reason = "paths() = |Q|^L >= 1, so the loop body ran and set best_metric")
         best_metric.expect("at least one path");
         tri.unpermute_sym(best_syms.as_slice())
     }
@@ -228,7 +244,7 @@ impl Detector for FcsdDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let tri = self.prepared();
         let ybar = tri.rotate(y);
         let mut scratch = PathScratch::new();
         self.detect_prepared(&ybar, &mut scratch)
@@ -238,7 +254,7 @@ impl Detector for FcsdDetector {
     /// [`PathScratch`] serve the whole batch (bit-identical to per-vector
     /// [`Detector::detect`]).
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
-        let tri = self.tri.as_ref().expect("FCSD: prepare() not called");
+        let tri = self.prepared();
         let mut ybar = vec![Cx::ZERO; tri.nt()];
         let mut scratch = PathScratch::new();
         ys.iter()

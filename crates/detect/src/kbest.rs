@@ -116,10 +116,14 @@ where
         let n_children = child_peds.len();
         order.clear();
         order.extend(0..n_children as u32);
+        // PEDs are sums of squared magnitudes and never NaN; Equal on an
+        // incomparable pair keeps the sort total without panicking (and
+        // total_cmp is off the table: it splits -0.0/+0.0, which partial_cmp
+        // treats as Equal, and the survivor order is bit-identity-relevant).
         order.sort_by(|&a, &b| {
             child_peds[a as usize]
                 .partial_cmp(&child_peds[b as usize])
-                .expect("NaN PED")
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let kept = keep(row, n_surv).max(1).min(n_children);
         surv_peds.clear();
@@ -157,11 +161,20 @@ impl KBestDetector {
         self.k
     }
 
+    /// The prepared triangular system. Every detection entry point funnels
+    /// its prepare-before-detect contract check through here so the panic
+    /// surface is a single audited site.
+    #[track_caller]
+    fn prepared(&self) -> &Triangular {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; sole audited panic site, documented on every public entry point")
+        self.tri.as_ref().expect("KBest: prepare() not called")
+    }
+
     /// One K-best descent over a rotated observation using the flip-flop
     /// workspace: [`kbest_descend`] with the uniform width `K` at every
     /// level.
     fn descend(&self, ybar: &[Cx], scratch: &mut KBestScratch) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let tri = self.prepared();
         kbest_descend(tri, ybar, |_, _| self.k, scratch)
     }
 }
@@ -179,7 +192,7 @@ impl Detector for KBestDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let tri = self.prepared();
         let ybar = tri.rotate(y);
         self.descend(&ybar, &mut KBestScratch::default())
     }
@@ -188,7 +201,7 @@ impl Detector for KBestDetector {
     /// survivor/child buffers are allocated once and reused across the
     /// whole batch (bit-identical to per-vector [`Detector::detect`]).
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
-        let tri = self.tri.as_ref().expect("KBest: prepare() not called");
+        let tri = self.prepared();
         let mut ybar = vec![Cx::ZERO; tri.nt()];
         let mut scratch = KBestScratch::default();
         ys.iter()

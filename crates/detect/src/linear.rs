@@ -38,6 +38,7 @@ impl Detector for ZfDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
         let w = self.filter.as_ref().expect("ZF: prepare() not called");
         w.mul_vec(y)
             .into_iter()
@@ -74,6 +75,7 @@ impl Detector for MmseDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
         let w = self.filter.as_ref().expect("MMSE: prepare() not called");
         w.mul_vec(y)
             .into_iter()

@@ -54,6 +54,7 @@ impl Detector for MlDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
         let h = self.h.as_ref().expect("ML: prepare() not called");
         let nt = h.cols();
         let q = self.constellation.order();

@@ -47,6 +47,7 @@ impl Detector for SicDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
         let tri = self.tri.as_ref().expect("SIC: prepare() not called");
         let nt = tri.nt();
         let ybar = tri.rotate(y);
@@ -88,6 +89,7 @@ impl ParallelSicDetector {
         let tri = self
             .tri
             .as_ref()
+            // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
             .expect("ParallelSIC: prepare() not called");
         let nt = tri.nt();
         let ybar = tri.rotate(y);
@@ -118,6 +120,7 @@ impl Detector for ParallelSicDetector {
         let tri = self
             .tri
             .as_ref()
+            // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
             .expect("ParallelSIC: prepare() not called");
         let q = self.constellation.order();
         let mut best = Vec::new();

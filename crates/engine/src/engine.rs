@@ -72,6 +72,7 @@ fn scatter_grid<T>(
         }
     }
     grid.into_iter()
+        // flexcore-lint: allow(FL004, reason = "the batches tile the frame exactly (every (subcarrier, vector) cell belongs to exactly one batch), so every slot was filled above")
         .map(|v| v.expect("frame cell never produced"))
         .collect()
 }
@@ -152,7 +153,13 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             prepared_subcarriers: prepared,
             effort_total,
             effort_histogram: histogram.into_iter().collect(),
-            fabric: self.fabric.lock().expect("fabric stats poisoned").clone(),
+            // A panic while holding the stats lock only poisons
+            // bookkeeping, never detector state — recover the inner value.
+            fabric: self
+                .fabric
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
         }
     }
 
@@ -183,6 +190,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             .slots
             .get(subcarrier)
             .and_then(Option::as_ref)
+            // flexcore-lint: allow(FL004, reason = "prepare-before-access API contract; documented panic on the public accessor")
             .expect("FrameEngine: subcarrier not prepared")
             .detector
     }
@@ -203,7 +211,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
         }
         let stale: Vec<usize> = (0..n_sc)
             .filter(|&sc| {
-                self.slots[sc].as_ref().map_or(true, |slot| {
+                self.slots[sc].as_ref().is_none_or(|slot| {
                     slot.channel_id != channel.id() || slot.generation != channel.generation(sc)
                 })
             })
@@ -405,7 +413,10 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             })
             .collect();
         let (per_batch, run) = pool.run_scheduled(tasks, &costs);
-        *self.fabric.lock().expect("fabric stats poisoned") = Some(FabricStats::from_run(
+        *self
+            .fabric
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(FabricStats::from_run(
             &run,
             pool.speeds(),
             cost.unit_seconds(work),

@@ -84,16 +84,13 @@ impl RxFrame {
 
     /// Total received vectors (`n_symbols × n_subcarriers`).
     pub fn n_vectors(&self) -> usize {
-        if self.nr == 0 {
-            0
-        } else {
-            self.data.len() / self.nr
-        }
+        self.data.len().checked_div(self.nr).unwrap_or(0)
     }
 
     /// The received vector at `(symbol, subcarrier)`, borrowed from the
     /// flat plane.
     pub fn get(&self, symbol: usize, subcarrier: usize) -> &[Cx] {
+        // flexcore-lint: hot-path
         assert!(subcarrier < self.n_subcarriers, "subcarrier out of range");
         let v = symbol * self.n_subcarriers + subcarrier;
         &self.data[v * self.nr..(v + 1) * self.nr]

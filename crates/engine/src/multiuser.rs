@@ -398,6 +398,7 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
                 n_subcarriers: frame.n_subcarriers(),
                 cells: grid
                     .into_iter()
+                    // flexcore-lint: allow(FL004, reason = "drained ticks tile the user grid exactly, so every cell was produced above")
                     .map(|v| v.expect("tick cell never produced"))
                     .collect(),
             });

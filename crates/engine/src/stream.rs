@@ -183,9 +183,9 @@ mod tests {
             refreshed_total += s.advance(&mut rng);
         }
         assert_eq!(refreshed_total, 8, "one full band sweep per period");
-        for sc in 0..8 {
+        for (sc, &b) in before.iter().enumerate() {
             assert!(
-                s.estimate().generation(sc) > before[sc],
+                s.estimate().generation(sc) > b,
                 "subcarrier {sc} never refreshed"
             );
         }
@@ -216,9 +216,9 @@ mod tests {
         for _ in 0..5 {
             s.advance(&mut rng);
         }
-        for sc in 0..6 {
-            assert_eq!(s.truth(sc), &h0[sc], "rho=1 truth must not move");
-            assert_eq!(s.estimate().h(sc), &h0[sc], "estimate stays exact");
+        for (sc, h) in h0.iter().enumerate() {
+            assert_eq!(s.truth(sc), h, "rho=1 truth must not move");
+            assert_eq!(s.estimate().h(sc), h, "estimate stays exact");
         }
     }
 
@@ -233,12 +233,12 @@ mod tests {
         let refreshed = s.advance(&mut rng);
         assert_eq!(refreshed, 1);
         let mut fresh = 0;
-        for sc in 0..8 {
-            assert_ne!(s.truth(sc), &initial[sc], "rho=0.3 truth must move");
+        for (sc, init) in initial.iter().enumerate() {
+            assert_ne!(s.truth(sc), init, "rho=0.3 truth must move");
             if s.estimate().h(sc) == s.truth(sc) {
                 fresh += 1;
             } else {
-                assert_eq!(s.estimate().h(sc), &initial[sc], "stale = last refresh");
+                assert_eq!(s.estimate().h(sc), init, "stale = last refresh");
             }
         }
         assert_eq!(fresh, 1);

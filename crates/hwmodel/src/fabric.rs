@@ -330,7 +330,7 @@ impl HeterogeneousFabric {
     pub fn speed_factors(&self) -> Vec<f64> {
         let mut speeds = Vec::with_capacity(self.n_pes());
         for class in &self.classes {
-            speeds.extend(std::iter::repeat(class.speed).take(class.count));
+            speeds.extend(std::iter::repeat_n(class.speed, class.count));
         }
         speeds
     }

@@ -1,0 +1,443 @@
+//! A hand-rolled Rust lexer — just enough tokenization for the lint pass.
+//!
+//! The build environment has no crates.io access, so there is no `syn` /
+//! `proc-macro2` to lean on. The lints only need a faithful *token*
+//! stream with line/column spans — items, regions and idioms are
+//! recognised at the token level by [`crate::scan`] — so the lexer
+//! handles exactly the lexical constructs that could otherwise corrupt
+//! the stream: nested block comments, string/char/byte literals
+//! (including raw strings with `#` fences), lifetimes vs. char literals,
+//! raw identifiers, and numeric literals with suffixes.
+
+/// One lexical token with its 1-indexed source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token classes. Only the distinctions the lints need are kept: every
+/// keyword is an `Ident`, all literals collapse to `Str`/`Num`, and
+/// multi-character operators arrive as consecutive `Punct` tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; raw identifiers arrive without the `r#`.
+    Ident(String),
+    /// Lifetime (`'a`), label (`'outer`), or `'_`.
+    Lifetime(String),
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Str,
+    /// Numeric literal, suffix included (content dropped).
+    Num,
+    /// Any other single character: punctuation, operators, brackets.
+    Punct(char),
+    /// Line or block comment, full text retained (markers live here).
+    Comment(String),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// tolerated: the open construct simply runs to end-of-file — the lint
+/// pass runs on code that already compiles, so this only matters for
+/// keeping the lexer total on arbitrary input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32, col: u32) {
+        self.out.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, line, col);
+                }
+                'r' | 'b' if self.raw_or_byte_literal(line, col) => {}
+                '\'' => self.quote(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment(text), line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment(text), line, col);
+    }
+
+    /// Consumes a `"..."` body (opening quote already consumed),
+    /// honouring backslash escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` and raw
+    /// identifiers (`r#fn`). Returns false when the leading `r`/`b` is
+    /// just the start of an ordinary identifier.
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let first = self.peek(0);
+        let mut ahead = 1;
+        if first == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // Count raw-string fences after the prefix.
+        let mut fences = 0usize;
+        while self.peek(ahead + fences) == Some('#') {
+            fences += 1;
+        }
+        match self.peek(ahead + fences) {
+            Some('"') => {
+                for _ in 0..ahead + fences + 1 {
+                    self.bump();
+                }
+                if fences == 0 && ahead == 1 && first == Some('b') {
+                    // b"...": ordinary escape rules.
+                    self.string_body();
+                } else {
+                    self.raw_string_body(fences);
+                }
+                self.push(TokKind::Str, line, col);
+                true
+            }
+            Some('\'') if first == Some('b') && ahead == 1 && fences == 0 => {
+                // Byte char literal b'x'.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokKind::Str, line, col);
+                true
+            }
+            Some(c) if fences > 0 && is_ident_start(c) && first == Some('r') && ahead == 1 => {
+                // Raw identifier r#name: strip the fence, lex the ident.
+                self.bump();
+                self.bump();
+                self.ident(line, col);
+                true
+            }
+            _ => {
+                self.ident(line, col);
+                true
+            }
+        }
+    }
+
+    fn raw_string_body(&mut self, fences: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < fences && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == fences {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `'` disambiguation: char literal vs lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match (self.peek(0), self.peek(1)) {
+            // '\n', '\'', '\u{..}' — escaped char literal.
+            (Some('\\'), _) => {
+                self.bump();
+                self.bump();
+                // Consume to the closing quote (covers \u{...}).
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, line, col);
+            }
+            // 'x' — a plain char literal (the next-next char closes it).
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Str, line, col);
+            }
+            // 'ident — a lifetime or loop label.
+            (Some(c), _) if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime(name), line, col);
+            }
+            _ => self.push(TokKind::Punct('\''), line, col),
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident(name), line, col);
+    }
+
+    /// Numeric literal: digits, `_`, type suffixes, hex/oct/bin bodies,
+    /// exponents, and a fractional part — but a `.` is only part of the
+    /// number when followed by a digit, so `0..n` and `1.max(2)` lex as
+    /// separate tokens.
+    fn number(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // `1e-5` / `0x1p-3`: sign directly after an exponent char.
+                let exp = c == 'e' || c == 'E';
+                self.bump();
+                if exp {
+                    if let Some(s) = self.peek(0) {
+                        if (s == '+' || s == '-')
+                            && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            self.bump();
+                        }
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = lex("fn main() { let x = 1; }");
+        assert_eq!(
+            idents("fn main() { let x = 1; }"),
+            ["fn", "main", "let", "x"]
+        );
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("// flexcore-lint: hot-path\nlet x = 0;");
+        match &toks[0].kind {
+            TokKind::Comment(text) => assert!(text.contains("flexcore-lint: hot-path")),
+            other => panic!("expected comment, got {other:?}"),
+        }
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still */ fn f() {}");
+        assert!(matches!(toks[0].kind, TokKind::Comment(_)));
+        assert_eq!(toks[1].ident(), Some("fn"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // A marker-looking string must NOT become a comment token, and
+        // braces inside strings must not produce Punct tokens.
+        let toks = lex(r#"let s = "{ // flexcore-lint: hot-path }";"#);
+        assert!(!toks.iter().any(|t| matches!(t.kind, TokKind::Comment(_))));
+        assert_eq!(
+            toks.iter().filter(|t| t.is_punct('{')).count(),
+            0,
+            "brace inside string leaked"
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let toks = lex(r##"let s = r#"has "quotes" and \ no escapes"# ; done"##);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        assert_eq!(toks.last().unwrap().ident(), Some("done"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(
+            idents(r#"let b = b"bytes"; let c = b'x'; end"#),
+            ["let", "b", "let", "c", "end"]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(
+            idents("let r#fn = 1; use_it(r#fn)"),
+            ["let", "fn", "use_it", "fn"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let toks = lex("for i in 0..16 { let y = 1.5e-3; let z = x.clone(); }");
+        // `..` survives as two Punct('.') and `.clone` is Punct + Ident.
+        assert!(toks.iter().any(|t| t.ident() == Some("clone")));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

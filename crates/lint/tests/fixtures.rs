@@ -1,0 +1,138 @@
+//! Fixture-corpus and self-check tests for `flexcore-lint`.
+//!
+//! Every file under `tests/fixtures/bad/` is a known violation whose
+//! filename prefix (`fl001_…`) names the exact code it must fail with;
+//! every file under `tests/fixtures/good/` must lint clean. The final
+//! test turns the tool on the live workspace: the whole repo must stay
+//! lint-clean, so a regression in any crate fails this crate's tests.
+
+use flexcore_lint::{lint_source, lint_workspace};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(fixture_dir(kind))
+        .expect("fixture dir")
+        .map(|e| e.expect("fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no {kind} fixtures found");
+    files
+}
+
+/// The `FLxxx` code a bad fixture's filename promises (`fl004_…` → FL004).
+fn expected_code(path: &Path) -> String {
+    let stem = path.file_stem().expect("stem").to_string_lossy();
+    let digits = &stem[2..5];
+    assert!(
+        stem.starts_with("fl") && digits.chars().all(|c| c.is_ascii_digit()),
+        "bad fixture name {stem}: want flNNN_<slug>.rs"
+    );
+    format!("FL{digits}")
+}
+
+#[test]
+fn every_bad_fixture_fails_with_its_documented_code() {
+    for path in fixture_files("bad") {
+        let want = expected_code(&path);
+        let src = fs::read_to_string(&path).expect("read fixture");
+        let findings = lint_source("crates/x/src/fixture.rs", &src);
+        assert!(
+            findings.iter().any(|f| f.code == want),
+            "{}: expected a {want} finding, got {:?}",
+            path.display(),
+            findings
+        );
+        // A bad fixture demonstrates exactly one discipline violation
+        // class — any finding with a different code means the snippet
+        // drifted from what its filename documents.
+        for f in &findings {
+            assert_eq!(
+                f.code,
+                want,
+                "{}: stray {} finding: {f}",
+                path.display(),
+                f.code
+            );
+        }
+    }
+}
+
+#[test]
+fn every_good_fixture_passes() {
+    for path in fixture_files("good") {
+        let src = fs::read_to_string(&path).expect("read fixture");
+        let findings = lint_source("crates/x/src/fixture.rs", &src);
+        assert!(
+            findings.is_empty(),
+            "{}: expected clean, got {:?}",
+            path.display(),
+            findings
+        );
+    }
+}
+
+/// The tool turned on itself and everything else: the live workspace must
+/// be lint-clean. This is the same gate CI runs via
+/// `cargo run -p flexcore-lint -- check`.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = lint_workspace(&root).expect("scan workspace");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every allow that suppresses something must carry a reason — the
+    // scanner enforces non-empty reasons at parse time, so just pin the
+    // invariant here against future loosening.
+    for a in &report.allows {
+        assert!(
+            !a.reason.trim().is_empty(),
+            "{}:{}: allow without reason",
+            a.path,
+            a.line
+        );
+    }
+}
+
+/// The bit-identity discipline must stay pinned to the lane kernels: the
+/// files holding `_block` kernels and the trie walk all carry regions.
+#[test]
+fn bit_identity_regions_cover_lane_kernel_files() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = lint_workspace(&root).expect("scan workspace");
+    for must in [
+        "crates/numeric/src/lanes.rs",
+        "crates/numeric/src/qr.rs",
+        "crates/core/src/detector.rs",
+        "crates/detect/src/common.rs",
+        "crates/detect/src/fcsd.rs",
+    ] {
+        assert!(
+            report.bit_identity_modules.iter().any(|m| m == must),
+            "{must} lost its bit-identity region; modules: {:?}",
+            report.bit_identity_modules
+        );
+    }
+}

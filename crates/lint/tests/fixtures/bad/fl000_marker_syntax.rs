@@ -1,0 +1,8 @@
+//! Known-bad: an allow marker with an empty reason string. The marker is
+//! rejected (FL000) — an escape without a written justification is
+//! treated as a broken marker, never silently honoured.
+
+pub fn decide(metric: Option<f64>) -> f64 {
+    // flexcore-lint: allow(FL004, reason = "")
+    metric.unwrap_or(f64::NAN)
+}

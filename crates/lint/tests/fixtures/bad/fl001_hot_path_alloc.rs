@@ -1,0 +1,9 @@
+//! Known-bad: allocating idioms inside a `hot-path` region.
+
+pub fn scratch_walk(metrics: &mut Vec<f64>, n: usize) -> Vec<f64> {
+    // flexcore-lint: hot-path
+    metrics.clear();
+    let extra = vec![0.0f64; n];
+    let doubled: Vec<f64> = extra.iter().map(|m| m * 2.0).collect();
+    doubled
+}

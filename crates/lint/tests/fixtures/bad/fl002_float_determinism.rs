@@ -1,0 +1,12 @@
+//! Known-bad: reassociating / libm float operations inside a
+//! `bit-identity` region.
+
+pub fn ped_increment(acc: f64, coef: f64, term: f64) -> f64 {
+    // flexcore-lint: bit-identity
+    coef.mul_add(term, acc)
+}
+
+pub fn phase(re: f64, im: f64) -> f64 {
+    // flexcore-lint: bit-identity
+    im.atan2(re)
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a lane kernel declaring a scalar twin that does not exist.
+
+pub fn ped_increment_block(ybars: &[f64], out: &mut [f64]) {
+    // flexcore-lint: scalar-twin = ped_increment_scalar
+    for (o, y) in out.iter_mut().zip(ybars) {
+        *o = y * y;
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a lane kernel (`*_block` name) with no scalar-twin
+//! declaration.
+
+pub fn walk_paths_block(ybars: &[f64], out: &mut [f64]) {
+    for (o, y) in out.iter_mut().zip(ybars) {
+        *o = y * y;
+    }
+}

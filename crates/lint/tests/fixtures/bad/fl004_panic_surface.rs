@@ -1,0 +1,9 @@
+//! Known-bad: panicking calls in non-test library code.
+
+pub fn decide(metric: Option<f64>) -> f64 {
+    metric.unwrap()
+}
+
+pub fn decide_loudly(metric: Option<f64>) -> f64 {
+    metric.expect("metric must be set")
+}

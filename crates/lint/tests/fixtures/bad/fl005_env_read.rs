@@ -1,0 +1,5 @@
+//! Known-bad: an environment read outside the sanctioned dispatch module.
+
+pub fn lanes_enabled() -> bool {
+    std::env::var("FLEXCORE_FORCE_SCALAR").is_err()
+}

@@ -1,0 +1,27 @@
+//! Known-good: every discipline observed — hot-path region without
+//! allocation, bit-identity kernel with its scalar twin, a reasoned
+//! allow, and env reads absent.
+
+/// Scalar twin of [`ped_increment_block`].
+pub fn ped_increment(acc: f64, coef: f64, term: f64) -> f64 {
+    // flexcore-lint: hot-path
+    // flexcore-lint: bit-identity
+    acc - coef * term
+}
+
+/// Four-wide lane kernel replaying the scalar op chain.
+pub fn ped_increment_block(accs: &mut [f64; 4], coefs: &[f64; 4], terms: &[f64; 4]) {
+    // flexcore-lint: scalar-twin = ped_increment
+    // flexcore-lint: hot-path
+    // flexcore-lint: bit-identity
+    for l in 0..4 {
+        accs[l] = accs[l] - coefs[l] * terms[l];
+    }
+}
+
+/// A reasoned escape: the contract is documented, so the panic survives
+/// review as an explicit allow.
+pub fn prepared(state: Option<&f64>) -> f64 {
+    // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic")
+    *state.expect("prepare() not called")
+}

@@ -1,0 +1,20 @@
+//! Known-good: panicking calls and allocation are fine inside test code,
+//! and numeric literals / strings must not confuse the region scanner.
+
+pub fn classify(raw: &str) -> usize {
+    // Strings containing marker-like text are inert:
+    let tricky = "// flexcore-lint: hot-path { vec![] }";
+    tricky.len().min(raw.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Vec<usize> = (0..4).collect();
+        assert_eq!(*v.first().unwrap(), 0);
+        assert_eq!(classify("x"), 1);
+    }
+}

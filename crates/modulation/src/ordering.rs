@@ -40,7 +40,12 @@ pub fn exact_order(c: &Constellation, y: Cx) -> Vec<usize> {
     idx.sort_by(|&a, &b| {
         let da = c.point(a).dist_sqr(y);
         let db = c.point(b).dist_sqr(y);
-        da.partial_cmp(&db).expect("NaN distance").then(a.cmp(&b))
+        // Distances are squared magnitudes and never NaN; Equal on an
+        // incomparable pair defers to the index tie-break, keeping the
+        // sort total and deterministic without a panic.
+        da.partial_cmp(&db)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx
 }
@@ -175,7 +180,9 @@ impl OrderingLut {
                 order.sort_by(|&a, &b| {
                     let da = dist2(dx, dy, candidates[a]);
                     let db = dist2(dx, dy, candidates[b]);
-                    da.partial_cmp(&db).expect("NaN").then(a.cmp(&b))
+                    da.partial_cmp(&db)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
                 });
                 for (rank, &ci) in order.iter().enumerate() {
                     rank_sum[ci] += rank as f64;
@@ -185,7 +192,7 @@ impl OrderingLut {
             by_rank.sort_by(|&a, &b| {
                 rank_sum[a]
                     .partial_cmp(&rank_sum[b])
-                    .expect("NaN")
+                    .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             });
             // Store the full candidate ordering (not just `depth` entries):
@@ -430,7 +437,11 @@ impl OrderingLut {
         strict: bool,
     ) -> std::sync::Arc<LocatedOrderingTable> {
         let key = (self.modulation, self.depth, strict);
-        let mut cache = TABLE_CACHE.lock().expect("table cache poisoned");
+        // A panic while holding the cache lock cannot leave a table
+        // half-built (entries are pushed fully formed) — recover.
+        let mut cache = TABLE_CACHE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
             return t.clone();
         }

@@ -53,7 +53,7 @@ pub fn lanes_enabled() -> bool {
         2 => false,
         _ => {
             let scalar = std::env::var_os("FLEXCORE_FORCE_SCALAR")
-                .map_or(false, |v| !v.is_empty() && v != "0");
+                .is_some_and(|v| !v.is_empty() && v != "0");
             DISPATCH.store(if scalar { 2 } else { 1 }, Ordering::Relaxed);
             !scalar
         }
@@ -92,6 +92,8 @@ pub struct CxLane {
 }
 
 impl CxLane {
+    // flexcore-lint: hot-path
+    // flexcore-lint: bit-identity
     /// All-zero lanes.
     #[inline]
     pub const fn zero() -> Self {
@@ -117,9 +119,9 @@ impl CxLane {
     #[inline]
     pub fn load(src: &[Cx]) -> Self {
         let mut out = CxLane::zero();
-        for l in 0..LANES {
-            out.re[l] = src[l].re;
-            out.im[l] = src[l].im;
+        for (l, z) in src.iter().take(LANES).enumerate() {
+            out.re[l] = z.re;
+            out.im[l] = z.im;
         }
         out
     }
@@ -148,8 +150,8 @@ impl CxLane {
     /// Panics if `dst.len() < LANES`.
     #[inline]
     pub fn store(self, dst: &mut [Cx]) {
-        for l in 0..LANES {
-            dst[l] = Cx::new(self.re[l], self.im[l]);
+        for (l, slot) in dst.iter_mut().take(LANES).enumerate() {
+            *slot = Cx::new(self.re[l], self.im[l]);
         }
     }
 
@@ -215,8 +217,8 @@ impl CxLane {
     #[inline]
     pub fn norm_sqr(self) -> [f64; LANES] {
         let mut out = [0.0; LANES];
-        for l in 0..LANES {
-            out[l] = self.re[l] * self.re[l] + self.im[l] * self.im[l];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.re[l] * self.re[l] + self.im[l] * self.im[l];
         }
         out
     }
@@ -226,10 +228,10 @@ impl CxLane {
     #[inline]
     pub fn dist_sqr(self, other: CxLane) -> [f64; LANES] {
         let mut out = [0.0; LANES];
-        for l in 0..LANES {
+        for (l, o) in out.iter_mut().enumerate() {
             let d_re = self.re[l] - other.re[l];
             let d_im = self.im[l] - other.im[l];
-            out[l] = d_re * d_re + d_im * d_im;
+            *o = d_re * d_re + d_im * d_im;
         }
         out
     }
@@ -301,8 +303,8 @@ mod tests {
         let (la, _, a, _) = lanes();
         let d = Cx::new(2.5, -0.5);
         let out = la.div_scalar(d);
-        for l in 0..LANES {
-            assert_bits(out.get(l), a[l] / d);
+        for (l, &az) in a.iter().enumerate() {
+            assert_bits(out.get(l), az / d);
         }
     }
 

@@ -85,6 +85,7 @@ pub fn cholesky(a: &CMat) -> Option<CMat> {
 /// only pass Gram matrices of full-rank channels, possibly regularised).
 pub fn hermitian_inverse(a: &CMat) -> CMat {
     let n = a.rows();
+    // flexcore-lint: allow(FL004, reason = "documented panic contract: callers only pass Gram matrices of full-rank (possibly regularised) channels; fallible variant is cholesky()")
     let l = cholesky(a).expect("hermitian_inverse: matrix not positive definite");
     // Solve L·L*·X = I column by column.
     let mut inv = CMat::zeros(n, n);

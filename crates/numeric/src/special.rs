@@ -102,6 +102,10 @@ pub fn j0(x: f64) -> f64 {
                 + t * (-0.005_527_40
                     + t * (-0.000_095_12
                         + t * (0.001_372_37 + t * (-0.000_728_05 + t * 0.000_144_76)))));
+        // The A&S 9.4.3 tabulated coefficient happens to approximate
+        // FRAC_PI_4; substituting the exact constant would change J0's
+        // output bits, so the published value stays verbatim.
+        #[allow(clippy::approx_constant)]
         let theta0 = ax - 0.785_398_16
             + t * (-0.041_663_97
                 + t * (-0.000_039_54

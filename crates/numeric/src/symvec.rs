@@ -84,6 +84,7 @@ impl Clone for SymVec {
 }
 
 impl SymVec {
+    // flexcore-lint: hot-path
     /// An empty vector (length 0, inline).
     pub const fn new() -> Self {
         SymVec {
@@ -106,6 +107,7 @@ impl SymVec {
             }
         } else {
             SymVec {
+                // flexcore-lint: allow(FL001, reason = "constructor: zeroed() runs at workspace-creation time, before the steady-state loop the scratch rule protects")
                 repr: Repr::Spilled(vec![0; len]),
             }
         }
@@ -121,6 +123,7 @@ impl SymVec {
         for (i, &s) in syms.iter().enumerate() {
             v.set(
                 i,
+                // flexcore-lint: allow(FL004, reason = "documented guard: no realistic QAM order exceeds u16; silent truncation of a garbage index would be worse than the panic")
                 u16::try_from(s).expect("SymVec: symbol index exceeds u16"),
             );
         }
@@ -147,6 +150,7 @@ impl SymVec {
                 *buf = [0; INLINE_STREAMS];
                 *l = len as u8;
             }
+            // flexcore-lint: allow(FL001, reason = "spill-boundary crossing: allocates only the first time an inline vector is asked for a width beyond INLINE_STREAMS; the warmed buffer is reused thereafter (alloc_regression pins this)")
             repr => *repr = Repr::Spilled(vec![0; len]),
         }
     }
@@ -166,6 +170,7 @@ impl SymVec {
                 buf[..syms.len()].copy_from_slice(syms);
                 *len = syms.len() as u8;
             }
+            // flexcore-lint: allow(FL001, reason = "spill-boundary crossing: allocates only the first time an inline vector receives a width beyond INLINE_STREAMS; the warmed buffer is reused thereafter (alloc_regression pins this)")
             repr => *repr = Repr::Spilled(syms.to_vec()),
         }
     }
@@ -229,6 +234,7 @@ impl SymVec {
 
     /// Widens to the `Vec<usize>` shape of the allocating detector APIs.
     pub fn to_indices(&self) -> Vec<usize> {
+        // flexcore-lint: allow(FL001, reason = "compat widening to the allocating Vec<usize> detector API; allocates by design and is not called from the scratch path")
         self.as_slice().iter().map(|&s| s as usize).collect()
     }
 }

@@ -80,12 +80,13 @@ pub fn lpt_makespan_from_order(costs: &[u64], order: &[usize], n_pes: usize) -> 
     assert!(n_pes > 0, "lpt_makespan: zero PEs");
     let mut loads = vec![0u64; n_pes];
     for &i in order {
+        // `n_pes > 0` is asserted above, so the minimum always exists;
+        // the 0 fallback keeps this arm panic-free.
         let min = loads
             .iter()
             .enumerate()
             .min_by_key(|&(_, &l)| l)
-            .map(|(p, _)| p)
-            .expect("n_pes > 0");
+            .map_or(0, |(p, _)| p);
         loads[min] += costs[i];
     }
     loads.into_iter().max().unwrap_or(0)
@@ -329,7 +330,7 @@ impl CrossbeamPool {
         for (i, t) in tasks.into_iter().enumerate() {
             buckets[i % workers].push((i, t));
         }
-        crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             for bucket in buckets {
                 scope.spawn(|_| {
                     let mut local: Vec<(usize, T)> = Vec::with_capacity(bucket.len());
@@ -342,11 +343,17 @@ impl CrossbeamPool {
                     }
                 });
             }
-        })
-        .expect("PE worker panicked");
+        });
+        if let Err(payload) = joined {
+            // A worker panicked: re-raise the original payload on the
+            // scheduler thread instead of minting a new panic message, so
+            // the task's own diagnostic reaches the caller intact.
+            std::panic::resume_unwind(payload);
+        }
         shared
             .into_inner()
             .into_iter()
+            // flexcore-lint: allow(FL004, reason = "every slot is written exactly once before the scope joins; a worker panic has already propagated via resume_unwind above")
             .map(|v| v.expect("missing task result"))
             .collect()
     }
@@ -361,7 +368,7 @@ impl CrossbeamPool {
         // the next (index, task) pair, giving dynamic load balance.
         let queue = Mutex::new(tasks.into_iter().enumerate());
         let shared: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| {
                     let mut local: Vec<(usize, T)> = Vec::new();
@@ -377,11 +384,15 @@ impl CrossbeamPool {
                     }
                 });
             }
-        })
-        .expect("PE worker panicked");
+        });
+        if let Err(payload) = joined {
+            // See run_static: re-raise the worker's own panic payload.
+            std::panic::resume_unwind(payload);
+        }
         shared
             .into_inner()
             .into_iter()
+            // flexcore-lint: allow(FL004, reason = "every slot is written exactly once before the scope joins; a worker panic has already propagated via resume_unwind above")
             .map(|v| v.expect("missing task result"))
             .collect()
     }

@@ -356,7 +356,7 @@ mod tests {
         // pins the makespan at 40/(14/8) ≈ 22.9 > 10.
         let costs = [40u64, 40, 4, 4, 4, 4, 4, 4];
         let hetero = lpt_makespan_weighted(&costs, &[4.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
-        let uniform = lpt_makespan_weighted(&costs, &vec![14.0 / 8.0; 8]);
+        let uniform = lpt_makespan_weighted(&costs, &[14.0 / 8.0; 8]);
         assert!(
             hetero < uniform,
             "heterogeneous {hetero} should beat speed-matched uniform {uniform}"

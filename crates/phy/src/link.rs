@@ -428,6 +428,9 @@ where
         .collect()
 }
 
+/// One user's transmit-tick product: `(payloads, interleaved coded streams)`.
+pub(crate) type TxTickOutput = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
 /// The transmit half of a serving tick, shared by the hard and soft paths:
 /// advances every user, runs its transmit chains, passes the packet frame
 /// through its truth channels, and queues it. Returns each user's
@@ -436,7 +439,7 @@ pub(crate) fn cell_transmit_tick<R, D>(
     cfg: &LinkConfig,
     cell: &mut StreamingCell<D>,
     rngs: &mut [R],
-) -> Vec<(Vec<Vec<u8>>, Vec<Vec<u8>>)>
+) -> Vec<TxTickOutput>
 where
     R: Rng,
     D: Detector + Clone + Sync,

@@ -173,6 +173,7 @@ pub fn operating_point_snr_db(nt: usize, q: usize, per_target: f64) -> f64 {
             return snr;
         }
     }
+    // flexcore-lint: allow(FL004, reason = "misconfiguration trap: an uncalibrated operating point must fail loudly with the re-run instruction, not return a silently wrong SNR")
     panic!("no cached operating point for ({nt}, {q}, {per_target}); run the calibrate binary");
 }
 

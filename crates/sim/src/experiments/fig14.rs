@@ -101,6 +101,7 @@ pub fn run(cfg: &Cfg) -> ResultTable {
                 // Effective point at the top level (no cancellation above).
                 let eff = ybar[top] / qr.r[(top, top)];
                 let order = exact_order(&c, eff);
+                // flexcore-lint: allow(FL004, reason = "exact_order permutes 0..order(), so the transmitted symbol index always appears in it")
                 let rank = order.iter().position(|&i| i == s[top]).unwrap() + 1;
                 if rank <= cfg.k_max {
                     rank_counts[rank] += 1;

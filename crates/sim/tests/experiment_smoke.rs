@@ -15,7 +15,7 @@ use flexcore_sim::experiments::*;
 /// Every driver returns a `ResultTable`; a smoke pass = at least one row
 /// and every cell parseable (non-empty).
 fn assert_table_sane(name: &str, t: &flexcore_sim::table::ResultTable) {
-    assert!(t.len() > 0, "{name}: empty table");
+    assert!(!t.is_empty(), "{name}: empty table");
     for (i, row) in t.rows().iter().enumerate() {
         for (j, cell) in row.iter().enumerate() {
             assert!(!cell.is_empty(), "{name}: empty cell at ({i},{j})");

@@ -191,7 +191,8 @@ fn streaming_scenario_is_substrate_independent() {
     // produce identical grids on every pool, with the generation cache
     // touching only the refreshed slice of the band each frame.
     let c = Constellation::new(Modulation::Qam16);
-    let run = |pool: &dyn Fn(&RxFrame, &FrameEngine<AdaptiveFlexCore>) -> Vec<Vec<usize>>| {
+    type DetectFn<'a> = &'a dyn Fn(&RxFrame, &FrameEngine<AdaptiveFlexCore>) -> Vec<Vec<usize>>;
+    let run = |pool: DetectFn| {
         let ens = ChannelEnsemble::iid(NT, NT);
         let mut rng = StdRng::seed_from_u64(48);
         let mut stream = ChannelStream::new(&ens, 9, 0.9, 3, sigma2_from_snr_db(16.0), &mut rng);

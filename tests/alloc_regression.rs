@@ -17,7 +17,7 @@ use flexcore_detect::common::Detector;
 use flexcore_detect::FcsdDetector;
 use flexcore_modulation::{Constellation, Modulation};
 use flexcore_numeric::symvec::{SymVec, INLINE_STREAMS};
-use flexcore_numeric::Cx;
+use flexcore_numeric::{lanes_enabled, set_lane_dispatch, Cx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -164,6 +164,33 @@ fn hot_path_allocation_budget() {
         assert_eq!(n, 0, "spilled FlexCore kernel allocated at nt={nt}");
     }
 
+    // Same spilled width with lane dispatch forced off: the scalar twins
+    // must honour the identical steady-state budget, so the zero-alloc
+    // guarantee is a property of the kernels, not of the SIMD path the
+    // dispatcher happened to pick. (This test is the binary's only
+    // thread, so the process-global toggle is safe to flip here.)
+    {
+        let dispatch_before = lanes_enabled();
+        set_lane_dispatch(false);
+        let nt = 32;
+        let (det, ys, _) = workload(nt, Modulation::Qam16, 300 + nt as u64);
+        let tri = det.triangular();
+        let mut scratch = PathScratch::new();
+        let mut ybar = vec![Cx::ZERO; nt];
+        tri.rotate_into(&ys[0], &mut ybar);
+        let _ = det.run_path_into(&ybar, &det.position_vectors()[0], &mut scratch);
+        let n = allocs_in(|| {
+            for y in &ys {
+                tri.rotate_into(y, &mut ybar);
+                for p in det.position_vectors() {
+                    let _ = det.run_path_into(&ybar, p, &mut scratch);
+                }
+            }
+        });
+        set_lane_dispatch(dispatch_before);
+        assert_eq!(n, 0, "forced-scalar FlexCore kernel allocated at nt={nt}");
+    }
+
     // --- Full detect surface: per-vector cost is the output alone --------
     // detect_batch_refs owes the caller one Vec per vector (plus a
     // constant workspace warm-up); doubling the batch must cost exactly
@@ -181,5 +208,30 @@ fn hot_path_allocation_budget() {
             (refs.len() - short.len()) as u64,
             "detect at nt={nt} allocates beyond its outputs"
         );
+    }
+
+    // --- Discipline coverage: lint regions match the measured surface ----
+    // Everything this counting-allocator test just exercised must sit
+    // inside a `// flexcore-lint: hot-path` region, so FL001 statically
+    // guards exactly the code whose budget was measured above. (Kept in
+    // this single #[test]: a sibling test thread would bleed allocations
+    // into the counter.)
+    {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let marked = flexcore_lint::hot_path_modules(root).expect("lint scan");
+        for exercised in [
+            "crates/numeric/src/symvec.rs", // SymVec storage contract
+            "crates/numeric/src/qr.rs",     // Givens rotations under rotate_into
+            "crates/numeric/src/lanes.rs",  // lane kernels inside run_path_into
+            "crates/detect/src/common.rs",  // Triangular::rotate_into, PathScratch
+            "crates/core/src/detector.rs",  // FlexCore run_path_into / trie walk
+            "crates/detect/src/fcsd.rs",    // FCSD run_path_into
+        ] {
+            assert!(
+                marked.iter().any(|m| m == exercised),
+                "{exercised} is exercised by the allocation test but carries no \
+                 hot-path lint region; marked modules: {marked:?}"
+            );
+        }
     }
 }

@@ -46,7 +46,7 @@ fn extreme_noise_never_panics() {
     let ch = MimoChannel::new(h.clone(), snr);
     for det in detectors.iter_mut() {
         det.prepare(&h, sigma2_from_snr_db(snr));
-        let s = vec![0usize; 6];
+        let s = [0usize; 6];
         let x: Vec<Cx> = s.iter().map(|&i| c.point(i)).collect();
         let y = ch.transmit(&x, &mut rng);
         let out = det.detect(&y);

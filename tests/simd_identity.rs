@@ -37,7 +37,7 @@ static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
 /// Dispatch setting the rest of the process expects when we're done: lane
 /// kernels unless the CI scalar run forced the fallback via environment.
 fn env_dispatch() -> bool {
-    std::env::var_os("FLEXCORE_FORCE_SCALAR").map_or(true, |v| v.is_empty() || v == "0")
+    std::env::var_os("FLEXCORE_FORCE_SCALAR").is_none_or(|v| v.is_empty() || v == "0")
 }
 
 /// Runs `f` once with lane dispatch on and once forced scalar (under the
@@ -158,11 +158,11 @@ fn triangular_lane_kernels_bit_identical_nt_sweep_all_modulations() {
                     let survivor_u16: Vec<u16> = survivor.iter().map(|&s| s as u16).collect();
                     for sym0 in (0..=q - LANES).step_by(LANES) {
                         let block = tri.ped_increment_block(&ybar, &survivor_u16, row, sym0);
-                        for l in 0..LANES {
+                        for (l, got) in block.iter().enumerate() {
                             let want = tri.ped_increment(&ybar, survivor, row, sym0 + l);
                             assert_eq!(
                                 want.to_bits(),
-                                block[l].to_bits(),
+                                got.to_bits(),
                                 "ped_block nt={nt} q={q} row={row} sym0={sym0}"
                             );
                         }
