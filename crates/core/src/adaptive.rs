@@ -110,6 +110,20 @@ impl AdaptiveFlexCore {
     pub fn inner(&self) -> &FlexCoreDetector {
         &self.inner
     }
+
+    /// The stopping threshold currently steering the active path set (the
+    /// re-tuned one after [`AdaptiveFlexCore::retune_threshold`]).
+    pub fn threshold(&self) -> f64 {
+        // An a-FlexCore always carries a threshold by construction.
+        self.inner.active_threshold().unwrap_or(1.0)
+    }
+
+    /// Re-tunes the stopping threshold without a full re-prepare — see
+    /// [`FlexCoreDetector::retune_threshold`] for the exactness contract.
+    /// Returns whether the prepared active path set changed.
+    pub fn retune_threshold(&mut self, t: f64) -> bool {
+        self.inner.retune_threshold(t)
+    }
 }
 
 impl Detector for AdaptiveFlexCore {

@@ -211,6 +211,38 @@ struct State {
     cumulative_prob: f64,
     /// Pre-processing cost (Table 2).
     preprocess_mults: u64,
+    /// The full selection the prepare-time search produced (position
+    /// vectors with ln-probabilities, most promising first), *before* any
+    /// active-threshold truncation. Kept so
+    /// [`FlexCoreDetector::retune_threshold`] can re-truncate to a new
+    /// threshold without re-running QR or the best-first search: the
+    /// paper's stopping criterion only ever cuts the selection order short
+    /// (a stop cannot reorder what was already selected), so the selection
+    /// at threshold `t` is exactly the shortest prefix of this list whose
+    /// running `Σ exp(ln Pc)` reaches `t`.
+    selection: Vec<(PositionVector, f64)>,
+}
+
+/// The shortest prefix of `selection` whose running cumulative probability
+/// reaches `t` (at least one path), with the cumulative sum accumulated in
+/// selection order — term-for-term the same f64 additions the
+/// preprocessor's stopping loop would have performed, so a re-truncation
+/// is bit-identical to a fresh threshold-`t` prepare. When `t` is never
+/// reached the whole selection is kept (the budget-limited behaviour).
+fn truncate_selection(selection: &[(PositionVector, f64)], t: f64) -> (Vec<PositionVector>, f64) {
+    let mut cumulative = 0.0f64;
+    let mut cut = selection.len();
+    for (i, (_, lp)) in selection.iter().enumerate() {
+        cumulative += lp.exp();
+        if cumulative >= t {
+            cut = i + 1;
+            break;
+        }
+    }
+    (
+        selection[..cut].iter().map(|(p, _)| p.clone()).collect(),
+        cumulative,
+    )
 }
 
 /// Reusable per-worker workspace for the sequential FlexCore hot path:
@@ -271,6 +303,11 @@ pub struct FlexCoreDetector {
     /// the ordering semantics — never on the channel.
     fast_lut: std::sync::OnceLock<std::sync::Arc<LocatedOrderingTable>>,
     state: Option<State>,
+    /// A stopping threshold applied **on top of** the configured one by
+    /// [`FlexCoreDetector::retune_threshold`]: the prepare-time search
+    /// always runs at the configured ceiling, and this re-truncates its
+    /// selection. `None` = use the configured behaviour unchanged.
+    active_threshold: Option<f64>,
 }
 
 impl FlexCoreDetector {
@@ -285,6 +322,7 @@ impl FlexCoreDetector {
             lut,
             fast_lut: std::sync::OnceLock::new(),
             state: None,
+            active_threshold: None,
         }
     }
 
@@ -296,6 +334,54 @@ impl FlexCoreDetector {
     /// The configuration in use.
     pub fn config(&self) -> &FlexCoreConfig {
         &self.config
+    }
+
+    /// The stopping threshold currently steering the active path set: the
+    /// re-tuned one if [`FlexCoreDetector::retune_threshold`] was called,
+    /// otherwise the configured `stop_threshold`.
+    pub fn active_threshold(&self) -> Option<f64> {
+        self.active_threshold.or(self.config.stop_threshold)
+    }
+
+    /// Re-tunes the a-FlexCore stopping threshold **without a full
+    /// re-prepare** — the closed-loop effort controller's lever. The
+    /// prepare-time best-first search is untouched; only its stored
+    /// selection is re-truncated at `t` and the path trie rebuilt, which
+    /// costs `O(|E| · Nt)` instead of a QR factorisation plus tree search.
+    ///
+    /// Exactness: the stopping criterion can only cut the selection order
+    /// short, so for any `t` at or below the search's own threshold (the
+    /// configured ceiling — or no ceiling at all for a plain FlexCore
+    /// template) the re-truncated state is **bit-identical** to a fresh
+    /// `prepare` with `stop_threshold = t` on the same channel, detections
+    /// included. A `t` above the ceiling saturates at the ceiling's
+    /// selection — the search never expanded past it.
+    ///
+    /// The tuning is sticky: later [`Detector::prepare`] calls (channel
+    /// refreshes) re-apply it, and it survives cloning. Returns whether
+    /// the prepared active path set changed (`false` when unprepared —
+    /// the tuning still applies to the next prepare).
+    ///
+    /// # Panics
+    /// Panics unless `0 < t <= 1`.
+    pub fn retune_threshold(&mut self, t: f64) -> bool {
+        assert!(
+            t > 0.0 && t <= 1.0,
+            "retune_threshold: t must be in (0, 1], got {t}"
+        );
+        self.active_threshold = Some(t);
+        let Some(state) = self.state.as_mut() else {
+            return false;
+        };
+        let (paths, cumulative_prob) = truncate_selection(&state.selection, t);
+        if paths.len() == state.paths.len() {
+            // Same prefix → same paths, same trie, same cumulative sum.
+            return false;
+        }
+        state.trie = PathTrie::build(&paths, state.tri.nt());
+        state.paths = paths;
+        state.cumulative_prob = cumulative_prob;
+        true
     }
 
     /// The prepared channel state. Every detection entry point funnels its
@@ -838,14 +924,22 @@ impl Detector for FlexCoreDetector {
             pre = pre.with_stop_threshold(t);
         }
         let out = pre.run(&model, self.constellation.order());
-        let paths = out.position_vectors();
+        // An active (re-tuned) threshold truncates the search's selection
+        // further; prefix truncation reproduces a fresh lower-threshold
+        // prepare bit-for-bit (see `truncate_selection`), so re-tuned
+        // detectors survive channel refreshes at their current tuning.
+        let (paths, cumulative_prob) = match self.active_threshold {
+            Some(t) => truncate_selection(&out.paths, t),
+            None => (out.position_vectors(), out.cumulative_prob),
+        };
         let trie = PathTrie::build(&paths, qr.r.cols());
         self.state = Some(State {
             tri: Triangular::new(qr, self.constellation.clone()),
             paths,
             trie,
-            cumulative_prob: out.cumulative_prob,
+            cumulative_prob,
             preprocess_mults: out.real_mults,
+            selection: out.paths,
         });
         // Materialise the blocked walk's (centre, triangle, rank) table
         // here rather than on the first blocked batch: it depends only on
@@ -982,6 +1076,130 @@ mod tests {
             t += nt;
         }
         e as f64 / t as f64
+    }
+
+    #[test]
+    fn retune_threshold_is_bit_identical_to_a_fresh_prepare() {
+        // The effort controller's contract: re-truncating an adaptive
+        // detector to a lower threshold must reproduce — bit for bit — a
+        // detector freshly configured at that threshold and prepared on
+        // the same channel: same active path set, same cumulative
+        // probability (same f64 additions in the same order), same
+        // detections. Across random channels and a ladder of targets.
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(0xAEAE);
+        for trial in 0..6u64 {
+            let h = ens.draw(&mut rng);
+            let sigma2 = sigma2_from_snr_db(12.0);
+            let ch = MimoChannel::new(h.clone(), 12.0);
+            let ys: Vec<Vec<Cx>> = (0..8)
+                .map(|_| {
+                    let x: Vec<Cx> = (0..4).map(|_| c.point(rng.gen_range(0..16))).collect();
+                    ch.transmit(&x, &mut rng)
+                })
+                .collect();
+            let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
+
+            let mut cfg = FlexCoreConfig::new(16);
+            cfg.stop_threshold = Some(0.95);
+            let mut tuned = FlexCoreDetector::new(c.clone(), cfg);
+            tuned.prepare(&h, sigma2);
+            for t in [0.9, 0.75, 0.6, 0.5] {
+                tuned.retune_threshold(t);
+                let mut fresh_cfg = FlexCoreConfig::new(16);
+                fresh_cfg.stop_threshold = Some(t);
+                let mut fresh = FlexCoreDetector::new(c.clone(), fresh_cfg);
+                fresh.prepare(&h, sigma2);
+                assert_eq!(
+                    tuned.active_paths(),
+                    fresh.active_paths(),
+                    "trial {trial} t={t}: active path sets differ"
+                );
+                assert_eq!(
+                    tuned.cumulative_prob().to_bits(),
+                    fresh.cumulative_prob().to_bits(),
+                    "trial {trial} t={t}: cumulative probability differs in bits"
+                );
+                assert_eq!(tuned.position_vectors(), fresh.position_vectors());
+                assert_eq!(
+                    tuned.detect_batch_refs(&refs),
+                    fresh.detect_batch_refs(&refs),
+                    "trial {trial} t={t}: detections differ"
+                );
+                assert_eq!(tuned.extension_work(), fresh.extension_work());
+            }
+            // Re-tuning back *up* within the ceiling also matches, and the
+            // tuning survives a re-prepare on a new channel.
+            tuned.retune_threshold(0.95);
+            let mut fresh_cfg = FlexCoreConfig::new(16);
+            fresh_cfg.stop_threshold = Some(0.95);
+            let mut fresh95 = FlexCoreDetector::new(c.clone(), fresh_cfg);
+            fresh95.prepare(&h, sigma2);
+            assert_eq!(
+                tuned.detect_batch_refs(&refs),
+                fresh95.detect_batch_refs(&refs)
+            );
+        }
+    }
+
+    #[test]
+    fn retune_is_sticky_across_prepares_and_costs_no_search() {
+        // A re-tuned detector must come up at its tuned threshold after a
+        // channel refresh (the engine re-prepares refreshed subcarriers
+        // from the template), and the retune itself must not re-run the
+        // prepare-time search (preprocess_mults unchanged).
+        let c = Constellation::new(Modulation::Qam16);
+        let ens = ChannelEnsemble::iid(4, 4);
+        let mut rng = StdRng::seed_from_u64(0xBEBE);
+        let sigma2 = sigma2_from_snr_db(10.0);
+        let mut cfg = FlexCoreConfig::new(16);
+        cfg.stop_threshold = Some(0.95);
+        let mut det = FlexCoreDetector::new(c.clone(), cfg);
+        det.prepare(&ens.draw(&mut rng), sigma2);
+        let mults_before = det.preprocess_mults();
+        det.retune_threshold(0.5);
+        assert_eq!(
+            det.preprocess_mults(),
+            mults_before,
+            "retune must not re-run the search"
+        );
+        assert_eq!(det.active_threshold(), Some(0.5));
+
+        let h2 = ens.draw(&mut rng);
+        det.prepare(&h2, sigma2);
+        let mut fresh_cfg = FlexCoreConfig::new(16);
+        fresh_cfg.stop_threshold = Some(0.5);
+        let mut fresh = FlexCoreDetector::new(c.clone(), fresh_cfg);
+        fresh.prepare(&h2, sigma2);
+        assert_eq!(det.active_paths(), fresh.active_paths());
+        assert_eq!(det.position_vectors(), fresh.position_vectors());
+        // And the tuning survives cloning (engines stamp clones per
+        // subcarrier).
+        let clone = det.clone();
+        assert_eq!(clone.active_threshold(), Some(0.5));
+    }
+
+    #[test]
+    fn retune_on_a_full_budget_template_truncates_like_a_flexcore() {
+        // A plain FlexCore (no configured ceiling) can be re-tuned too:
+        // the stored selection is the full budget, so retune(t) equals a
+        // fresh a-FlexCore(t) with the same budget.
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(0xCECE);
+        let h = ChannelEnsemble::iid(4, 4).draw(&mut rng);
+        let sigma2 = sigma2_from_snr_db(12.0);
+        let mut full = FlexCoreDetector::with_pes(c.clone(), 16);
+        full.prepare(&h, sigma2);
+        assert_eq!(full.active_paths(), 16);
+        let changed = full.retune_threshold(0.8);
+        let mut cfg = FlexCoreConfig::new(16);
+        cfg.stop_threshold = Some(0.8);
+        let mut fresh = FlexCoreDetector::new(c.clone(), cfg);
+        fresh.prepare(&h, sigma2);
+        assert_eq!(full.active_paths(), fresh.active_paths());
+        assert_eq!(full.position_vectors(), fresh.position_vectors());
+        assert_eq!(changed, full.active_paths() != 16);
     }
 
     #[test]

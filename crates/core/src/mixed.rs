@@ -51,6 +51,21 @@ impl CellDetector {
             CellDetector::Adaptive(d) => d.inner(),
         }
     }
+
+    /// Re-tunes an adaptive user's stopping threshold without a full
+    /// re-prepare — see [`FlexCoreDetector::retune_threshold`]. This is
+    /// the mixed-deployment downgrade lever the closed-loop effort
+    /// controller pulls: **fixed users are left untouched** (a fixed
+    /// FlexCore's contract is its full path budget), so in a mixed cell
+    /// the controller only ever sheds effort on the adaptive users.
+    /// Returns whether the prepared active path set changed (always
+    /// `false` for a fixed user).
+    pub fn retune_threshold(&mut self, t: f64) -> bool {
+        match self {
+            CellDetector::Fixed(_) => false,
+            CellDetector::Adaptive(d) => d.retune_threshold(t),
+        }
+    }
 }
 
 impl Detector for CellDetector {

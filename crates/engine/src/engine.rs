@@ -56,10 +56,36 @@ impl EngineStats {
     }
 }
 
+/// Splits an `n_sc × n_sym` grid into `(subcarrier, symbol-range)` batches
+/// aiming for `task_target` tasks in total: every subcarrier contributes
+/// the same number of contiguous symbol chunks (≥ 1, ≤ `n_sym`). This is
+/// the one batch geometry every scheduling path shares — single-frame
+/// plans, multi-user ticks, and the pipelined cell all split through here,
+/// which is what keeps their detections bit-identical (identical batches →
+/// identical scratch-reuse sequences per batch).
+pub(crate) fn split_grid_batches(
+    n_sc: usize,
+    n_sym: usize,
+    task_target: usize,
+) -> Vec<(usize, usize, usize)> {
+    let tasks_per_sc = task_target.div_ceil(n_sc.max(1)).clamp(1, n_sym.max(1));
+    let chunk = n_sym.div_ceil(tasks_per_sc).max(1);
+    let mut batches = Vec::with_capacity(n_sc * tasks_per_sc);
+    for sc in 0..n_sc {
+        let mut from = 0;
+        while from < n_sym {
+            let to = (from + chunk).min(n_sym);
+            batches.push((sc, from, to));
+            from = to;
+        }
+    }
+    batches
+}
+
 /// Scatters per-batch outputs back to symbol-major grid order — the
 /// inverse of the batch split, shared by every scheduling path so
 /// reordering can never leak into results.
-fn scatter_grid<T>(
+pub(crate) fn scatter_grid<T>(
     n_sc: usize,
     n_vectors: usize,
     batches: &[(usize, usize, usize)],
@@ -88,6 +114,10 @@ struct Slot<D> {
     /// the fine-grained cost the fabric scheduler prices batches with
     /// (equal efforts can hide severalfold work differences).
     extension_work: usize,
+    /// The engine's tune epoch when this slot was last prepared or
+    /// re-tuned — part of the slot's cache key, so snapshot consumers see
+    /// a re-tune exactly like a channel refresh.
+    tune_stamp: u64,
 }
 
 /// Drives one detector design across whole OFDM frames.
@@ -118,6 +148,7 @@ pub struct FrameEngine<D> {
     prepare_runs: AtomicU64,
     subcarriers_refreshed: AtomicU64,
     fabric: Mutex<Option<FabricStats>>,
+    tune_epoch: u64,
 }
 
 impl<D: Detector + Clone + Sync> FrameEngine<D> {
@@ -132,6 +163,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             prepare_runs: AtomicU64::new(0),
             subcarriers_refreshed: AtomicU64::new(0),
             fabric: Mutex::new(None),
+            tune_epoch: 0,
         }
     }
 
@@ -233,6 +265,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                     generation: channel.generation(sc),
                     effort,
                     extension_work,
+                    tune_stamp: self.tune_epoch,
                 });
             }
         } else {
@@ -248,12 +281,55 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
                     generation: channel.generation(sc),
                     effort,
                     extension_work,
+                    tune_stamp: self.tune_epoch,
                 });
             }
         }
         self.subcarriers_refreshed
             .fetch_add(stale.len() as u64, Ordering::Relaxed);
         stale.len()
+    }
+
+    /// Applies `f` to the template and to every prepared subcarrier
+    /// detector **in place** — the cheap re-tuning hook behind the
+    /// closed-loop effort controller (think
+    /// `FlexCoreDetector::retune_threshold`: a prefix re-truncation of the
+    /// already-searched path selection, no QR and no tree search). `f`
+    /// returns whether it changed the detector's active configuration;
+    /// changed slots have their effort / extension-work scheduling weights
+    /// recaptured and their tune stamp bumped, so snapshot consumers (the
+    /// pipelined cell) notice exactly like a channel refresh. Returns how
+    /// many prepared subcarriers changed.
+    ///
+    /// The template is re-tuned first, so subcarriers refreshed by a later
+    /// [`FrameEngine::prepare`] come up already at the current tuning.
+    pub fn retune(&mut self, mut f: impl FnMut(&mut D) -> bool) -> usize {
+        f(&mut self.template);
+        let epoch = self.tune_epoch + 1;
+        let mut changed = 0;
+        for slot in self.slots.iter_mut().flatten() {
+            if f(&mut slot.detector) {
+                slot.effort = slot.detector.effort();
+                slot.extension_work = slot.detector.extension_work();
+                slot.tune_stamp = epoch;
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.tune_epoch = epoch;
+        }
+        changed
+    }
+
+    /// Cache key of one prepared subcarrier: `(channel id, channel
+    /// generation, tune stamp)`. The key moves exactly when the slot's
+    /// prepared state can differ — the pipelined cell snapshots detectors
+    /// and uses this to refresh only moved slots. `None` while unprepared.
+    pub(crate) fn slot_key(&self, subcarrier: usize) -> Option<(u64, u64, u64)> {
+        self.slots
+            .get(subcarrier)
+            .and_then(Option::as_ref)
+            .map(|slot| (slot.channel_id, slot.generation, slot.tune_stamp))
     }
 
     /// Splits the frame's grid into `(subcarrier, symbol-range)` batches —
@@ -282,22 +358,21 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     /// served user's batches and LPT-orders the whole list once, so a
     /// per-engine pre-sort would be wasted work.
     pub(crate) fn plan_batches(&self, frame: &RxFrame, n_pes: usize) -> Vec<(usize, usize, usize)> {
-        let n_sc = frame.n_subcarriers();
-        let n_sym = frame.n_symbols();
         // Aim for ≥ 2 tasks per PE so the work queue can balance unequal
         // batch costs, without slicing symbols thinner than needed.
-        let tasks_per_sc = (2 * n_pes).div_ceil(n_sc).clamp(1, n_sym.max(1));
-        let chunk = n_sym.div_ceil(tasks_per_sc).max(1);
-        let mut batches = Vec::with_capacity(n_sc * tasks_per_sc);
-        for sc in 0..n_sc {
-            let mut from = 0;
-            while from < n_sym {
-                let to = (from + chunk).min(n_sym);
-                batches.push((sc, from, to));
-                from = to;
-            }
-        }
-        batches
+        self.plan_batches_with_target(frame, 2 * n_pes)
+    }
+
+    /// [`FrameEngine::plan_batches`] with an explicit task-count target
+    /// instead of a PE count. The multi-user cell divides one shared
+    /// `2 × n_pes` target across its served users so the per-tick task
+    /// count stays bounded by the pool, not by the user count.
+    pub(crate) fn plan_batches_with_target(
+        &self,
+        frame: &RxFrame,
+        task_target: usize,
+    ) -> Vec<(usize, usize, usize)> {
+        split_grid_batches(frame.n_subcarriers(), frame.n_symbols(), task_target)
     }
 
     /// Credits one externally scheduled frame of `n_vectors` vectors to

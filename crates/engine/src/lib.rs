@@ -34,6 +34,14 @@
 //!   sharded onto **one** shared PE pool per tick, LPT-ordered across
 //!   users, with per-user fairness accounting (frames-behind, effort
 //!   share);
+//! * [`PipelinedCell`] — the overlapped serving loop: transmit/prepare of
+//!   frame *N+1*, detection of frame *N*, and decode of frame *N−1* run
+//!   concurrently, coupled by bounded backpressure queues
+//!   ([`flexcore_parallel::bounded`]); every decoded frame's
+//!   submit→decode latency lands in a [`LatencyRecord`] measured against
+//!   a per-frame deadline, and a per-user [`EffortController`] closes the
+//!   loop by re-tuning the a-FlexCore stopping threshold from observed
+//!   latency — without ever changing detections on a frozen schedule;
 //! * [`fabric`] — the hardware-aware layer: both the engine and the cell
 //!   can schedule onto a *heterogeneous* fabric
 //!   ([`flexcore_hwmodel::HeterogeneousFabric`] → a
@@ -57,6 +65,7 @@ pub mod engine;
 pub mod fabric;
 pub mod frame;
 pub mod multiuser;
+pub mod pipeline;
 pub mod stream;
 
 pub use channel::FrameChannel;
@@ -64,4 +73,5 @@ pub use engine::{EngineStats, FrameEngine};
 pub use fabric::{pool_for, FabricStats};
 pub use frame::{DetectedFrame, RxFrame};
 pub use multiuser::{CellStats, StreamingCell, TickOutput};
+pub use pipeline::{EffortController, LatencyRecord, LatencyStats, PipelineReport, PipelinedCell};
 pub use stream::ChannelStream;

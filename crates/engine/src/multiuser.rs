@@ -58,6 +58,22 @@ pub struct TickOutput<T> {
     pub cells: Vec<T>,
 }
 
+/// Audit of the most recent **non-empty** tick, stamped with the tick id
+/// it describes. One record per tick, written wholesale — a plain tick can
+/// never leave a previous fabric tick's audit dangling, and an empty call
+/// (no queued frames anywhere) leaves the record untouched *and*
+/// identifiable as belonging to an earlier tick.
+#[derive(Clone, Debug, PartialEq)]
+struct TickAudit {
+    /// The 1-based tick id this audit describes (`CellStats::ticks` right
+    /// after that tick ran).
+    tick: u64,
+    /// Modelled parallel efficiency of that tick.
+    efficiency: f64,
+    /// The fabric audit, `Some` iff that tick was fabric-scheduled.
+    fabric: Option<FabricStats>,
+}
+
 /// Snapshot of a cell's serving state: aggregate progress, per-user
 /// fairness, and the shared-pool packing quality of the last tick.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,18 +96,28 @@ pub struct CellStats {
     /// Per-user Σ [`Detector::effort`] over currently prepared subcarriers
     /// — how the PE demand splits across users right now.
     pub per_user_effort: Vec<u64>,
-    /// Modelled parallel efficiency of the last tick — always in
-    /// `(0, 1]`: `Σ batch costs / (n_pes · LPT makespan)` on identical
-    /// PEs, and the fabric audit's packing efficiency
-    /// (`Σ costs / (Σ speeds · weighted makespan)`) after a fabric tick;
-    /// 1.0 when the users' batches packed the pool perfectly (or before
-    /// the first tick).
+    /// Modelled parallel efficiency of the tick identified by
+    /// [`CellStats::audited_tick`] — always in `(0, 1]`:
+    /// `Σ batch costs / (n_pes · LPT makespan)` on identical PEs, and the
+    /// fabric audit's packing efficiency
+    /// (`Σ costs / (Σ speeds · weighted makespan)`) for a fabric tick;
+    /// 1.0 before the first non-empty tick.
     pub last_tick_efficiency: f64,
-    /// Audit record of the most recent fabric-scheduled tick
-    /// ([`StreamingCell::process_tick_on_fabric`]): predicted-vs-measured
-    /// makespan, packing efficiency and per-PE utilisation across **all**
-    /// users' batches. `None` until a fabric tick happens.
+    /// Audit record of the tick identified by [`CellStats::audited_tick`]
+    /// **iff that tick was fabric-scheduled**
+    /// ([`StreamingCell::process_tick_on_fabric`]):
+    /// predicted-vs-measured makespan, packing efficiency and per-PE
+    /// utilisation across **all** users' batches. `None` before the first
+    /// non-empty tick *and* whenever the most recent non-empty tick ran on
+    /// identical PEs — a plain tick clears it, so a stale fabric audit can
+    /// never masquerade as the latest tick's.
     pub last_tick_fabric: Option<FabricStats>,
+    /// The 1-based tick id the `last_tick_*` fields describe (the value
+    /// [`CellStats::ticks`] had right after that tick), or `None` before
+    /// the first non-empty tick. Empty calls don't advance the tick
+    /// counter and don't touch the audit, so after a burst of empty calls
+    /// this still names the tick the audit belongs to.
+    pub audited_tick: Option<u64>,
 }
 
 /// N per-user streaming uplinks sharing one processing-element pool.
@@ -104,8 +130,7 @@ pub struct CellStats {
 pub struct StreamingCell<D> {
     users: Vec<UserSlot<D>>,
     ticks: u64,
-    last_tick_efficiency: f64,
-    last_tick_fabric: Option<FabricStats>,
+    audit: Option<TickAudit>,
 }
 
 impl<D: Detector + Clone + Sync> Default for StreamingCell<D> {
@@ -120,8 +145,7 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
         StreamingCell {
             users: Vec::new(),
             ticks: 0,
-            last_tick_efficiency: 1.0,
-            last_tick_fabric: None,
+            audit: None,
         }
     }
 
@@ -238,14 +262,22 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
             .collect();
         let per_batch = pool.run(tasks);
 
-        // Book the tick's pool model, then scatter and complete.
+        // Book the tick's pool model, then scatter and complete. The audit
+        // is written wholesale with `fabric: None` — a plain tick must not
+        // leave an earlier fabric tick's audit attributed to itself.
         let makespan = lpt_makespan_from_order(&costs, &order, pool.n_pes());
-        self.last_tick_efficiency = if makespan == 0 {
+        let efficiency = if makespan == 0 {
             1.0
         } else {
             costs.iter().sum::<u64>() as f64 / (pool.n_pes() as f64 * makespan as f64)
         };
-        self.scatter_tick(work, &ordered, per_batch)
+        let outputs = self.scatter_tick(work, &ordered, per_batch);
+        self.audit = Some(TickAudit {
+            tick: self.ticks,
+            efficiency,
+            fabric: None,
+        });
+        outputs
     }
 
     /// [`StreamingCell::process_tick`] on a heterogeneous fabric: the
@@ -301,9 +333,14 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
         // On non-uniform PEs the packing notion that stays in (0, 1] is
         // work over Σspeeds × weighted makespan — exactly what the audit
         // computed.
-        self.last_tick_efficiency = stats.packing_efficiency;
-        self.last_tick_fabric = Some(stats);
-        self.scatter_tick(work, &batches, per_batch)
+        let efficiency = stats.packing_efficiency;
+        let outputs = self.scatter_tick(work, &batches, per_batch);
+        self.audit = Some(TickAudit {
+            tick: self.ticks,
+            efficiency,
+            fabric: Some(stats),
+        });
+        outputs
     }
 
     /// Hard-detects every served user's oldest queued frame on a
@@ -340,9 +377,18 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
                 work.push((u, frame));
             }
         }
+        // One shared `2 × n_pes` task target for the whole tick, divided
+        // across the served users: an N-user tick stays at ~2·n_pes tasks
+        // instead of ~2·N·n_pes (each user still contributes ≥ 1 batch per
+        // prepared subcarrier, the split's floor), so per-task overhead is
+        // bounded by the pool, not the user count.
+        let target = (2 * n_pes).div_ceil(work.len().max(1));
         let mut batches: Vec<TickBatch> = Vec::new();
         for (widx, (u, frame)) in work.iter().enumerate() {
-            for (sc, from, to) in self.users[*u].engine.plan_batches(frame, n_pes) {
+            for (sc, from, to) in self.users[*u]
+                .engine
+                .plan_batches_with_target(frame, target)
+            {
                 batches.push((widx, sc, from, to));
             }
         }
@@ -440,9 +486,19 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
             min_frames_behind: behind.iter().copied().min().unwrap_or(0),
             max_frames_behind: behind.iter().copied().max().unwrap_or(0),
             per_user_effort,
-            last_tick_efficiency: self.last_tick_efficiency,
-            last_tick_fabric: self.last_tick_fabric.clone(),
+            last_tick_efficiency: self.audit.as_ref().map_or(1.0, |a| a.efficiency),
+            last_tick_fabric: self.audit.as_ref().and_then(|a| a.fabric.clone()),
+            audited_tick: self.audit.as_ref().map(|a| a.tick),
         }
+    }
+
+    /// Applies `f` to one user's template and prepared subcarrier
+    /// detectors in place — see [`FrameEngine::retune`]. The closed-loop
+    /// effort controller's lever: nudging an a-FlexCore user's stopping
+    /// threshold between ticks without paying a re-prepare. Returns how
+    /// many of that user's prepared subcarriers changed.
+    pub fn retune_user(&mut self, user: usize, f: impl FnMut(&mut D) -> bool) -> usize {
+        self.users[user].engine.retune(f)
     }
 }
 
@@ -709,6 +765,106 @@ mod tests {
             .detect_tick_on_fabric(&pool, &CpuModel::fx8120(), &work)
             .is_empty());
         assert!(cell.stats().last_tick_fabric.is_some());
+    }
+
+    #[test]
+    fn tick_audit_is_tick_stamped_across_fabric_plain_and_empty_ticks() {
+        use crate::fabric::pool_for;
+        use flexcore_hwmodel::{CpuModel, HeterogeneousFabric, WorkUnit};
+        // Regression for the stale-audit bug: a plain tick after a fabric
+        // tick used to leave `last_tick_fabric` holding the *fabric*
+        // tick's audit, so `stats()` attributed an old audit to the most
+        // recent tick; empty calls compounded it. The audit is now written
+        // wholesale per non-empty tick and stamped with its tick id.
+        let mut cell = StreamingCell::new();
+        cell.add_user(mk_stream(5, 0.9, 141), FlexCoreDetector::with_pes(c16(), 8));
+        cell.add_user(mk_stream(5, 0.9, 142), FlexCoreDetector::with_pes(c16(), 8));
+        let submit_all = |cell: &mut StreamingCell<_>, seed: u64| {
+            for u in 0..2 {
+                let f = tx_frame(cell.stream(u), 3, seed + u as u64);
+                cell.submit(u, f);
+            }
+        };
+        assert_eq!(cell.stats().audited_tick, None);
+
+        // Tick 1: fabric-scheduled — the audit must carry a fabric record.
+        let pool = pool_for(&HeterogeneousFabric::lte_smallcell());
+        let work = WorkUnit::new(NT, 8);
+        submit_all(&mut cell, 1000);
+        cell.detect_tick_on_fabric(&pool, &CpuModel::fx8120(), &work);
+        let s1 = cell.stats();
+        assert_eq!(s1.audited_tick, Some(1));
+        assert!(
+            s1.last_tick_fabric.is_some(),
+            "fabric tick records an audit"
+        );
+
+        // Tick 2: plain — the fabric audit from tick 1 must NOT survive as
+        // if it described tick 2 (the pre-fix behaviour).
+        submit_all(&mut cell, 2000);
+        cell.detect_tick(&SequentialPool::new(4));
+        let s2 = cell.stats();
+        assert_eq!(s2.audited_tick, Some(2));
+        assert!(
+            s2.last_tick_fabric.is_none(),
+            "plain tick must clear the previous fabric tick's audit"
+        );
+        assert!(s2.last_tick_efficiency > 0.0 && s2.last_tick_efficiency <= 1.0);
+
+        // Empty call: not a tick — counter and audit both stay at tick 2,
+        // so the audit remains attributed to the tick it describes.
+        assert!(cell.detect_tick(&SequentialPool::new(4)).is_empty());
+        let s3 = cell.stats();
+        assert_eq!((s3.ticks, s3.audited_tick), (2, Some(2)));
+        assert_eq!(s3.last_tick_efficiency, s2.last_tick_efficiency);
+
+        // Tick 3: fabric again — stamp moves with the tick.
+        submit_all(&mut cell, 3000);
+        cell.detect_tick_on_fabric(&pool, &CpuModel::fx8120(), &work);
+        let s4 = cell.stats();
+        assert_eq!(s4.audited_tick, Some(3));
+        let fabric = s4.last_tick_fabric.expect("fabric audit recorded");
+        assert_eq!(s4.last_tick_efficiency, fabric.packing_efficiency);
+    }
+
+    #[test]
+    fn tick_batch_count_is_bounded_by_the_pool_not_the_user_count() {
+        // Regression for cross-user over-splitting: each served user's
+        // engine used to plan against the full `2·n_pes` target, so a
+        // 4-user tick on an 8-PE pool created 48 batches. The shared
+        // target is now divided across served users; the per-tick batch
+        // count is bounded by Σ_u n_subcarriers(u) + 2·n_pes (every user
+        // keeps ≥ 1 batch per prepared subcarrier).
+        const N_USERS: usize = 4;
+        const N_SC: usize = 6;
+        const N_PES: usize = 8;
+        let mut cell = StreamingCell::new();
+        for u in 0..N_USERS {
+            cell.add_user(
+                mk_stream(N_SC, 0.9, 160 + u as u64),
+                FlexCoreDetector::with_pes(c16(), 8),
+            );
+        }
+        for u in 0..N_USERS {
+            let f = tx_frame(cell.stream(u), 4, 170 + u as u64);
+            cell.submit(u, f);
+        }
+        let (work, batches) = cell.pop_tick_work(N_PES);
+        assert_eq!(work.len(), N_USERS);
+        assert!(
+            batches.len() <= N_USERS * N_SC + 2 * N_PES,
+            "tick batch count grew with the user count: {} batches",
+            batches.len()
+        );
+        // Floor: every (user, subcarrier) of every served frame is covered.
+        for widx in 0..N_USERS {
+            for sc in 0..N_SC {
+                assert!(
+                    batches.iter().any(|&(w, s, _, _)| w == widx && s == sc),
+                    "work {widx} subcarrier {sc} got no batch"
+                );
+            }
+        }
     }
 
     #[test]

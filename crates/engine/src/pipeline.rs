@@ -1,0 +1,1030 @@
+//! The pipelined streaming cell: overlapped stages, per-frame latency
+//! SLOs, and a closed-loop effort controller.
+//!
+//! The barrier cell ([`StreamingCell`](crate::StreamingCell)) serialises a
+//! tick: every user's transmit/prepare, then one shared detection run,
+//! then the caller's decode — nothing overlaps, so the PEs idle during
+//! channel estimation and CRC exactly as the paper's §4 hardware pipeline
+//! warns against. [`PipelinedCell`] overlaps the three stages the way a
+//! deployed base-band does:
+//!
+//! * the **transmit stage** (caller thread) ages channels, re-prepares the
+//!   moved subcarriers, builds frame *N+1*, and snapshots each
+//!   subcarrier's prepared detector ([`Arc`]-shared, refreshed only when
+//!   the slot's cache key moved);
+//! * the **detect stage** (worker thread) runs frame *N* through the
+//!   shared [`PePool`] with the same batch split, effort weighting, and
+//!   LPT order as a barrier tick;
+//! * the **decode stage** (worker thread) drains frame *N−1* into the
+//!   caller's decode hook and stamps the frame's **submit→decode latency**
+//!   into a [`LatencyRecord`].
+//!
+//! Stages are coupled by the bounded channels of `flexcore-parallel`
+//! ([`flexcore_parallel::bounded`]): a slow detect stage back-pressures
+//! the transmitter instead of queueing unboundedly, so offered load beyond
+//! capacity shows up as latency — which is what the per-frame deadline
+//! (see `flexcore_hwmodel::lte::frame_deadline_s`) is measured against.
+//!
+//! **Pipelining is scheduling-only.** A batch's result depends on exactly
+//! two things: the prepared detector state it runs against and the batch
+//! geometry. The detect stage consumes the transmit stage's snapshots
+//! (bit-identical clones of the prepared slots) and splits through the
+//! same shared grid-split helper as every other scheduling path, so on a
+//! frozen tuning schedule the pipelined detections are bit-identical to
+//! [`StreamingCell::process_tick`](crate::StreamingCell::process_tick) —
+//! a property the tests enforce cell-for-cell.
+//!
+//! The **closed loop** is the paper's §5.1 adjustability put to work: each
+//! decoded frame's latency feeds that user's [`EffortController`], which
+//! nudges the a-FlexCore stopping threshold down when frames miss their
+//! deadline and back up when there is headroom. The retune lever is
+//! `FrameEngine::retune` — a prefix re-truncation of the already-searched
+//! path selection (think `FlexCoreDetector::retune_threshold`), so the
+//! loop never pays a QR or a tree search to shed load.
+
+use crate::engine::{split_grid_batches, FrameEngine};
+use crate::frame::RxFrame;
+use crate::multiuser::TickOutput;
+use crate::stream::ChannelStream;
+use flexcore_detect::common::Detector;
+use flexcore_numeric::Cx;
+use flexcore_parallel::{bounded, lpt_order, PePool};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Per-frame submit→decode latency samples against one deadline.
+///
+/// Records every sample (seconds) plus a running deadline-miss count;
+/// [`LatencyRecord::stats`] reduces them to the nearest-rank percentiles
+/// the latency bench reports.
+///
+/// ```
+/// use flexcore_engine::pipeline::LatencyRecord;
+/// let mut rec = LatencyRecord::new(0.010);
+/// for ms in 1..=10u32 {
+///     rec.record(ms as f64 * 1e-3);
+/// }
+/// assert_eq!(rec.len(), 10);
+/// assert_eq!(rec.miss_rate(), 0.0); // 10 ms meets a 10 ms deadline
+/// assert_eq!(rec.quantile(0.5), 0.005);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyRecord {
+    deadline_s: f64,
+    samples: Vec<f64>,
+    misses: u64,
+}
+
+/// The reduced form of a [`LatencyRecord`]: sample count, nearest-rank
+/// percentiles, and the deadline-miss rate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub n: u64,
+    /// The deadline (s) the miss rate is measured against.
+    pub deadline_s: f64,
+    /// Median latency (s), nearest-rank.
+    pub p50_s: f64,
+    /// 95th-percentile latency (s), nearest-rank.
+    pub p95_s: f64,
+    /// 99th-percentile latency (s), nearest-rank.
+    pub p99_s: f64,
+    /// Worst observed latency (s).
+    pub max_s: f64,
+    /// Mean latency (s).
+    pub mean_s: f64,
+    /// Fraction of samples strictly above the deadline.
+    pub miss_rate: f64,
+}
+
+impl LatencyRecord {
+    /// An empty record measured against `deadline_s` (must be positive).
+    pub fn new(deadline_s: f64) -> Self {
+        assert!(
+            deadline_s > 0.0,
+            "LatencyRecord: deadline must be positive, got {deadline_s}"
+        );
+        LatencyRecord {
+            deadline_s,
+            samples: Vec::new(),
+            misses: 0,
+        }
+    }
+
+    /// Stamps one frame's latency (seconds).
+    pub fn record(&mut self, seconds: f64) {
+        // flexcore-lint: hot-path
+        // One push and one compare per decoded frame — this runs inside
+        // the decode stage, between a frame's CRC and the next recv.
+        self.samples.push(seconds);
+        if seconds > self.deadline_s {
+            self.misses += 1;
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The deadline (s) misses are counted against.
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    /// The raw samples, in arrival order — the bench's audit gate
+    /// recomputes the miss rate from these.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Fraction of samples strictly above the deadline (0.0 when empty).
+    pub fn miss_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.misses as f64 / self.samples.len() as f64
+    }
+
+    /// Nearest-rank `q`-quantile (`0 < q ≤ 1`) of the samples, 0.0 when
+    /// empty: the smallest sample of rank `⌈q·n⌉`, so `quantile(1.0)` is
+    /// the maximum and every returned value is an observed sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile: q out of range: {q}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        sorted[idx]
+    }
+
+    /// Reduces the record to counts, percentiles and the miss rate.
+    pub fn stats(&self) -> LatencyStats {
+        let n = self.samples.len();
+        let mean = if n == 0 {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / n as f64
+        };
+        LatencyStats {
+            n: n as u64,
+            deadline_s: self.deadline_s,
+            p50_s: self.quantile(0.50),
+            p95_s: self.quantile(0.95),
+            p99_s: self.quantile(0.99),
+            max_s: self.quantile(1.0),
+            mean_s: mean,
+            miss_rate: self.miss_rate(),
+        }
+    }
+}
+
+/// The closed-loop effort controller: one per user, folding observed
+/// frame latencies into an a-FlexCore stopping-threshold setpoint.
+///
+/// The policy is the classic asymmetric control loop: a deadline miss
+/// cuts the threshold by `down_step` scaled with how badly the frame
+/// overran (capped at 4× the base step), while a frame comfortably inside
+/// the deadline (< `headroom` of it) earns a small `up_step` back. The
+/// setpoint is clamped to `[floor, ceiling]` — the ceiling is the initial
+/// threshold (the controller only ever *sheds* accuracy relative to the
+/// operator's configuration), the floor bounds how much detection quality
+/// the operator is willing to trade for latency.
+///
+/// ```
+/// use flexcore_engine::pipeline::EffortController;
+/// let mut ctrl = EffortController::new(1e-3, 0.95);
+/// assert_eq!(ctrl.threshold(), 0.95);
+/// ctrl.observe(5e-3); // badly late → shed effort
+/// assert!(ctrl.threshold() < 0.95);
+/// for _ in 0..200 {
+///     ctrl.observe(1e-4); // plenty of headroom → climb back
+/// }
+/// assert_eq!(ctrl.threshold(), 0.95); // never above the ceiling
+/// ```
+#[derive(Clone, Debug)]
+pub struct EffortController {
+    deadline_s: f64,
+    threshold: f64,
+    floor: f64,
+    ceiling: f64,
+    down_step: f64,
+    up_step: f64,
+    headroom: f64,
+}
+
+impl EffortController {
+    /// A controller targeting `deadline_s` with the a-FlexCore threshold
+    /// starting (and capped) at `initial_threshold`. Defaults: floor 0.5,
+    /// down step 0.07, up step 0.015, headroom 0.7.
+    pub fn new(deadline_s: f64, initial_threshold: f64) -> Self {
+        assert!(
+            deadline_s > 0.0,
+            "EffortController: deadline must be positive, got {deadline_s}"
+        );
+        assert!(
+            initial_threshold > 0.0 && initial_threshold <= 1.0,
+            "EffortController: threshold must be in (0, 1], got {initial_threshold}"
+        );
+        EffortController {
+            deadline_s,
+            threshold: initial_threshold,
+            floor: 0.5_f64.min(initial_threshold),
+            ceiling: initial_threshold,
+            down_step: 0.07,
+            up_step: 0.015,
+            headroom: 0.7,
+        }
+    }
+
+    /// Replaces the threshold floor (must satisfy `0 < floor ≤ ceiling`).
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        assert!(
+            floor > 0.0 && floor <= self.ceiling,
+            "EffortController: floor must be in (0, ceiling], got {floor}"
+        );
+        self.floor = floor;
+        self.threshold = self.threshold.max(floor);
+        self
+    }
+
+    /// Replaces the recovery headroom: the threshold climbs back only
+    /// when a frame's latency is below `headroom × deadline` (must be in
+    /// `[0, 1)`). Lower headroom keeps a converged setpoint from creeping
+    /// back up against the deadline — `0.0` disables recovery entirely,
+    /// turning the loop into a pure shed-on-miss ratchet.
+    pub fn with_headroom(mut self, headroom: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&headroom),
+            "EffortController: headroom must be in [0, 1), got {headroom}"
+        );
+        self.headroom = headroom;
+        self
+    }
+
+    /// Replaces the control gains (both must be positive).
+    pub fn with_gains(mut self, down_step: f64, up_step: f64) -> Self {
+        assert!(
+            down_step > 0.0 && up_step > 0.0,
+            "EffortController: gains must be positive"
+        );
+        self.down_step = down_step;
+        self.up_step = up_step;
+        self
+    }
+
+    /// The current threshold setpoint.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The deadline (s) the loop controls against.
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    /// Folds one observed frame latency into the setpoint and returns the
+    /// updated threshold.
+    pub fn observe(&mut self, latency_s: f64) -> f64 {
+        if latency_s > self.deadline_s {
+            // Scale the cut with how badly the frame overran, capped so a
+            // single pathological sample cannot crater the setpoint.
+            let overrun = (latency_s / self.deadline_s - 1.0).min(3.0);
+            self.threshold -= self.down_step * (1.0 + overrun);
+        } else if latency_s < self.headroom * self.deadline_s {
+            self.threshold += self.up_step;
+        }
+        self.threshold = self.threshold.clamp(self.floor, self.ceiling);
+        self.threshold
+    }
+}
+
+/// A bit-identical snapshot of one prepared subcarrier slot, keyed so the
+/// transmit stage refreshes it only when the engine's slot actually moved
+/// (channel refresh or re-tune).
+struct SlotSnap<D> {
+    key: (u64, u64, u64),
+    det: Arc<D>,
+    effort: u64,
+}
+
+struct PipeUser<D> {
+    stream: ChannelStream,
+    engine: FrameEngine<D>,
+    controller: Option<EffortController>,
+    /// The threshold last applied through the retune hook, so the loop
+    /// only pays a retune sweep when the setpoint actually moved.
+    applied: Option<f64>,
+    snaps: Vec<Option<SlotSnap<D>>>,
+}
+
+impl<D: Detector + Clone + Sync> PipeUser<D> {
+    /// Refreshes the detector snapshots for every subcarrier whose slot
+    /// cache key moved since the last snapshot.
+    fn refresh_snaps(&mut self) {
+        let n_sc = self.stream.n_subcarriers();
+        if self.snaps.len() != n_sc {
+            self.snaps = (0..n_sc).map(|_| None).collect();
+        }
+        for sc in 0..n_sc {
+            let key = self
+                .engine
+                .slot_key(sc)
+                // flexcore-lint: allow(FL004, reason = "the transmit stage prepares the engine against the stream's estimate immediately before snapshotting, so every subcarrier holds a prepared slot")
+                .expect("pipeline: subcarrier not prepared");
+            let stale = match &self.snaps[sc] {
+                Some(snap) => snap.key != key,
+                None => true,
+            };
+            if stale {
+                self.snaps[sc] = Some(SlotSnap {
+                    key,
+                    det: Arc::new(self.engine.detector(sc).clone()),
+                    effort: self.engine.slot_effort(sc) as u64,
+                });
+            }
+        }
+    }
+
+    /// The current snapshots as `(shared detectors, efforts)` per
+    /// subcarrier — the detect stage's entire view of this user.
+    fn snapshot(&self) -> (Vec<Arc<D>>, Vec<u64>) {
+        self.snaps
+            .iter()
+            .map(|snap| {
+                let snap = snap
+                    .as_ref()
+                    // flexcore-lint: allow(FL004, reason = "refresh_snaps runs before every snapshot call and fills every subcarrier")
+                    .expect("pipeline: snapshot before refresh");
+                (Arc::clone(&snap.det), snap.effort)
+            })
+            .unzip()
+    }
+}
+
+/// One user's share of one in-flight tick: its frame plus the snapshotted
+/// per-subcarrier detectors and efforts the detect stage schedules with.
+struct JobEntry<D> {
+    user: usize,
+    frame: RxFrame,
+    dets: Vec<Arc<D>>,
+    efforts: Vec<u64>,
+}
+
+/// One tick travelling from the transmit stage to the detect stage.
+struct TickJob<D> {
+    tick: u64,
+    submitted: Instant,
+    entries: Vec<JobEntry<D>>,
+}
+
+/// One detected tick travelling from the detect stage to the decode
+/// stage.
+struct DoneTick<T> {
+    tick: u64,
+    submitted: Instant,
+    outputs: Vec<TickOutput<T>>,
+}
+
+/// Everything one pipelined run produced: latency records (overall and
+/// per user), progress counters, and where the effort controllers ended
+/// up.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Ticks that carried at least one frame into the pipeline.
+    pub ticks: u64,
+    /// Frames submitted (and, because the run drains before returning,
+    /// detected and decoded) across all users.
+    pub frames: u64,
+    /// Prepared subcarrier slots changed by controller-driven retunes.
+    pub retuned_slots: u64,
+    /// Each user's final controller threshold (`None` for uncontrolled
+    /// users).
+    pub final_thresholds: Vec<Option<f64>>,
+    /// Submit→decode latency across every frame of every user.
+    pub overall: LatencyRecord,
+    /// Submit→decode latency per user, indexed by user id.
+    pub per_user: Vec<LatencyRecord>,
+}
+
+/// The pipelined multi-user serving cell — see the [module docs](self).
+///
+/// Per tick, the transmit stage builds frame *N+1* while the detect stage
+/// works frame *N* and the decode stage drains frame *N−1*; the bounded
+/// hand-off queues (capacity [`PipelinedCell::with_queue_depth`]) make a
+/// saturated detect stage back-pressure the transmitter.
+pub struct PipelinedCell<D> {
+    users: Vec<PipeUser<D>>,
+    queue_depth: usize,
+}
+
+impl<D: Detector + Clone + Send + Sync> Default for PipelinedCell<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: Detector + Clone + Send + Sync> PipelinedCell<D> {
+    /// An empty cell with the default hand-off queue depth of 2 (one tick
+    /// in flight per stage boundary plus one buffered).
+    pub fn new() -> Self {
+        Self::with_queue_depth(2)
+    }
+
+    /// An empty cell whose stage hand-off queues each hold `queue_depth`
+    /// ticks (must be ≥ 1). Deeper queues smooth bursty detect cost at
+    /// the price of staler latency feedback.
+    pub fn with_queue_depth(queue_depth: usize) -> Self {
+        assert!(queue_depth >= 1, "PipelinedCell: queue depth must be ≥ 1");
+        PipelinedCell {
+            users: Vec::new(),
+            queue_depth,
+        }
+    }
+
+    /// Registers an uncontrolled user (fixed tuning for the whole run):
+    /// its channel stream plus the detector template its engine stamps
+    /// per subcarrier. The engine is prepared against the stream's
+    /// initial estimates immediately. Returns the user id.
+    pub fn add_user(&mut self, stream: ChannelStream, template: D) -> usize {
+        self.push_user(stream, template, None)
+    }
+
+    /// Registers a user whose effort is closed-loop controlled: every
+    /// decoded frame's latency feeds `controller`, and threshold moves
+    /// are applied through the `retune` hook of [`PipelinedCell::run`].
+    pub fn add_controlled_user(
+        &mut self,
+        stream: ChannelStream,
+        template: D,
+        controller: EffortController,
+    ) -> usize {
+        self.push_user(stream, template, Some(controller))
+    }
+
+    fn push_user(
+        &mut self,
+        stream: ChannelStream,
+        template: D,
+        controller: Option<EffortController>,
+    ) -> usize {
+        let mut engine = FrameEngine::new(template);
+        engine.prepare(stream.estimate());
+        self.users.push(PipeUser {
+            stream,
+            engine,
+            controller,
+            applied: None,
+            snaps: Vec::new(),
+        });
+        self.users.len() - 1
+    }
+
+    /// Number of registered users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// One user's channel stream.
+    pub fn stream(&self, user: usize) -> &ChannelStream {
+        &self.users[user].stream
+    }
+
+    /// One user's frame engine (prepared detectors, effort profile).
+    pub fn engine(&self, user: usize) -> &FrameEngine<D> {
+        &self.users[user].engine
+    }
+
+    /// One user's effort controller, if it was registered with one.
+    pub fn controller(&self, user: usize) -> Option<&EffortController> {
+        self.users[user].controller.as_ref()
+    }
+
+    /// Runs `n_ticks` through the three overlapped stages and returns the
+    /// run's latency records once every submitted frame has drained.
+    ///
+    /// Per tick the **transmit stage** (this thread) first drains decoded
+    /// frames' latencies into the users' controllers and applies any
+    /// threshold move via `retune` (which receives a detector and the new
+    /// setpoint, returning whether it changed the active configuration —
+    /// pass `|_, _| false` when no user is controlled), then for every
+    /// user calls `advance` (age the stream however the scenario
+    /// dictates), re-prepares the engine, and calls `transmit`; a
+    /// returned frame is snapshotted into the tick's job (`None` skips
+    /// the user this tick). The **detect stage** runs each job on `pool`
+    /// with the shared batch split, per-subcarrier effort weights, and
+    /// one LPT-ordered run per tick, exactly like a barrier tick. The
+    /// **decode stage** feeds every [`TickOutput`] to `decode` and stamps
+    /// the frame's submit→decode latency against `deadline_s`.
+    ///
+    /// On a frozen tuning schedule (no controllers, `retune` never
+    /// fires) every user's detections are bit-identical to the barrier
+    /// [`StreamingCell::process_tick`](crate::StreamingCell::process_tick)
+    /// fed the same frames — pipelining is scheduling-only.
+    ///
+    /// # Panics
+    /// Panics if `deadline_s` is not positive, if a transmitted frame's
+    /// width does not match its user's stream, or if a stage worker
+    /// panicked (the panic is resumed on this thread).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<P, T, A, X, F, G, R>(
+        &mut self,
+        pool: &P,
+        n_ticks: u64,
+        deadline_s: f64,
+        mut advance: A,
+        mut transmit: X,
+        detect: F,
+        decode: G,
+        mut retune: R,
+    ) -> PipelineReport
+    where
+        P: PePool + Sync,
+        T: Send,
+        A: FnMut(u64, usize, &mut ChannelStream),
+        X: FnMut(u64, usize, &ChannelStream) -> Option<RxFrame>,
+        F: Fn(&D, usize, usize, &[&[Cx]]) -> Vec<T> + Sync,
+        G: FnMut(u64, &TickOutput<T>) + Send,
+        R: FnMut(&mut D, f64) -> bool,
+    {
+        assert!(
+            deadline_s > 0.0,
+            "PipelinedCell: deadline must be positive, got {deadline_s}"
+        );
+        let n_users = self.users.len();
+        let (job_tx, job_rx) = bounded::<TickJob<D>>(self.queue_depth);
+        let (done_tx, done_rx) = bounded::<DoneTick<T>>(self.queue_depth);
+        // Decoded frames' latencies flow back to the transmit stage's
+        // controllers through here — one lock per decoded frame, drained
+        // once per tick.
+        let feedback: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+        let feedback_ref = &feedback;
+        let detect_fn = &detect;
+
+        let mut ticks = 0u64;
+        let mut frames = 0u64;
+        let mut retuned_slots = 0u64;
+
+        let (overall, per_user) = std::thread::scope(|scope| {
+            let detect_handle = scope.spawn(move || {
+                while let Some(job) = job_rx.recv() {
+                    let done = detect_stage(pool, detect_fn, job);
+                    if done_tx.send(done).is_err() {
+                        break; // decode stage is gone; drain and exit
+                    }
+                }
+            });
+            let mut decode = decode;
+            let decode_handle = scope.spawn(move || {
+                let mut overall = LatencyRecord::new(deadline_s);
+                let mut per_user: Vec<LatencyRecord> = (0..n_users)
+                    .map(|_| LatencyRecord::new(deadline_s))
+                    .collect();
+                while let Some(done) = done_rx.recv() {
+                    for out in &done.outputs {
+                        decode(done.tick, out);
+                        // The frame's life ends here: latency spans
+                        // submit (transmit-stage stamp, including any
+                        // backpressure wait) through decode return.
+                        let latency = done.submitted.elapsed().as_secs_f64();
+                        overall.record(latency);
+                        per_user[out.user].record(latency);
+                        feedback_ref
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((out.user, latency));
+                    }
+                }
+                (overall, per_user)
+            });
+
+            for tick in 0..n_ticks {
+                // Close the loop: latencies decoded since last tick move
+                // the controllers, and a moved setpoint is applied to the
+                // user's engine (template + every prepared slot) before
+                // this tick's snapshots are taken.
+                let decoded: Vec<(usize, f64)> =
+                    std::mem::take(&mut *feedback.lock().unwrap_or_else(PoisonError::into_inner));
+                for (u, latency) in decoded {
+                    if let Some(ctrl) = self.users[u].controller.as_mut() {
+                        ctrl.observe(latency);
+                    }
+                }
+                for user in &mut self.users {
+                    if let Some(t) = user.controller.as_ref().map(EffortController::threshold) {
+                        if user.applied != Some(t) {
+                            retuned_slots += user.engine.retune(|d| retune(d, t)) as u64;
+                            user.applied = Some(t);
+                        }
+                    }
+                }
+
+                // Transmit/prepare frame N+1 while the workers hold N and
+                // N−1.
+                let mut entries = Vec::with_capacity(n_users);
+                for u in 0..n_users {
+                    let user = &mut self.users[u];
+                    advance(tick, u, &mut user.stream);
+                    user.engine.prepare(user.stream.estimate());
+                    user.refresh_snaps();
+                    if let Some(frame) = transmit(tick, u, &user.stream) {
+                        assert_eq!(
+                            frame.n_subcarriers(),
+                            user.stream.n_subcarriers(),
+                            "pipeline: frame width does not match user {u}'s band"
+                        );
+                        let (dets, efforts) = user.snapshot();
+                        user.engine.record_frame(frame.n_vectors());
+                        frames += 1;
+                        entries.push(JobEntry {
+                            user: u,
+                            frame,
+                            dets,
+                            efforts,
+                        });
+                    }
+                }
+                if entries.is_empty() {
+                    continue;
+                }
+                ticks += 1;
+                let job = TickJob {
+                    tick,
+                    submitted: Instant::now(),
+                    entries,
+                };
+                // A full queue blocks here — backpressure, not loss.
+                if job_tx.send(job).is_err() {
+                    break; // detect stage is gone; its panic resumes below
+                }
+            }
+
+            // Closing the job channel drains the pipeline: detect sees
+            // end-of-stream after the last job, decode after the last
+            // done-tick.
+            drop(job_tx);
+            if let Err(payload) = detect_handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+            match decode_handle.join() {
+                Ok(records) => records,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        });
+
+        PipelineReport {
+            ticks,
+            frames,
+            retuned_slots,
+            final_thresholds: self
+                .users
+                .iter()
+                .map(|u| u.controller.as_ref().map(EffortController::threshold))
+                .collect(),
+            overall,
+            per_user,
+        }
+    }
+}
+
+/// The detect stage's work for one tick: the same split, weighting, LPT
+/// order and scatter as a barrier tick, run against the job's detector
+/// snapshots instead of the (possibly already re-prepared) engines.
+fn detect_stage<D, P, T, F>(pool: &P, f: &F, job: TickJob<D>) -> DoneTick<T>
+where
+    D: Detector + Send + Sync,
+    P: PePool,
+    T: Send,
+    F: Fn(&D, usize, usize, &[&[Cx]]) -> Vec<T> + Sync,
+{
+    // One shared 2·n_pes task target divided across the served users —
+    // identical to the barrier tick's split, which is what keeps the
+    // batch geometry (and therefore the results) bit-identical.
+    let target = (2 * pool.n_pes()).div_ceil(job.entries.len().max(1));
+    let mut batches: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for (eidx, entry) in job.entries.iter().enumerate() {
+        for (sc, from, to) in
+            split_grid_batches(entry.frame.n_subcarriers(), entry.frame.n_symbols(), target)
+        {
+            batches.push((eidx, sc, from, to));
+        }
+    }
+    let costs: Vec<u64> = batches
+        .iter()
+        .map(|&(e, sc, from, to)| job.entries[e].efforts[sc] * (to - from) as u64)
+        .collect();
+    let order = lpt_order(&costs);
+    let ordered: Vec<(usize, usize, usize, usize)> = order.iter().map(|&i| batches[i]).collect();
+
+    let tasks: Vec<_> = ordered
+        .iter()
+        .map(|&(e, sc, from, to)| {
+            let entry = &job.entries[e];
+            move || {
+                let ys = entry.frame.column_chunk(sc, from, to);
+                let out = f(entry.dets[sc].as_ref(), entry.user, sc, &ys);
+                assert_eq!(out.len(), to - from, "pipeline batch output count mismatch");
+                out
+            }
+        })
+        .collect();
+    let per_batch = pool.run(tasks);
+
+    let mut grids: Vec<Vec<Option<T>>> = job
+        .entries
+        .iter()
+        .map(|e| (0..e.frame.n_vectors()).map(|_| None).collect())
+        .collect();
+    {
+        // flexcore-lint: hot-path
+        // Scatter by grid position into the preallocated grids — the
+        // ordering-erasing step that makes LPT order invisible downstream.
+        for (&(e, sc, from, _), outputs) in ordered.iter().zip(per_batch) {
+            let n_sc = job.entries[e].frame.n_subcarriers();
+            for (offset, value) in outputs.into_iter().enumerate() {
+                grids[e][(from + offset) * n_sc + sc] = Some(value);
+            }
+        }
+    }
+    let outputs = job
+        .entries
+        .iter()
+        .zip(grids)
+        .map(|(entry, grid)| TickOutput {
+            user: entry.user,
+            n_subcarriers: entry.frame.n_subcarriers(),
+            cells: grid
+                .into_iter()
+                // flexcore-lint: allow(FL004, reason = "the batches tile each entry's grid exactly (shared split helper), so every cell was produced above")
+                .map(|v| v.expect("pipeline cell never produced"))
+                .collect(),
+        })
+        .collect();
+    DoneTick {
+        tick: job.tick,
+        submitted: job.submitted,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DetectedFrame;
+    use crate::multiuser::StreamingCell;
+    use flexcore::CellDetector;
+    use flexcore_channel::ChannelEnsemble;
+    use flexcore_modulation::{Constellation, Modulation};
+    use flexcore_parallel::{CrossbeamPool, SequentialPool};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const NT: usize = 4;
+
+    fn c16() -> Constellation {
+        Constellation::new(Modulation::Qam16)
+    }
+
+    fn mk_stream(n_sc: usize, seed: u64) -> ChannelStream {
+        let ens = ChannelEnsemble::iid(NT, NT);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ChannelStream::new(&ens, n_sc, 0.9, 3, 0.02, &mut rng)
+    }
+
+    /// Random 16-QAM transmit frame through one user's truth channels,
+    /// fully determined by `seed`.
+    fn tx_frame(stream: &ChannelStream, n_sym: usize, seed: u64) -> RxFrame {
+        let c = c16();
+        let mut sym_rng = StdRng::seed_from_u64(seed);
+        let mut noise_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        stream.transmit_frame(
+            n_sym,
+            |_, _| {
+                (0..NT)
+                    .map(|_| c.point(sym_rng.gen_range(0..c.order())))
+                    .collect()
+            },
+            &mut noise_rng,
+        )
+    }
+
+    fn advance_seed(tick: u64, user: usize) -> u64 {
+        1000 * (user as u64 + 1) + tick
+    }
+
+    fn tx_seed(tick: u64, user: usize) -> u64 {
+        500 + 10 * user as u64 + tick
+    }
+
+    #[test]
+    fn latency_record_quantiles_and_miss_rate() {
+        let empty = LatencyRecord::new(1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.miss_rate(), 0.0);
+        assert_eq!(empty.stats().p99_s, 0.0);
+
+        // 1..=100 ms recorded out of order; nearest-rank percentiles must
+        // be the observed samples regardless.
+        let mut rec = LatencyRecord::new(0.095);
+        for ms in (1..=100u32).rev() {
+            rec.record(ms as f64 * 1e-3);
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.n, 100);
+        assert_eq!(stats.p50_s, 0.050);
+        assert_eq!(stats.p95_s, 0.095);
+        assert_eq!(stats.p99_s, 0.099);
+        assert_eq!(stats.max_s, 0.100);
+        assert!((stats.mean_s - 0.0505).abs() < 1e-12);
+        // 96..=100 ms are strictly above the 95 ms deadline.
+        assert_eq!(stats.miss_rate, 0.05);
+        assert!(stats.p50_s <= stats.p95_s && stats.p95_s <= stats.p99_s);
+        assert!(stats.p99_s <= stats.max_s);
+    }
+
+    #[test]
+    fn effort_controller_sheds_recovers_and_clamps() {
+        let mut ctrl = EffortController::new(1.0, 0.95).with_floor(0.6);
+        // Sustained misses walk the threshold to the floor, monotonically.
+        let mut prev = ctrl.threshold();
+        for _ in 0..50 {
+            let t = ctrl.observe(2.0);
+            assert!(t <= prev, "miss must never raise the threshold");
+            prev = t;
+        }
+        assert_eq!(ctrl.threshold(), 0.6, "sustained misses hit the floor");
+        // Sustained headroom climbs back, capped at the initial ceiling.
+        for _ in 0..100 {
+            ctrl.observe(0.1);
+        }
+        assert_eq!(ctrl.threshold(), 0.95, "recovery saturates at ceiling");
+        // In the dead band (inside deadline, no headroom) nothing moves.
+        let before = ctrl.observe(0.9);
+        assert_eq!(ctrl.observe(0.9), before);
+    }
+
+    #[test]
+    fn pipelined_detections_are_bit_identical_to_the_barrier_tick() {
+        // 3 users (fixed + adaptive mix), 5 ticks, one user skipping one
+        // tick: every decoded frame must equal the barrier StreamingCell
+        // fed the same deterministic schedule, cell for cell.
+        const N_SC: usize = 5;
+        const N_SYM: usize = 3;
+        const N_TICKS: u64 = 5;
+        let mk_users = || {
+            vec![
+                (mk_stream(N_SC, 71), CellDetector::fixed(c16(), 8)),
+                (mk_stream(N_SC, 72), CellDetector::adaptive(c16(), 8, 0.95)),
+                (mk_stream(N_SC, 73), CellDetector::adaptive(c16(), 8, 0.9)),
+            ]
+        };
+        let skip = |tick: u64, user: usize| tick == 2 && user == 1;
+
+        // Barrier reference: advance → submit → tick, per tick.
+        let mut cell = StreamingCell::new();
+        for (stream, det) in mk_users() {
+            cell.add_user(stream, det);
+        }
+        let mut want: Vec<(u64, usize, DetectedFrame)> = Vec::new();
+        for tick in 0..N_TICKS {
+            for u in 0..3 {
+                let mut rng = StdRng::seed_from_u64(advance_seed(tick, u));
+                cell.advance_user(u, &mut rng);
+                if !skip(tick, u) {
+                    let f = tx_frame(cell.stream(u), N_SYM, tx_seed(tick, u));
+                    cell.submit(u, f);
+                }
+            }
+            for (u, frame) in cell.detect_tick(&SequentialPool::new(4)) {
+                want.push((tick, u, frame));
+            }
+        }
+
+        // Pipelined run over the identical schedule, on a real thread
+        // pool, with the retune hook wired but never firing.
+        let mut pipe = PipelinedCell::new();
+        for (stream, det) in mk_users() {
+            pipe.add_user(stream, det);
+        }
+        let got: Mutex<Vec<(u64, usize, DetectedFrame)>> = Mutex::new(Vec::new());
+        let pool = CrossbeamPool::work_queue(3);
+        let report = pipe.run(
+            &pool,
+            N_TICKS,
+            1.0,
+            |tick, u, stream| {
+                let mut rng = StdRng::seed_from_u64(advance_seed(tick, u));
+                stream.advance(&mut rng);
+            },
+            |tick, u, stream| (!skip(tick, u)).then(|| tx_frame(stream, N_SYM, tx_seed(tick, u))),
+            |det, _u, _sc, ys| det.detect_batch_refs(ys),
+            |tick, out| {
+                got.lock().unwrap().push((
+                    tick,
+                    out.user,
+                    DetectedFrame::from_parts(out.n_subcarriers, out.cells.clone()),
+                ));
+            },
+            |_d, _t| false,
+        );
+        let got = got.into_inner().unwrap();
+
+        assert_eq!(report.ticks, N_TICKS);
+        assert_eq!(report.frames as usize, want.len());
+        assert_eq!(report.retuned_slots, 0);
+        assert_eq!(report.final_thresholds, vec![None; 3]);
+        assert_eq!(got.len(), want.len());
+        // Decode preserves tick order, and within a tick user order — the
+        // same order the barrier loop produced.
+        for ((gt, gu, gframe), (wt, wu, wframe)) in got.iter().zip(&want) {
+            assert_eq!((gt, gu), (wt, wu));
+            assert_eq!(gframe, wframe, "tick {gt} user {gu}");
+        }
+        // Latency accounting covered every frame.
+        assert_eq!(report.overall.len(), want.len());
+        let per_user_total: usize = report.per_user.iter().map(LatencyRecord::len).sum();
+        assert_eq!(per_user_total, want.len());
+    }
+
+    #[test]
+    fn controller_sheds_effort_when_frames_miss_an_impossible_deadline() {
+        // A 1 ns deadline is unmeetable, so every decoded frame is a miss
+        // and the controllers must walk the adaptive users' thresholds
+        // down — retuning prepared slots along the way. Queue depth 1
+        // bounds the pipeline to ~4 ticks in flight, so over 12 ticks the
+        // transmit stage is guaranteed to see feedback.
+        const N_TICKS: u64 = 12;
+        let deadline = 1e-9;
+        let mut pipe = PipelinedCell::with_queue_depth(1);
+        // A noisy channel (~6 dB) keeps the a-FlexCore selection long, so
+        // a lower threshold reliably cuts the active prefix shorter.
+        let noisy = {
+            let ens = ChannelEnsemble::iid(NT, NT);
+            let mut rng = StdRng::seed_from_u64(81);
+            ChannelStream::new(&ens, 4, 0.9, 3, 0.25, &mut rng)
+        };
+        pipe.add_controlled_user(
+            noisy,
+            CellDetector::adaptive(c16(), 8, 0.95),
+            EffortController::new(deadline, 0.95).with_floor(0.6),
+        );
+        pipe.add_user(mk_stream(4, 82), CellDetector::fixed(c16(), 8));
+        let report = pipe.run(
+            &SequentialPool::new(4),
+            N_TICKS,
+            deadline,
+            |tick, u, stream| {
+                let mut rng = StdRng::seed_from_u64(advance_seed(tick, u));
+                stream.advance(&mut rng);
+            },
+            |tick, u, stream| Some(tx_frame(stream, 3, tx_seed(tick, u))),
+            |det, _u, _sc, ys| det.detect_batch_refs(ys),
+            |_tick, _out| {},
+            |d, t| d.retune_threshold(t),
+        );
+        assert_eq!(report.frames, 2 * N_TICKS);
+        assert_eq!(report.overall.miss_rate(), 1.0, "1 ns is always missed");
+        let t0 = report.final_thresholds[0].expect("user 0 is controlled");
+        assert!(
+            (0.6..0.95).contains(&t0),
+            "controller must shed effort within its bounds: {t0}"
+        );
+        assert!(report.retuned_slots > 0, "threshold moves must reach slots");
+        assert_eq!(report.final_thresholds[1], None, "fixed user uncontrolled");
+        // The cell's live controller state matches the report.
+        assert_eq!(
+            pipe.controller(0).map(EffortController::threshold),
+            Some(t0)
+        );
+        assert!(pipe.controller(1).is_none());
+    }
+
+    #[test]
+    fn empty_transmit_ticks_flow_through_without_output() {
+        let mut pipe = PipelinedCell::new();
+        pipe.add_user(mk_stream(3, 91), CellDetector::fixed(c16(), 4));
+        let decoded = Mutex::new(0usize);
+        let report = pipe.run(
+            &SequentialPool::new(2),
+            4,
+            1.0,
+            |_, _, _| {},
+            |tick, u, stream| (tick % 2 == 0).then(|| tx_frame(stream, 2, tx_seed(tick, u))),
+            |det, _u, _sc, ys| det.detect_batch_refs(ys),
+            |_tick, _out| *decoded.lock().unwrap() += 1,
+            |_d, _t| false,
+        );
+        assert_eq!(report.ticks, 2, "only frame-carrying ticks count");
+        assert_eq!(report.frames, 2);
+        assert_eq!(*decoded.lock().unwrap(), 2);
+        assert_eq!(report.overall.len(), 2);
+    }
+}

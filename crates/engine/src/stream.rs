@@ -209,6 +209,61 @@ mod tests {
     }
 
     #[test]
+    fn non_divisible_band_refreshes_every_subcarrier_once_per_period() {
+        // 7 subcarriers / period 3: the residue classes are uneven
+        // ({0,3,6}, {1,4}, {2,5}), so per-frame refresh counts cannot be
+        // equal — but every full 3-frame window must still cover each
+        // subcarrier exactly once, with per-frame shares differing by ≤ 1.
+        let mut s = stream(7, 0.9, 3, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        for window in 0..4 {
+            let before: Vec<u64> = (0..7).map(|sc| s.estimate().generation(sc)).collect();
+            let counts: Vec<usize> = (0..3).map(|_| s.advance(&mut rng)).collect();
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                7,
+                "window {window}: one full band sweep per period, got {counts:?}"
+            );
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(
+                max - min <= 1,
+                "window {window}: refresh shares must differ by ≤ 1, got {counts:?}"
+            );
+            // Every subcarrier moved at least once; with exactly 7 updates
+            // in the window, that is exactly once each.
+            for (sc, &b) in before.iter().enumerate() {
+                assert!(
+                    s.estimate().generation(sc) > b,
+                    "window {window}: subcarrier {sc} never refreshed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_tracks_uneven_refresh_shares_on_a_non_divisible_band() {
+        // The cache contract from `engine_reprepares_exactly_the_refreshed
+        // _subcarriers`, on a band the period does not divide: re-prepare
+        // counts follow the uneven 2/2/3 cadence, never a rounded average.
+        let mut s = stream(7, 0.8, 3, 9);
+        let mut engine = FrameEngine::new(MmseDetector::new(Constellation::new(Modulation::Qam16)));
+        assert_eq!(engine.prepare(s.estimate()), 7, "cold cache");
+        let mut rng = StdRng::seed_from_u64(10);
+        for frame in 0..9 {
+            let refreshed = s.advance(&mut rng);
+            assert!(
+                (2..=3).contains(&refreshed),
+                "frame {frame}: 7 subcarriers / period 3 refreshes 2 or 3, got {refreshed}"
+            );
+            assert_eq!(
+                engine.prepare(s.estimate()),
+                refreshed,
+                "frame {frame}: cache must re-prepare only moved subcarriers"
+            );
+        }
+    }
+
+    #[test]
     fn static_channel_keeps_estimates_exact() {
         let mut s = stream(6, 1.0, 2, 5);
         let mut rng = StdRng::seed_from_u64(6);

@@ -34,13 +34,20 @@
 //! frames through them. Scheduling is ordering/placement only — detections
 //! stay bit-identical across substrates, a property the workspace tests
 //! enforce.
+//!
+//! The crate also carries [`bounded`] — a tiny fixed-capacity MPSC channel
+//! (one `std` mutex plus two condvars, no runtime, no `unsafe`) whose
+//! blocking send is the backpressure coupling the pipelined cell's
+//! overlapped transmit / detect / decode stages in `flexcore-engine`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod pool;
 pub mod weighted;
 
+pub use channel::{bounded, Receiver, SendError, Sender};
 pub use pool::{
     lpt_makespan, lpt_makespan_from_order, lpt_order, schedule_rounds, CrossbeamPool, PePool,
     ScheduleMode, SequentialPool, WorkStats,
