@@ -418,6 +418,11 @@ impl FlexCoreDetector {
         &self.prepared().tri
     }
 
+    /// The constellation this detector slices against.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
     /// The selected position vectors (most promising first), borrowed from
     /// the prepared state (empty before `prepare`).
     pub fn position_vectors(&self) -> &[PositionVector] {

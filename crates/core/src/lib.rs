@@ -48,7 +48,7 @@ pub use flexcore_detect::common::PathScratch;
 pub use flexcore_numeric::SymVec;
 pub use grid::PathGrid;
 pub use kbest_adaptive::AdaptiveKBest;
-pub use mixed::CellDetector;
+pub use mixed::{CellDetector, ServiceTier};
 pub use model::LevelErrorModel;
 pub use position::PositionVector;
 pub use preprocess::{PreprocessOutput, Preprocessor};

@@ -11,20 +11,43 @@
 
 use crate::adaptive::AdaptiveFlexCore;
 use crate::detector::FlexCoreDetector;
-use crate::soft::{SoftDecision, SoftDetector};
+use crate::soft::{SoftDecision, SoftDetector, MISSING_HYPOTHESIS_LLR};
 use flexcore_detect::common::Detector;
+use flexcore_detect::linear::MmseDetector;
+use flexcore_detect::sic::SicDetector;
 use flexcore_modulation::Constellation;
 use flexcore_numeric::{CMat, Cx};
 
-/// Either a fixed-budget FlexCore or an adaptive a-FlexCore — one type, so
-/// a [`FrameEngine`](../flexcore_engine) template (and therefore a
-/// streaming cell) can mix both per user.
+/// The service quality a [`CellDetector`] variant delivers, ordered from
+/// best to cheapest. Overload policies (the city layer's shedding
+/// controller) walk users *down* this ladder instead of letting their
+/// queues starve: FlexCore → ordered SIC → linear MMSE, the mixed
+/// deployment §5.1 anticipates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceTier {
+    /// Full tree-search service (fixed FlexCore or a-FlexCore).
+    Full,
+    /// Ordered successive interference cancellation — one path, a small
+    /// SER penalty, a fraction of the trie-walk work.
+    Sic,
+    /// Linear MMSE — one matrix–vector product per received vector, the
+    /// cheapest tier and the largest SER penalty.
+    Linear,
+}
+
+/// A per-user detector choice for a mixed cell — one type, so a
+/// [`FrameEngine`](../flexcore_engine) template (and therefore a
+/// streaming cell) can mix all variants per user.
 #[derive(Clone, Debug)]
 pub enum CellDetector {
     /// FlexCore spending its full `N_PE` path budget on every channel.
     Fixed(FlexCoreDetector),
     /// a-FlexCore with the §5.1 stopping criterion.
     Adaptive(AdaptiveFlexCore),
+    /// Degraded tier: ordered SIC (the shedding lever's first stop).
+    Sic(SicDetector),
+    /// Degraded tier: linear MMSE (the cheapest shedding tier).
+    Linear(MmseDetector),
 }
 
 impl CellDetector {
@@ -39,16 +62,71 @@ impl CellDetector {
         CellDetector::Adaptive(AdaptiveFlexCore::new(constellation, n_pe, threshold))
     }
 
+    /// A downgraded user on the ordered-SIC tier.
+    pub fn sic(constellation: Constellation) -> Self {
+        CellDetector::Sic(SicDetector::new(constellation))
+    }
+
+    /// A downgraded user on the linear-MMSE tier.
+    pub fn linear(constellation: Constellation) -> Self {
+        CellDetector::Linear(MmseDetector::new(constellation))
+    }
+
+    /// Builds the unprepared template for `tier`, reusing this user's
+    /// constellation and (for [`ServiceTier::Full`]) its PE budget and
+    /// stopping threshold. The caller swaps the result into the user's
+    /// engine and re-prepares — see `StreamingCell::swap_user_detector`.
+    pub fn for_tier(&self, tier: ServiceTier) -> Self {
+        let c = self.constellation().clone();
+        match tier {
+            ServiceTier::Full => match self {
+                // Already-full users keep their exact variant; degraded
+                // users are restored to a fixed FlexCore at the paper's
+                // default budget of one PE per constellation point.
+                CellDetector::Fixed(_) | CellDetector::Adaptive(_) => self.clone(),
+                _ => CellDetector::fixed(c.clone(), c.order()),
+            },
+            ServiceTier::Sic => CellDetector::sic(c),
+            ServiceTier::Linear => CellDetector::linear(c),
+        }
+    }
+
+    /// The service tier this variant delivers.
+    pub fn tier(&self) -> ServiceTier {
+        match self {
+            CellDetector::Fixed(_) | CellDetector::Adaptive(_) => ServiceTier::Full,
+            CellDetector::Sic(_) => ServiceTier::Sic,
+            CellDetector::Linear(_) => ServiceTier::Linear,
+        }
+    }
+
+    /// Whether this user is on a degraded (shed) tier.
+    pub fn is_degraded(&self) -> bool {
+        self.tier() != ServiceTier::Full
+    }
+
     /// Whether this user runs the adaptive variant.
     pub fn is_adaptive(&self) -> bool {
         matches!(self, CellDetector::Adaptive(_))
     }
 
-    /// The underlying FlexCore engine state (prepared path set etc.).
-    pub fn core(&self) -> &FlexCoreDetector {
+    /// The constellation this user transmits with (same across tiers).
+    pub fn constellation(&self) -> &Constellation {
         match self {
-            CellDetector::Fixed(d) => d,
-            CellDetector::Adaptive(d) => d.inner(),
+            CellDetector::Fixed(d) => d.constellation(),
+            CellDetector::Adaptive(d) => d.inner().constellation(),
+            CellDetector::Sic(d) => d.constellation(),
+            CellDetector::Linear(d) => d.constellation(),
+        }
+    }
+
+    /// The underlying FlexCore engine state (prepared path set etc.);
+    /// `None` for the degraded tiers, which carry no trie state.
+    pub fn core(&self) -> Option<&FlexCoreDetector> {
+        match self {
+            CellDetector::Fixed(d) => Some(d),
+            CellDetector::Adaptive(d) => Some(d.inner()),
+            CellDetector::Sic(_) | CellDetector::Linear(_) => None,
         }
     }
 
@@ -62,8 +140,8 @@ impl CellDetector {
     /// `false` for a fixed user).
     pub fn retune_threshold(&mut self, t: f64) -> bool {
         match self {
-            CellDetector::Fixed(_) => false,
             CellDetector::Adaptive(d) => d.retune_threshold(t),
+            _ => false,
         }
     }
 }
@@ -73,6 +151,8 @@ impl Detector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.name(),
             CellDetector::Adaptive(d) => format!("a-{}", d.name()),
+            CellDetector::Sic(d) => d.name(),
+            CellDetector::Linear(d) => d.name(),
         }
     }
 
@@ -80,6 +160,8 @@ impl Detector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.prepare(h, sigma2),
             CellDetector::Adaptive(d) => d.prepare(h, sigma2),
+            CellDetector::Sic(d) => d.prepare(h, sigma2),
+            CellDetector::Linear(d) => d.prepare(h, sigma2),
         }
     }
 
@@ -87,15 +169,21 @@ impl Detector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.detect(y),
             CellDetector::Adaptive(d) => d.detect(y),
+            CellDetector::Sic(d) => d.detect(y),
+            CellDetector::Linear(d) => d.detect(y),
         }
     }
 
     fn detect_batch_refs(&self, ys: &[&[Cx]]) -> Vec<Vec<usize>> {
-        // Forward explicitly so both variants keep their scratch-reuse
-        // batch fast path (the trait default would fall back per-vector).
+        // Forward explicitly so the FlexCore variants keep their
+        // scratch-reuse batch fast path (the trait default would fall back
+        // per-vector); the degraded tiers have no batch state, so the
+        // per-vector default *is* their batch path.
         match self {
             CellDetector::Fixed(d) => d.detect_batch_refs(ys),
             CellDetector::Adaptive(d) => d.detect_batch_refs(ys),
+            CellDetector::Sic(d) => d.detect_batch_refs(ys),
+            CellDetector::Linear(d) => d.detect_batch_refs(ys),
         }
     }
 
@@ -103,6 +191,11 @@ impl Detector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.effort(),
             CellDetector::Adaptive(d) => d.effort(),
+            // One path's worth of work — the trait default, stated
+            // explicitly because the LPT planner leans on it: a downgraded
+            // user weighs (and costs) a single-path descent.
+            CellDetector::Sic(d) => d.effort(),
+            CellDetector::Linear(d) => d.effort(),
         }
     }
 
@@ -110,6 +203,8 @@ impl Detector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.extension_work(),
             CellDetector::Adaptive(d) => d.extension_work(),
+            CellDetector::Sic(d) => d.extension_work(),
+            CellDetector::Linear(d) => d.extension_work(),
         }
     }
 }
@@ -119,8 +214,98 @@ impl SoftDetector for CellDetector {
         match self {
             CellDetector::Fixed(d) => d.detect_soft(y, sigma2),
             CellDetector::Adaptive(d) => SoftDetector::detect_soft(d, y, sigma2),
+            CellDetector::Sic(d) => sic_soft(d, y, sigma2),
+            CellDetector::Linear(d) => mmse_soft(d, y, sigma2),
         }
     }
+}
+
+/// Max-log soft demap for the ordered-SIC tier: re-runs the descent with
+/// the same per-level kernels [`SicDetector::detect`] uses and, at each
+/// level, scores every constellation point against the decision feedback
+/// from the levels above (`LLR(b) = (min₁ − min₀)/σ²`, clipped at
+/// ±[`MISSING_HYPOTHESIS_LLR`]). Decision-feedback LLRs ignore error
+/// propagation — the usual SIC soft-output caveat, and part of why this is
+/// a *degraded* tier — but the hard decision is bit-identical to `detect`
+/// (same kernels, same order), preserving the [`SoftDetector`] contract.
+fn sic_soft(d: &SicDetector, y: &[Cx], sigma2: f64) -> SoftDecision {
+    let tri = d.prepared();
+    let c = d.constellation();
+    let nt = tri.nt();
+    let bps = c.bits_per_symbol();
+    let ybar = tri.rotate(y);
+    let mut symbols = vec![0usize; nt];
+    let mut row_llrs = vec![vec![0.0f64; bps]; nt];
+    let mut bits = vec![0u8; bps];
+    for row in (0..nt).rev() {
+        let eff = tri.effective_point(&ybar, &symbols, row);
+        symbols[row] = c.slice(eff);
+        let mut min0 = vec![f64::INFINITY; bps];
+        let mut min1 = vec![f64::INFINITY; bps];
+        for sym in 0..c.order() {
+            let ped = tri.ped_increment(&ybar, &symbols, row, sym);
+            c.index_to_bits_into(sym, &mut bits);
+            for (b, &bit) in bits.iter().enumerate() {
+                let slot = if bit == 0 { &mut min0 } else { &mut min1 };
+                if ped < slot[b] {
+                    slot[b] = ped;
+                }
+            }
+        }
+        for b in 0..bps {
+            row_llrs[row][b] = ((min1[b] - min0[b]) / sigma2)
+                .clamp(-MISSING_HYPOTHESIS_LLR, MISSING_HYPOTHESIS_LLR);
+        }
+    }
+    // Rows live in permuted (detection) order; map them back to original
+    // stream order the same way `unpermute` maps the symbols.
+    let mut llrs = vec![Vec::new(); nt];
+    for (j, lr) in row_llrs.into_iter().enumerate() {
+        llrs[tri.qr.perm[j]] = lr;
+    }
+    SoftDecision {
+        llrs,
+        hard: tri.unpermute(&symbols),
+    }
+}
+
+/// Max-log soft demap for the linear-MMSE tier: per-stream distances from
+/// the equalized point to each constellation point, scaled by `1/σ²` and
+/// clipped at ±[`MISSING_HYPOTHESIS_LLR`]. Ignores residual interference
+/// colouring (the equalizer output is treated as an AWGN observation) —
+/// the standard cheap demap for the tier. `hard` is bit-identical to
+/// [`MmseDetector::detect`], which slices the very same equalized points.
+fn mmse_soft(d: &MmseDetector, y: &[Cx], sigma2: f64) -> SoftDecision {
+    let c = d.constellation();
+    let bps = c.bits_per_symbol();
+    let z = d.equalize(y);
+    let mut bits = vec![0u8; bps];
+    let mut llrs = Vec::with_capacity(z.len());
+    let mut hard = Vec::with_capacity(z.len());
+    for &zi in &z {
+        let mut min0 = vec![f64::INFINITY; bps];
+        let mut min1 = vec![f64::INFINITY; bps];
+        for sym in 0..c.order() {
+            let dist = (zi - c.point(sym)).norm_sqr();
+            c.index_to_bits_into(sym, &mut bits);
+            for (b, &bit) in bits.iter().enumerate() {
+                let slot = if bit == 0 { &mut min0 } else { &mut min1 };
+                if dist < slot[b] {
+                    slot[b] = dist;
+                }
+            }
+        }
+        llrs.push(
+            (0..bps)
+                .map(|b| {
+                    ((min1[b] - min0[b]) / sigma2)
+                        .clamp(-MISSING_HYPOTHESIS_LLR, MISSING_HYPOTHESIS_LLR)
+                })
+                .collect(),
+        );
+        hard.push(c.slice(zi));
+    }
+    SoftDecision { llrs, hard }
 }
 
 #[cfg(test)]
@@ -173,7 +358,8 @@ mod tests {
         plain.prepare(&h, sigma2);
         assert!(wrapped.is_adaptive());
         assert_eq!(wrapped.effort(), plain.effort());
-        assert_eq!(wrapped.core().active_paths(), plain.active_pes());
+        let core = wrapped.core().unwrap();
+        assert_eq!(core.active_paths(), plain.active_pes());
         let refs: Vec<&[Cx]> = ys.iter().map(Vec::as_slice).collect();
         assert_eq!(
             wrapped.detect_batch_refs(&refs),
@@ -182,11 +368,88 @@ mod tests {
     }
 
     #[test]
+    fn degraded_variants_are_transparent() {
+        use flexcore_detect::linear::MmseDetector;
+        use flexcore_detect::sic::SicDetector;
+        let (h, sigma2, ys, c) = workload(5);
+        let mut sic_wrapped = CellDetector::sic(c.clone());
+        let mut sic_plain = SicDetector::new(c.clone());
+        let mut lin_wrapped = CellDetector::linear(c.clone());
+        let mut lin_plain = MmseDetector::new(c);
+        for d in [&mut sic_wrapped, &mut lin_wrapped] {
+            d.prepare(&h, sigma2);
+            assert!(d.is_degraded());
+            assert!(d.core().is_none());
+            assert_eq!(d.effort(), 1, "degraded tiers weigh one path");
+            assert_eq!(d.extension_work(), 1);
+        }
+        sic_plain.prepare(&h, sigma2);
+        lin_plain.prepare(&h, sigma2);
+        assert_eq!(sic_wrapped.tier(), ServiceTier::Sic);
+        assert_eq!(lin_wrapped.tier(), ServiceTier::Linear);
+        for y in &ys {
+            assert_eq!(sic_wrapped.detect(y), sic_plain.detect(y));
+            assert_eq!(lin_wrapped.detect(y), lin_plain.detect(y));
+        }
+    }
+
+    #[test]
+    fn soft_hard_lockstep_and_llr_signs_on_degraded_tiers() {
+        let (h, sigma2, ys, c) = workload(6);
+        for mut det in [
+            CellDetector::sic(c.clone()),
+            CellDetector::linear(c.clone()),
+        ] {
+            det.prepare(&h, sigma2);
+            for y in &ys {
+                let soft = det.detect_soft(y, sigma2);
+                // The SoftDetector contract: `hard` bit-identical to detect.
+                assert_eq!(soft.hard, det.detect(y), "{}", det.name());
+                for (s, llr) in soft.llrs.iter().enumerate() {
+                    assert_eq!(llr.len(), c.bits_per_symbol());
+                    let bits = c.index_to_bits(soft.hard[s]);
+                    for (b, &l) in llr.iter().enumerate() {
+                        assert!(l.abs() <= crate::soft::MISSING_HYPOTHESIS_LLR + 1e-12);
+                        // Max-log sign must agree with the hard decision:
+                        // the hard symbol attains the minimum of its own
+                        // bit class at that level/stream.
+                        if bits[b] == 0 {
+                            assert!(l >= 0.0, "{} stream {s} bit {b}: {l}", det.name());
+                        } else {
+                            assert!(l <= 0.0, "{} stream {s} bit {b}: {l}", det.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_ladder_round_trips_through_for_tier() {
+        let c = Constellation::new(Modulation::Qam16);
+        let full = CellDetector::adaptive(c.clone(), 12, 0.95);
+        let sic = full.for_tier(ServiceTier::Sic);
+        assert_eq!(sic.tier(), ServiceTier::Sic);
+        let lin = sic.for_tier(ServiceTier::Linear);
+        assert_eq!(lin.tier(), ServiceTier::Linear);
+        // A full-tier request on an already-full user keeps the variant…
+        assert!(full.for_tier(ServiceTier::Full).is_adaptive());
+        // …while restoring a degraded user yields fixed FlexCore at one PE
+        // per constellation point.
+        let restored = lin.for_tier(ServiceTier::Full);
+        assert_eq!(restored.tier(), ServiceTier::Full);
+        assert!(!restored.is_adaptive());
+        assert!(ServiceTier::Full < ServiceTier::Sic && ServiceTier::Sic < ServiceTier::Linear);
+    }
+
+    #[test]
     fn batch_path_is_bit_identical_to_per_vector() {
         let (h, sigma2, ys, c) = workload(3);
         for mut det in [
             CellDetector::fixed(c.clone(), 12),
             CellDetector::adaptive(c.clone(), 12, 0.95),
+            CellDetector::sic(c.clone()),
+            CellDetector::linear(c.clone()),
         ] {
             det.prepare(&h, sigma2);
             let per_vec: Vec<Vec<usize>> = ys.iter().map(|y| det.detect(y)).collect();

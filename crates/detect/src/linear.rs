@@ -63,6 +63,26 @@ impl MmseDetector {
             filter: None,
         }
     }
+
+    /// Applies the prepared MMSE filter without slicing: `z = W·y`.
+    ///
+    /// [`MmseDetector::detect`] is exactly `slice(equalize(y))` per stream;
+    /// soft-demapping layers use the unsliced `z` to score per-bit
+    /// counter-hypotheses while staying decision-lockstepped with the hard
+    /// path.
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn equalize(&self, y: &[Cx]) -> Vec<Cx> {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
+        let w = self.filter.as_ref().expect("MMSE: prepare() not called");
+        w.mul_vec(y)
+    }
+
+    /// The constellation this detector slices against.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
 }
 
 impl Detector for MmseDetector {
@@ -75,9 +95,7 @@ impl Detector for MmseDetector {
     }
 
     fn detect(&self, y: &[Cx]) -> Vec<usize> {
-        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
-        let w = self.filter.as_ref().expect("MMSE: prepare() not called");
-        w.mul_vec(y)
+        self.equalize(y)
             .into_iter()
             .map(|z| self.constellation.slice(z))
             .collect()

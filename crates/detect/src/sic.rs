@@ -31,6 +31,24 @@ impl SicDetector {
             tri: None,
         }
     }
+
+    /// The prepared triangular system (MMSE-SQRD factors + constellation).
+    ///
+    /// Soft-demapping layers re-run the SIC descent through this to score
+    /// counter-hypotheses per level with the *same* kernels `detect` uses,
+    /// keeping the hard decision bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `prepare` was never called.
+    pub fn prepared(&self) -> &Triangular {
+        // flexcore-lint: allow(FL004, reason = "prepare-before-detect API contract; documented panic on the public entry point")
+        self.tri.as_ref().expect("SIC: prepare() not called")
+    }
+
+    /// The constellation this detector slices against.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
 }
 
 impl Detector for SicDetector {

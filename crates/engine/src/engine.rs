@@ -197,7 +197,7 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
 
     /// The scheduling weight of one subcarrier: its prepared detector's
     /// [`Detector::effort`], or 1 while unprepared.
-    pub(crate) fn slot_effort(&self, subcarrier: usize) -> usize {
+    pub fn slot_effort(&self, subcarrier: usize) -> usize {
         self.slots
             .get(subcarrier)
             .and_then(Option::as_ref)
@@ -205,8 +205,11 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
     }
 
     /// The fabric-scheduling weight of one subcarrier: its prepared
-    /// detector's [`Detector::extension_work`], or 1 while unprepared.
-    pub(crate) fn slot_extension_work(&self, subcarrier: usize) -> usize {
+    /// detector's [`Detector::extension_work`], or 1 while unprepared —
+    /// public so serving layers (the city simulation's admission and load
+    /// calibration) can price a user's frames in the same units the fabric
+    /// scheduler plans in.
+    pub fn slot_extension_work(&self, subcarrier: usize) -> usize {
         self.slots
             .get(subcarrier)
             .and_then(Option::as_ref)
@@ -319,6 +322,33 @@ impl<D: Detector + Clone + Sync> FrameEngine<D> {
             self.tune_epoch = epoch;
         }
         changed
+    }
+
+    /// Replaces the template detector wholesale and **clears every
+    /// prepared slot** — the service-tier swap behind the city layer's
+    /// load-shedding lever (`CellDetector` FlexCore → SIC/linear), where
+    /// [`FrameEngine::retune`]'s in-place mutation is not enough: a
+    /// different detector type needs its own preparation (QR factors,
+    /// MMSE filter, path selection) against the channel.
+    ///
+    /// The tune epoch is bumped so snapshot consumers (the pipelined
+    /// cell) treat the next [`FrameEngine::prepare`] like a re-tune plus
+    /// channel refresh rather than a cache hit. Work counters are kept:
+    /// the user keeps its service history across the swap.
+    ///
+    /// The engine is unprepared until the next [`FrameEngine::prepare`].
+    pub fn set_template(&mut self, template: D) {
+        self.template = template;
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.tune_epoch += 1;
+    }
+
+    /// The current template detector (the swap/retune target; per-slot
+    /// prepared clones may carry channel-dependent state on top).
+    pub fn template(&self) -> &D {
+        &self.template
     }
 
     /// Cache key of one prepared subcarrier: `(channel id, channel

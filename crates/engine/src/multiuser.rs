@@ -209,6 +209,17 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
         self.users[user].queue.len()
     }
 
+    /// How many users currently have at least one queued frame — the
+    /// number of users the next tick would serve.
+    pub fn queued_users(&self) -> usize {
+        self.users.iter().filter(|s| !s.queue.is_empty()).count()
+    }
+
+    /// Whether any user has queued work (the next tick would be non-empty).
+    pub fn has_queued(&self) -> bool {
+        self.users.iter().any(|s| !s.queue.is_empty())
+    }
+
     /// How many frames this user has submitted but not yet had completed.
     pub fn frames_behind(&self, user: usize) -> u64 {
         let slot = &self.users[user];
@@ -499,6 +510,50 @@ impl<D: Detector + Clone + Sync> StreamingCell<D> {
     /// many of that user's prepared subcarriers changed.
     pub fn retune_user(&mut self, user: usize, f: impl FnMut(&mut D) -> bool) -> usize {
         self.users[user].engine.retune(f)
+    }
+
+    /// Swaps one user's detector **type** and re-prepares against the
+    /// user's current channel estimates — the city layer's load-shedding
+    /// lever (`CellDetector` FlexCore → SIC/linear and back), where
+    /// [`StreamingCell::retune_user`]'s in-place mutation is not enough: a
+    /// different detector needs its own preparation. Queue contents and
+    /// submitted/completed counters are untouched, so frames queued before
+    /// the swap are detected by the *new* detector and the fairness
+    /// accounting spans the swap. Returns how many subcarriers were
+    /// re-prepared (always the user's full band).
+    pub fn swap_user_detector(&mut self, user: usize, template: D) -> usize {
+        let slot = &mut self.users[user];
+        slot.engine.set_template(template);
+        slot.engine.prepare(slot.stream.estimate())
+    }
+
+    /// The extension-work prices of the batches the **next** tick would
+    /// run, without popping anything: each queued user's oldest frame is
+    /// split exactly like [`StreamingCell::process_tick`] splits it for a
+    /// pool of `n_pes` (same shared task target over the same served
+    /// users), and each batch is priced at
+    /// [`Detector::extension_work`]` × symbols` — the same pricing the
+    /// fabric tick schedules with. Empty when no user has queued work.
+    ///
+    /// This is the city layer's *modelled-time* hook: feeding these costs
+    /// to `flexcore_parallel::lpt_makespan_weighted` with a fabric's speed
+    /// factors yields the tick's deterministic makespan in work units
+    /// before (or without) running it.
+    pub fn planned_tick_costs(&self, n_pes: usize) -> Vec<u64> {
+        let served: Vec<usize> = (0..self.users.len())
+            .filter(|&u| !self.users[u].queue.is_empty())
+            .collect();
+        let target = (2 * n_pes).div_ceil(served.len().max(1));
+        let mut costs = Vec::new();
+        for &u in &served {
+            let slot = &self.users[u];
+            if let Some(frame) = slot.queue.front() {
+                for (sc, from, to) in slot.engine.plan_batches_with_target(frame, target) {
+                    costs.push(slot.engine.slot_extension_work(sc) as u64 * (to - from) as u64);
+                }
+            }
+        }
+        costs
     }
 }
 
@@ -877,6 +932,111 @@ mod tests {
             assert_eq!(cell.advance_user(0, &mut rng), 3);
         }
         assert_eq!(cell.engine(0).stats().subcarriers_refreshed, 9 + 9);
+    }
+
+    #[test]
+    fn idle_users_contribute_no_work_and_no_lag() {
+        // Satellite regression for the city layer (ISSUE 10): users with
+        // empty queues must not consume PE budget, must not appear in the
+        // cross-user plan, and must not have their frames-behind counters
+        // advanced. This pins the served-only behaviour the city layer's
+        // arrival processes lean on (a bursty user is idle most ticks).
+        const N_PES: usize = 8;
+        let mut cell = StreamingCell::new();
+        for u in 0..4 {
+            cell.add_user(
+                mk_stream(5, 0.9, 300 + u),
+                FlexCoreDetector::with_pes(c16(), 8),
+            );
+        }
+        // Only user 2 has traffic.
+        let frame = tx_frame(cell.stream(2), 4, 310);
+        cell.submit(2, frame.clone());
+        assert_eq!(cell.queued_users(), 1);
+        assert!(cell.has_queued());
+
+        // The plan covers exactly user 2's frame, and the shared task
+        // target is divided by the *served* count (1), not the user count:
+        // the lone backlogged user gets the whole 2·n_pes target.
+        let planned = cell.planned_tick_costs(N_PES);
+        let (work, batches) = cell.pop_tick_work(N_PES);
+        assert_eq!(work.len(), 1);
+        assert_eq!(work[0].0, 2);
+        assert!(batches.iter().all(|&(widx, ..)| widx == 0));
+        assert_eq!(planned.len(), batches.len(), "planned costs mirror the pop");
+        let solo_batches = cell.users[2]
+            .engine
+            .plan_batches_with_target(&work[0].1, 2 * N_PES);
+        assert_eq!(batches.len(), solo_batches.len());
+        // Put the frame back and serve it for the accounting checks below.
+        cell.users[2]
+            .queue
+            .push_front(work.into_iter().next().unwrap().1);
+
+        let before: Vec<u64> = (0..4).map(|u| cell.engine(u).stats().frames).collect();
+        let outs = cell.detect_tick(&SequentialPool::new(N_PES));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, 2);
+        for u in [0usize, 1, 3] {
+            assert_eq!(cell.frames_behind(u), 0, "idle user {u} fell behind");
+            assert_eq!(
+                cell.engine(u).stats().frames,
+                before[u],
+                "idle user {u} was billed a frame"
+            );
+        }
+        assert_eq!(cell.frames_behind(2), 0);
+        let stats = cell.stats();
+        assert_eq!((stats.min_frames_behind, stats.max_frames_behind), (0, 0));
+        assert_eq!(stats.frames_completed, 1);
+        assert!(!cell.has_queued());
+        assert!(cell.planned_tick_costs(N_PES).is_empty());
+    }
+
+    #[test]
+    fn swap_user_detector_is_bit_identical_to_a_solo_swapped_engine() {
+        use flexcore_detect::sic::SicDetector;
+        // Downgrading user 1 of a 3-user cell to SIC must leave its
+        // detections bit-identical to a solo engine built with the same
+        // SIC template against the same estimates — the shedding lever
+        // cannot perturb results, only costs.
+        let mut cell = StreamingCell::new();
+        for s in 0..3u64 {
+            cell.add_user(mk_stream(5, 0.9, 400 + s), CellDetector::fixed(c16(), 16));
+        }
+        let refreshed = cell.swap_user_detector(1, CellDetector::sic(c16()));
+        assert_eq!(refreshed, 5, "swap re-prepares the full band");
+        let frames: Vec<RxFrame> = (0..3)
+            .map(|u| tx_frame(cell.stream(u), 4, 410 + u as u64))
+            .collect();
+        for (u, f) in frames.iter().enumerate() {
+            cell.submit(u, f.clone());
+        }
+        let outs = cell.detect_tick(&CrossbeamPool::work_queue(3));
+        let mut solo = FrameEngine::new(SicDetector::new(c16()));
+        solo.prepare(cell.stream(1).estimate());
+        assert_eq!(
+            outs[1].1,
+            solo.detect_frame(&frames[1], &SequentialPool::new(1)),
+            "swapped user diverged from its solo engine"
+        );
+        // The downgraded user's planned costs collapse to one unit per
+        // symbol batch while the FlexCore users keep their trie prices.
+        cell.submit(0, frames[0].clone());
+        cell.submit(1, frames[1].clone());
+        let per_user: Vec<u64> = {
+            let mut sums = vec![0u64; 2];
+            let (work, batches) = cell.pop_tick_work(8);
+            let costs = cell.batch_costs(&work, &batches, FrameEngine::slot_extension_work);
+            for (&(widx, _, _, _), &c) in batches.iter().zip(&costs) {
+                sums[work[widx].0] += c;
+            }
+            sums
+        };
+        assert!(
+            per_user[1] * 4 < per_user[0],
+            "SIC user should cost a small fraction of FlexCore: {per_user:?}"
+        );
     }
 
     #[test]

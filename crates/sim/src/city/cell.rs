@@ -1,0 +1,778 @@
+//! One city cell: a [`StreamingCell`] wrapped in traffic, modelled time,
+//! QoS accounting, and the overload (load-shedding) policy.
+//!
+//! Each tick is one scheduling interval of the cell's
+//! [`CellBudget`](flexcore_hwmodel::CellBudget) (an LTE subframe by
+//! default). A tick:
+//!
+//! 1. ages every user's channel and draws its arrivals (frames beyond the
+//!    user's queue cap are shed at the door);
+//! 2. serves shared-pool rounds in **modelled time**: each round's
+//!    duration is the deterministic weighted-LPT makespan of the planned
+//!    batch costs ([`StreamingCell::planned_tick_costs`]) on the budget's
+//!    fabric, priced in seconds by the CPU cost model — rounds start while
+//!    the interval has time left, and time that spills past the interval
+//!    carries into the next tick as backlog;
+//! 3. evaluates the shed policy on the signals the serving layer already
+//!    keeps: per-user frames-behind counters and the windowed latency
+//!    percentile ([`LatencyRecord`]).
+//!
+//! The shedding lever is [`StreamingCell::swap_user_detector`] over the
+//! [`CellDetector`] tier ladder (FlexCore → SIC → linear MMSE). Swaps
+//! change *cost*, never correctness bookkeeping: a downgraded user's
+//! detections remain bit-identical to a solo engine running the same tier
+//! on the same channel, which the invariant suite checks outright.
+//! Bulk users are always downgraded before any latency user — the policy
+//! refuses a latency victim while any bulk user still holds a tier above
+//! the bottom, and every decision records how many bulk users were still
+//! undegraded so the property test can audit the ordering after the fact.
+//!
+//! Determinism: every random stream (traffic, channel aging, payloads,
+//! noise) is derived from the owning user's profile seed, payloads keyed
+//! by `(seed, tick, arrival index)` — so a user's offered traffic does not
+//! depend on its neighbours, a rerun with the same seed is bit-identical
+//! (the delivered-detection digest pins this), and load multipliers only
+//! add arrivals rather than reshuffling them.
+
+use std::collections::VecDeque;
+
+use flexcore::{CellDetector, ServiceTier};
+use flexcore_detect::Detector;
+use flexcore_engine::{ChannelStream, LatencyRecord, RxFrame, StreamingCell};
+use flexcore_hwmodel::{CellBudget, CpuModel, PeCost, WorkUnit};
+use flexcore_modulation::Constellation;
+use flexcore_parallel::{lpt_makespan_weighted, PePool, SequentialPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::qos::{QosClass, UserProfile};
+use super::traffic::TrafficSource;
+use super::{CityConfig, ShedPolicy};
+
+/// Domain tags for deriving independent per-user random streams from one
+/// profile seed.
+const TAG_CHANNEL: u64 = 0x6368616E;
+const TAG_TRAFFIC: u64 = 0x74726166;
+const TAG_SYMBOLS: u64 = 0x73796D73;
+const TAG_NOISE: u64 = 0x6E6F6973;
+
+/// SplitMix64-style mixer: collapses `(seed, tag, a, b)` into one well-
+/// spread 64-bit seed, so per-(user, tick, arrival) RNGs are independent
+/// without any global draw ordering to keep in sync.
+fn mix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed
+        ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ b.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a fold of one 64-bit word into a running digest.
+fn fnv(h: u64, x: u64) -> u64 {
+    let mut h = h;
+    for byte in x.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The FNV-1a offset basis — the digest's starting value.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// One queued frame's city-side bookkeeping, FIFO-parallel to the user's
+/// queue inside the [`StreamingCell`].
+struct PendingFrame {
+    /// Modelled arrival time (seconds since the run started).
+    arrival_s: f64,
+    /// The transmitted symbol indices, symbol-major like the detections.
+    truth: Vec<Vec<usize>>,
+}
+
+/// Per-user serving state and counters.
+struct CellUser {
+    profile: UserProfile,
+    tier: ServiceTier,
+    source: TrafficSource,
+    chan_rng: StdRng,
+    pending: VecDeque<PendingFrame>,
+    latency: LatencyRecord,
+    offered: u64,
+    shed: u64,
+    delivered: u64,
+    on_time: u64,
+    good_bits: u64,
+}
+
+/// One shed-policy action, recorded for post-hoc audit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShedEvent {
+    /// Tick (0-based) the action was taken on.
+    pub tick: u64,
+    /// The user whose tier changed.
+    pub user: usize,
+    /// The user's QoS class.
+    pub class: QosClass,
+    /// Tier before the action.
+    pub from: ServiceTier,
+    /// Tier after the action.
+    pub to: ServiceTier,
+    /// `true` for an upgrade back toward full service, `false` for a
+    /// downgrade.
+    pub restore: bool,
+    /// Bulk users still at [`ServiceTier::Full`] when the decision was
+    /// taken (before applying it).
+    pub bulk_at_full: usize,
+    /// Bulk users still above the bottom tier when the decision was taken
+    /// — zero whenever a latency user is picked as a downgrade victim,
+    /// which the invariant suite asserts.
+    pub bulk_above_bottom: usize,
+}
+
+/// One delivered frame, handed to [`CityCell::step_with`]'s sink as it
+/// completes — the hook the bit-identity tests and custom probes use.
+pub struct DeliveredFrame<'a> {
+    /// The user the frame belongs to.
+    pub user: usize,
+    /// The tick the frame completed on (0-based).
+    pub tick: u64,
+    /// Completion latency in modelled seconds (completion − arrival).
+    pub latency_s: f64,
+    /// Whether the frame met its user's deadline.
+    pub on_time: bool,
+    /// Detected symbol indices, symbol-major, one `nt`-vector per grid
+    /// cell.
+    pub cells: &'a [Vec<usize>],
+}
+
+/// Aggregate serving counters for one cell — see [`CityCell::report`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CityCellReport {
+    /// Registered users.
+    pub n_users: usize,
+    /// Ticks stepped.
+    pub ticks: u64,
+    /// Frames offered by all arrival processes.
+    pub offered_frames: u64,
+    /// Frames shed at the queue cap (never served).
+    pub shed_frames: u64,
+    /// Frames detected and delivered.
+    pub delivered_frames: u64,
+    /// Delivered frames that met their user's deadline.
+    pub on_time_frames: u64,
+    /// Payload bits offered (`offered_frames × bits/frame`).
+    pub offered_bits: u64,
+    /// Goodput: bits of symbol-correct detections delivered on time.
+    pub goodput_bits: u64,
+    /// Per-user goodput bits, for fairness indices.
+    pub per_user_goodput_bits: Vec<u64>,
+    /// Per-user current service tier.
+    pub per_user_tier: Vec<ServiceTier>,
+    /// Per-user QoS class.
+    pub per_user_class: Vec<QosClass>,
+    /// Downgrade actions taken.
+    pub downgrades: usize,
+    /// Restore actions taken.
+    pub restores: usize,
+    /// Latency distribution of the latency class (class-default deadline).
+    pub latency_class: flexcore_engine::LatencyStats,
+    /// Latency distribution of the bulk class (class-default deadline).
+    pub bulk_class: flexcore_engine::LatencyStats,
+    /// FNV-1a digest over every delivered detection, in delivery order —
+    /// two same-seed runs must agree exactly.
+    pub digest: u64,
+}
+
+/// One cell of the city: traffic in, modelled-time serving, QoS-aware
+/// shedding. See the [module docs](self).
+pub struct CityCell {
+    cell: StreamingCell<CellDetector>,
+    users: Vec<CellUser>,
+    budget: CellBudget,
+    pool: SequentialPool,
+    speeds: Vec<f64>,
+    unit_s: f64,
+    constellation: Constellation,
+    base: CellDetector,
+    policy: ShedPolicy,
+    nt: usize,
+    n_subcarriers: usize,
+    n_symbols: usize,
+    rho: f64,
+    refresh_period: usize,
+    sigma2: f64,
+    tick: u64,
+    backlog_s: f64,
+    window: LatencyRecord,
+    last_window_p95: f64,
+    cooldown: u64,
+    calm_streak: u64,
+    events: Vec<ShedEvent>,
+    latency_rec: LatencyRecord,
+    bulk_rec: LatencyRecord,
+    digest: u64,
+}
+
+impl CityCell {
+    /// An empty cell over `cfg`'s PHY shape and shed policy, served by
+    /// `budget`'s fabric on `budget`'s interval.
+    pub fn new(cfg: &CityConfig, budget: CellBudget) -> Self {
+        let cost = CpuModel::fx8120();
+        let work_unit = WorkUnit::new(cfg.nt, cfg.modulation.order());
+        let unit_s = cost.unit_seconds(&work_unit);
+        let speeds = budget.fabric.speed_factors();
+        let n_pes = budget.fabric.n_pes();
+        CityCell {
+            cell: StreamingCell::new(),
+            users: Vec::new(),
+            pool: SequentialPool::new(n_pes),
+            speeds,
+            unit_s,
+            constellation: Constellation::new(cfg.modulation),
+            base: CellDetector::fixed(Constellation::new(cfg.modulation), cfg.flexcore_budget),
+            policy: cfg.policy.clone(),
+            nt: cfg.nt,
+            n_subcarriers: cfg.n_subcarriers,
+            n_symbols: cfg.n_symbols,
+            rho: cfg.rho,
+            refresh_period: cfg.refresh_period,
+            sigma2: cfg.sigma2,
+            tick: 0,
+            backlog_s: 0.0,
+            window: LatencyRecord::new(cfg.policy.p95_limit_s),
+            last_window_p95: 0.0,
+            cooldown: 0,
+            calm_streak: 0,
+            events: Vec::new(),
+            latency_rec: LatencyRecord::new(QosClass::Latency.default_deadline_s()),
+            bulk_rec: LatencyRecord::new(QosClass::Bulk.default_deadline_s()),
+            digest: FNV_OFFSET,
+            budget,
+        }
+    }
+
+    /// Registers a user at [`ServiceTier::Full`]: its channel stream and
+    /// traffic source are seeded from the profile seed alone, so the same
+    /// profile produces the same traffic and channel in any cell. Returns
+    /// the user id.
+    pub fn add_user(&mut self, profile: UserProfile) -> usize {
+        let ens = flexcore_channel::ChannelEnsemble::iid(self.nt, self.nt);
+        let mut stream_rng = StdRng::seed_from_u64(mix(profile.seed, TAG_CHANNEL, 0, 0));
+        let stream = ChannelStream::new(
+            &ens,
+            self.n_subcarriers,
+            self.rho,
+            self.refresh_period,
+            self.sigma2,
+            &mut stream_rng,
+        );
+        let source = TrafficSource::new(
+            profile.arrivals.clone(),
+            mix(profile.seed, TAG_TRAFFIC, 0, 0),
+        );
+        let chan_rng = StdRng::seed_from_u64(mix(profile.seed, TAG_CHANNEL, 1, 0));
+        let latency = LatencyRecord::new(profile.deadline_s);
+        self.cell.add_user(stream, self.base.clone());
+        self.users.push(CellUser {
+            profile,
+            tier: ServiceTier::Full,
+            source,
+            chan_rng,
+            pending: VecDeque::new(),
+            latency,
+            offered: 0,
+            shed: 0,
+            delivered: 0,
+            on_time: 0,
+            good_bits: 0,
+        });
+        self.users.len() - 1
+    }
+
+    /// Registered users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// One user's current service tier.
+    pub fn tier(&self, user: usize) -> ServiceTier {
+        self.users[user].tier
+    }
+
+    /// One user's profile.
+    pub fn profile(&self, user: usize) -> &UserProfile {
+        &self.users[user].profile
+    }
+
+    /// Ticks stepped so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Modelled processing backlog carried past the last tick's interval,
+    /// in seconds — positive means the cell is running behind real time.
+    pub fn backlog_s(&self) -> f64 {
+        self.backlog_s
+    }
+
+    /// The shed-policy actions taken so far, in order.
+    pub fn events(&self) -> &[ShedEvent] {
+        &self.events
+    }
+
+    /// The measured price of one of `user`'s frames right now, in
+    /// path-extension units (`n_symbols × Σ_sc slot_extension_work`) —
+    /// the same units [`CellBudget::capacity_units`] prices capacity in.
+    /// The city's load calibration sums this over users.
+    pub fn frame_units(&self, user: usize) -> u64 {
+        let engine = self.cell.engine(user);
+        let per_symbol: u64 = (0..self.n_subcarriers)
+            .map(|sc| engine.slot_extension_work(sc) as u64)
+            .sum();
+        per_symbol * self.n_symbols as u64
+    }
+
+    /// The cell's per-tick capacity in path-extension units under its
+    /// budget and the FX-8120 cost model.
+    pub fn capacity_units(&self) -> f64 {
+        self.budget.capacity_units(
+            &CpuModel::fx8120(),
+            &WorkUnit::new(self.nt, self.constellation.order()),
+        )
+    }
+
+    /// Forces one user onto a tier immediately, through the same swap
+    /// path the policy uses (recorded as a policy event). This is the
+    /// bench/test hook for pinning a fixed configuration or replaying a
+    /// known downgrade schedule.
+    pub fn force_tier(&mut self, user: usize, tier: ServiceTier) {
+        if self.users[user].tier == tier {
+            return;
+        }
+        // The tier ladder orders best→cheapest, so moving to a *greater*
+        // tier is a downgrade.
+        self.apply_tier(user, tier, tier > self.users[user].tier);
+    }
+
+    /// Advances one scheduling interval. Equivalent to
+    /// [`CityCell::step_with`] with a sink that drops the frames.
+    pub fn step(&mut self, multiplier: f64) {
+        self.step_with(multiplier, &mut |_| {});
+    }
+
+    /// Advances one scheduling interval — arrivals, modelled-time serving
+    /// rounds, policy — handing each delivered frame to `sink` as it
+    /// completes.
+    pub fn step_with(&mut self, multiplier: f64, sink: &mut dyn FnMut(&DeliveredFrame<'_>)) {
+        let interval = self.budget.subframe_s;
+        let start_s = self.tick as f64 * interval;
+
+        // 1. Channel aging and arrivals. Shedding at the queue cap is the
+        // *admission-to-queue* decision; the frame still counts as offered
+        // load in the report.
+        for u in 0..self.users.len() {
+            self.cell.advance_user(u, &mut self.users[u].chan_rng);
+            let n = self.users[u].source.step(multiplier);
+            for k in 0..n {
+                let (frame, truth) = self.make_frame(u, k as u64);
+                self.users[u].offered += 1;
+                if self.cell.pending(u) >= self.users[u].profile.queue_cap {
+                    self.users[u].shed += 1;
+                } else {
+                    self.cell.submit(u, frame);
+                    self.users[u].pending.push_back(PendingFrame {
+                        arrival_s: start_s,
+                        truth,
+                    });
+                }
+            }
+        }
+
+        // 2. Serve rounds in modelled time. A round may start whenever the
+        // interval still has time left (so a backlogged cell always makes
+        // progress), and its completion may spill past the interval — the
+        // spill carries forward as backlog and shows up as latency.
+        let mut free_at = self.backlog_s;
+        while free_at < interval && self.cell.has_queued() {
+            let costs = self.cell.planned_tick_costs(self.pool.n_pes());
+            let round_s = lpt_makespan_weighted(&costs, &self.speeds) * self.unit_s;
+            free_at += round_s;
+            let outs = self
+                .cell
+                .process_tick(&self.pool, |det, _u, _sc, ys| det.detect_batch_refs(ys));
+            let done_s = start_s + free_at;
+            for out in outs {
+                self.deliver(out.user, out.cells, done_s, sink);
+            }
+        }
+        self.backlog_s = (free_at - interval).max(0.0);
+
+        // 3. Bookkeeping and policy.
+        self.tick += 1;
+        if self.policy.window_ticks > 0 && self.tick.is_multiple_of(self.policy.window_ticks) {
+            self.last_window_p95 = if self.window.is_empty() {
+                0.0
+            } else {
+                self.window.quantile(0.95)
+            };
+            self.window = LatencyRecord::new(self.policy.p95_limit_s);
+        }
+        self.apply_policy();
+    }
+
+    /// Books one delivered frame: latency records, goodput, digest, sink.
+    fn deliver(
+        &mut self,
+        u: usize,
+        cells: Vec<Vec<usize>>,
+        done_s: f64,
+        sink: &mut dyn FnMut(&DeliveredFrame<'_>),
+    ) {
+        let Some(pending) = self.users[u].pending.pop_front() else {
+            // Queue and pending deque are pushed/popped in lockstep, so
+            // this cannot happen; skipping beats poisoning the run.
+            return;
+        };
+        let latency_s = done_s - pending.arrival_s;
+        let class = self.users[u].profile.class;
+        let on_time = latency_s <= self.users[u].profile.deadline_s;
+        self.users[u].latency.record(latency_s);
+        self.window.record(latency_s);
+        match class {
+            QosClass::Latency => self.latency_rec.record(latency_s),
+            QosClass::Bulk => self.bulk_rec.record(latency_s),
+        }
+
+        let mut good_syms = 0u64;
+        let mut h = fnv(self.digest, u as u64);
+        for (detected, truth) in cells.iter().zip(&pending.truth) {
+            for (&a, &b) in detected.iter().zip(truth) {
+                h = fnv(h, a as u64);
+                if a == b {
+                    good_syms += 1;
+                }
+            }
+        }
+        self.digest = h;
+
+        let user = &mut self.users[u];
+        user.delivered += 1;
+        if on_time {
+            user.on_time += 1;
+            user.good_bits += good_syms * self.constellation.bits_per_symbol() as u64;
+        }
+        sink(&DeliveredFrame {
+            user: u,
+            tick: self.tick,
+            latency_s,
+            on_time,
+            cells: &cells,
+        });
+    }
+
+    /// Builds one arrival for `user`: payload symbols and noise keyed by
+    /// `(seed, tick, arrival index)`, so the k-th arrival of tick t is the
+    /// same frame at every load multiplier that produces it.
+    fn make_frame(&self, user: usize, k: u64) -> (RxFrame, Vec<Vec<usize>>) {
+        let seed = self.users[user].profile.seed;
+        let mut sym_rng = StdRng::seed_from_u64(mix(seed, TAG_SYMBOLS, self.tick, k));
+        let mut noise_rng = StdRng::seed_from_u64(mix(seed, TAG_NOISE, self.tick, k));
+        let stream = self.cell.stream(user);
+        let n_sc = stream.n_subcarriers();
+        let order = self.constellation.order();
+        let truth: Vec<Vec<usize>> = (0..self.n_symbols * n_sc)
+            .map(|_| (0..self.nt).map(|_| sym_rng.gen_range(0..order)).collect())
+            .collect();
+        let frame = stream.transmit_frame(
+            self.n_symbols,
+            |sym, sc| {
+                truth[sym * n_sc + sc]
+                    .iter()
+                    .map(|&i| self.constellation.point(i))
+                    .collect()
+            },
+            &mut noise_rng,
+        );
+        (frame, truth)
+    }
+
+    /// Evaluates the shed policy for this tick: downgrade under pressure,
+    /// restore after a sustained calm stretch, both rate-limited by the
+    /// cooldown.
+    fn apply_policy(&mut self) {
+        if !self.policy.enabled {
+            return;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        }
+        let lag = (0..self.users.len())
+            .map(|u| self.cell.frames_behind(u))
+            .max()
+            .unwrap_or(0);
+        let hot = lag >= self.policy.lag_frames
+            || self.backlog_s > 0.0
+            || self.last_window_p95 > self.policy.p95_limit_s;
+        if hot {
+            self.calm_streak = 0;
+            if self.cooldown == 0 {
+                for _ in 0..self.policy.actions_per_tick {
+                    if !self.downgrade_one() {
+                        break;
+                    }
+                }
+                self.cooldown = self.policy.cooldown_ticks;
+            }
+            return;
+        }
+        let calm = lag == 0
+            && self.backlog_s == 0.0
+            && self.last_window_p95 <= self.policy.restore_p95_fraction * self.policy.p95_limit_s;
+        if calm {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.policy.restore_after_ticks
+                && self.cooldown == 0
+                && self.restore_one()
+            {
+                self.cooldown = self.policy.cooldown_ticks;
+            }
+        } else {
+            self.calm_streak = 0;
+        }
+    }
+
+    /// Applies a tier change through the engine swap and records it.
+    fn apply_tier(&mut self, user: usize, to: ServiceTier, is_downgrade: bool) {
+        let bulk_at_full = self
+            .users
+            .iter()
+            .filter(|s| s.profile.class == QosClass::Bulk && s.tier == ServiceTier::Full)
+            .count();
+        let bulk_above_bottom = self
+            .users
+            .iter()
+            .filter(|s| s.profile.class == QosClass::Bulk && s.tier != ServiceTier::Linear)
+            .count();
+        let from = self.users[user].tier;
+        self.cell.swap_user_detector(user, self.base.for_tier(to));
+        self.users[user].tier = to;
+        self.events.push(ShedEvent {
+            tick: self.tick,
+            user,
+            class: self.users[user].profile.class,
+            from,
+            to,
+            restore: !is_downgrade,
+            bulk_at_full,
+            bulk_above_bottom,
+        });
+    }
+
+    /// Downgrades the most backlogged eligible user one tier. Bulk users
+    /// are always eligible first; a latency user can only be picked once
+    /// every bulk user sits at the bottom tier. Returns whether an action
+    /// was taken.
+    fn downgrade_one(&mut self) -> bool {
+        let pick = |users: &[CellUser], cell: &StreamingCell<CellDetector>, class: QosClass| {
+            users
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.profile.class == class && s.tier != ServiceTier::Linear)
+                .max_by_key(|&(u, s)| {
+                    (
+                        s.tier == ServiceTier::Full,
+                        cell.frames_behind(u),
+                        cell.pending(u),
+                        std::cmp::Reverse(u),
+                    )
+                })
+                .map(|(u, _)| u)
+        };
+        let victim = pick(&self.users, &self.cell, QosClass::Bulk)
+            .or_else(|| pick(&self.users, &self.cell, QosClass::Latency));
+        let Some(u) = victim else { return false };
+        let Some(next) = tier_down(self.users[u].tier) else {
+            return false;
+        };
+        self.apply_tier(u, next, true);
+        true
+    }
+
+    /// Restores one degraded user a tier toward full service — latency
+    /// users first, most degraded first. Returns whether an action was
+    /// taken.
+    fn restore_one(&mut self) -> bool {
+        let candidate = self
+            .users
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tier != ServiceTier::Full)
+            .max_by_key(|&(u, s)| {
+                (
+                    s.profile.class == QosClass::Latency,
+                    s.tier == ServiceTier::Linear,
+                    std::cmp::Reverse(u),
+                )
+            })
+            .map(|(u, _)| u);
+        let Some(u) = candidate else { return false };
+        let Some(next) = tier_up(self.users[u].tier) else {
+            return false;
+        };
+        self.apply_tier(u, next, false);
+        true
+    }
+
+    /// Aggregate serving counters, per-user goodput, per-class latency
+    /// distributions, and the delivered-detection digest.
+    pub fn report(&self) -> CityCellReport {
+        let frame_bits =
+            (self.n_symbols * self.n_subcarriers * self.nt * self.constellation.bits_per_symbol())
+                as u64;
+        let offered_frames: u64 = self.users.iter().map(|s| s.offered).sum();
+        CityCellReport {
+            n_users: self.users.len(),
+            ticks: self.tick,
+            offered_frames,
+            shed_frames: self.users.iter().map(|s| s.shed).sum(),
+            delivered_frames: self.users.iter().map(|s| s.delivered).sum(),
+            on_time_frames: self.users.iter().map(|s| s.on_time).sum(),
+            offered_bits: offered_frames * frame_bits,
+            goodput_bits: self.users.iter().map(|s| s.good_bits).sum(),
+            per_user_goodput_bits: self.users.iter().map(|s| s.good_bits).collect(),
+            per_user_tier: self.users.iter().map(|s| s.tier).collect(),
+            per_user_class: self.users.iter().map(|s| s.profile.class).collect(),
+            downgrades: self.events.iter().filter(|e| !e.restore).count(),
+            restores: self.events.iter().filter(|e| e.restore).count(),
+            latency_class: self.latency_rec.stats(),
+            bulk_class: self.bulk_rec.stats(),
+            digest: self.digest,
+        }
+    }
+
+    /// Access to the wrapped serving cell (read-only), for tests that
+    /// audit engine-level state.
+    pub fn serving_cell(&self) -> &StreamingCell<CellDetector> {
+        &self.cell
+    }
+}
+
+/// One step down the service ladder, `None` at the bottom.
+fn tier_down(t: ServiceTier) -> Option<ServiceTier> {
+    match t {
+        ServiceTier::Full => Some(ServiceTier::Sic),
+        ServiceTier::Sic => Some(ServiceTier::Linear),
+        ServiceTier::Linear => None,
+    }
+}
+
+/// One step up the service ladder, `None` at the top.
+fn tier_up(t: ServiceTier) -> Option<ServiceTier> {
+    match t {
+        ServiceTier::Linear => Some(ServiceTier::Sic),
+        ServiceTier::Sic => Some(ServiceTier::Full),
+        ServiceTier::Full => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::traffic::ArrivalProcess;
+    use super::*;
+
+    fn small_cfg() -> CityConfig {
+        let mut cfg = CityConfig::small_city();
+        cfg.n_cells = 1;
+        cfg.users_per_cell = 4;
+        cfg
+    }
+
+    fn add_users(cell: &mut CityCell, n: usize, class: QosClass, rate: f64, seed0: u64) {
+        for i in 0..n {
+            cell.add_user(UserProfile::new(
+                class,
+                ArrivalProcess::Poisson { rate },
+                seed0 + i as u64,
+            ));
+        }
+    }
+
+    #[test]
+    fn light_load_serves_everything_on_time_with_no_shedding() {
+        let cfg = small_cfg();
+        let mut cell = CityCell::new(&cfg, CellBudget::lte_subframe());
+        add_users(&mut cell, 2, QosClass::Latency, 0.3, 10);
+        add_users(&mut cell, 2, QosClass::Bulk, 0.3, 20);
+        for _ in 0..60 {
+            cell.step(1.0);
+        }
+        let r = cell.report();
+        assert!(r.offered_frames > 20, "no traffic generated: {r:?}");
+        assert_eq!(r.shed_frames, 0);
+        assert_eq!(r.delivered_frames, r.offered_frames);
+        assert_eq!(r.on_time_frames, r.delivered_frames);
+        assert_eq!(r.downgrades, 0);
+        assert!(r.goodput_bits > 0);
+        assert!(cell.backlog_s() == 0.0);
+        assert!(r.per_user_tier.iter().all(|&t| t == ServiceTier::Full));
+    }
+
+    #[test]
+    fn same_seed_reruns_are_bit_identical() {
+        let run = || {
+            let cfg = small_cfg();
+            let mut cell = CityCell::new(&cfg, CellBudget::lte_subframe());
+            add_users(&mut cell, 2, QosClass::Latency, 0.4, 10);
+            add_users(&mut cell, 2, QosClass::Bulk, 0.6, 20);
+            for _ in 0..40 {
+                cell.step(1.3);
+            }
+            let r = cell.report();
+            (r.digest, r.goodput_bits, r.delivered_frames, r.shed_frames)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overload_triggers_bulk_downgrades_and_bounds_the_backlog() {
+        let cfg = small_cfg();
+        let mut cell = CityCell::new(&cfg, CellBudget::lte_subframe());
+        add_users(&mut cell, 2, QosClass::Latency, 0.5, 30);
+        add_users(&mut cell, 2, QosClass::Bulk, 0.5, 40);
+        // Find the multiplier that makes offered work ≈ 2× capacity.
+        let per_tick_units: f64 = (0..4).map(|u| cell.frame_units(u) as f64 * 0.5).sum();
+        let mult = 2.0 * cell.capacity_units() / per_tick_units;
+        for _ in 0..80 {
+            cell.step(mult);
+        }
+        let r = cell.report();
+        assert!(r.downgrades > 0, "2x overload never shed: {r:?}");
+        // Every downgrade victim so far should be bulk (bulk users were
+        // never exhausted down to the bottom tier here).
+        for e in cell.events() {
+            if !e.restore && e.class == QosClass::Latency {
+                assert_eq!(e.bulk_above_bottom, 0, "latency user shed early: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_tier_swaps_and_records_through_the_policy_path() {
+        let cfg = small_cfg();
+        let mut cell = CityCell::new(&cfg, CellBudget::lte_subframe());
+        add_users(&mut cell, 1, QosClass::Bulk, 0.2, 50);
+        assert_eq!(cell.tier(0), ServiceTier::Full);
+        cell.force_tier(0, ServiceTier::Linear);
+        assert_eq!(cell.tier(0), ServiceTier::Linear);
+        assert_eq!(cell.events().len(), 1);
+        assert!(!cell.events()[0].restore);
+        cell.force_tier(0, ServiceTier::Linear); // no-op
+        assert_eq!(cell.events().len(), 1);
+        cell.force_tier(0, ServiceTier::Full);
+        assert!(cell.events()[1].restore);
+    }
+}

@@ -1,0 +1,526 @@
+//! City-scale serving: many cells, thousands of users, bursty traffic,
+//! QoS-aware admission and load shedding.
+//!
+//! The engine's `StreamingCell` (PR 4) answers "how do N queued uplinks
+//! share one PE pool"; this module answers the deployment question above
+//! it: **who gets in, who gets what tier, and what happens at 2× load.**
+//! A [`City`] is a set of [`CityCell`]s, each bound to a per-cell
+//! [`CellBudget`](flexcore_hwmodel::CellBudget); a deterministic
+//! population of [`UserProfile`]s (per-user arrival processes from
+//! [`traffic`], QoS classes from [`qos`]) is placed round-robin and gated
+//! by the [`AdmissionController`]. Under overload each cell's shed policy
+//! downgrades backlogged bulk users down the `CellDetector` tier ladder
+//! (FlexCore → SIC → linear) instead of letting the backlog starve
+//! everyone — decisions driven by the serving layer's frames-behind
+//! counters and windowed latency percentiles.
+//!
+//! Everything is seeded: the same [`CityConfig`] and seed replays the
+//! same arrivals, channels, payloads, swaps and detections, and the
+//! delivered-detection digest in [`CityReport`] pins that bit-for-bit.
+//! Load sweeps are *coupled* — each user draws one uniform per tick no
+//! matter the multiplier — so offered load scales without reshuffling
+//! anyone's burst timing.
+
+pub mod cell;
+pub mod qos;
+pub mod traffic;
+
+pub use cell::{CityCell, CityCellReport, DeliveredFrame, ShedEvent};
+pub use qos::{AdmissionController, AdmissionRequest, QosClass, UserProfile};
+pub use traffic::{poisson_quantile, ArrivalProcess, TrafficSource, MAX_ARRIVALS_PER_TICK};
+
+use flexcore_engine::LatencyStats;
+use flexcore_hwmodel::CellBudget;
+use flexcore_modulation::Modulation;
+
+/// The overload policy: when to downgrade, when to restore, how fast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShedPolicy {
+    /// Master switch; `false` pins every user at full service (the
+    /// bench's "fixed" arm).
+    pub enabled: bool,
+    /// Downgrade when any user's frames-behind reaches this.
+    pub lag_frames: u64,
+    /// Downgrade when the windowed p95 latency exceeds this (seconds).
+    pub p95_limit_s: f64,
+    /// Width of the latency window the p95 signal is computed over.
+    pub window_ticks: u64,
+    /// Ticks between policy actions (rate limit / hysteresis guard).
+    pub cooldown_ticks: u64,
+    /// Most downgrades applied in one decision — lets the policy shed a
+    /// deep overload in a few ticks instead of one user per cooldown.
+    pub actions_per_tick: usize,
+    /// Calm ticks required before restoring a degraded user.
+    pub restore_after_ticks: u64,
+    /// Restore only while the windowed p95 sits below this fraction of
+    /// the limit (hysteresis against flapping).
+    pub restore_p95_fraction: f64,
+}
+
+impl ShedPolicy {
+    /// The LTE small-cell default: shed on 4 frames of lag or a windowed
+    /// p95 above the latency-class deadline, up to 4 downgrades per
+    /// decision with a 2-tick cooldown, restore after 40 calm ticks.
+    pub fn lte_default() -> Self {
+        ShedPolicy {
+            enabled: true,
+            lag_frames: 4,
+            p95_limit_s: QosClass::Latency.default_deadline_s(),
+            window_ticks: 10,
+            cooldown_ticks: 2,
+            actions_per_tick: 4,
+            restore_after_ticks: 40,
+            restore_p95_fraction: 0.5,
+        }
+    }
+
+    /// Shedding off: the fixed-configuration baseline the bench compares
+    /// against. All other knobs keep their defaults so the two arms
+    /// differ in exactly one bit.
+    pub fn disabled() -> Self {
+        ShedPolicy {
+            enabled: false,
+            ..Self::lte_default()
+        }
+    }
+}
+
+/// The full city parameterisation: PHY shape, per-cell budget, policy,
+/// population mix, and the run seed.
+#[derive(Clone, Debug)]
+pub struct CityConfig {
+    /// Number of cells.
+    pub n_cells: usize,
+    /// Users *requesting* admission per cell (admission may reject some).
+    pub users_per_cell: usize,
+    /// Fraction of the population in the latency class, spread evenly.
+    pub latency_fraction: f64,
+    /// Mean offered frames per tick per user at load 1.0 (before the
+    /// city-level calibration rescales to a capacity multiple).
+    pub base_rate: f64,
+    /// Ticks per diurnal day for the diurnal arrival cohort.
+    pub day_ticks: u64,
+    /// Transmit/receive antennas per user.
+    pub nt: usize,
+    /// Modulation of every uplink.
+    pub modulation: Modulation,
+    /// FlexCore path budget at full service.
+    pub flexcore_budget: usize,
+    /// Subcarriers per user band.
+    pub n_subcarriers: usize,
+    /// OFDM symbols per frame.
+    pub n_symbols: usize,
+    /// Gauss–Markov channel coherence (0 = i.i.d. per frame, 1 = frozen).
+    pub rho: f64,
+    /// Subcarriers between estimate refreshes (staggered pilots).
+    pub refresh_period: usize,
+    /// Noise variance per receive antenna.
+    pub sigma2: f64,
+    /// Per-cell fabric budget (cloned per cell unless overridden).
+    pub budget: CellBudget,
+    /// Optional per-cell budget overrides, indexed by cell; cells beyond
+    /// the vector (or with no override) use `budget`.
+    pub cell_budgets: Vec<CellBudget>,
+    /// Admission headroom in `(0, 1]`.
+    pub headroom: f64,
+    /// The overload policy every cell runs.
+    pub policy: ShedPolicy,
+    /// Root seed; every per-user stream derives from this.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// A small city for tests and smokes: 2 cells × 32 users, 4×4 16-QAM
+    /// FlexCore-16 uplinks on the LTE small-cell budget, 30 dB SNR.
+    pub fn small_city() -> Self {
+        CityConfig {
+            n_cells: 2,
+            users_per_cell: 32,
+            latency_fraction: 0.25,
+            base_rate: 0.4,
+            day_ticks: 120,
+            nt: 4,
+            modulation: Modulation::Qam16,
+            flexcore_budget: 16,
+            n_subcarriers: 4,
+            n_symbols: 2,
+            rho: 0.95,
+            refresh_period: 4,
+            sigma2: 1e-3,
+            budget: CellBudget::lte_subframe(),
+            cell_budgets: Vec::new(),
+            headroom: 0.9,
+            policy: ShedPolicy::lte_default(),
+            seed: 0xC17_15EED,
+        }
+    }
+
+    /// The budget cell `i` runs under: its override if present, the
+    /// shared default otherwise.
+    pub fn budget_for(&self, i: usize) -> CellBudget {
+        match self.cell_budgets.get(i) {
+            Some(b) => b.clone(),
+            None => self.budget.clone(),
+        }
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`: 1.0 for a perfectly even
+/// allocation, `1/n` when one user gets everything. Empty and all-zero
+/// inputs — nobody is being treated unequally — return 1.0.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// City-level outcome of one run — the numbers the PR 10 bench publishes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CityReport {
+    /// The requested load as a multiple of city capacity.
+    pub load: f64,
+    /// The calibrated traffic multiplier that realises `load`.
+    pub multiplier: f64,
+    /// Users admitted across all cells.
+    pub n_admitted: usize,
+    /// Users rejected by admission control.
+    pub n_rejected: usize,
+    /// Frames offered by all admitted users.
+    pub offered_frames: u64,
+    /// Frames shed at queue caps.
+    pub shed_frames: u64,
+    /// Frames detected and delivered.
+    pub delivered_frames: u64,
+    /// Delivered frames that met their deadline.
+    pub on_time_frames: u64,
+    /// Bits offered (`offered_frames × bits/frame`).
+    pub offered_bits: u64,
+    /// Goodput: bits of symbol-correct detections delivered on time.
+    pub goodput_bits: u64,
+    /// `shed_frames / offered_frames` (0 when nothing was offered).
+    pub shed_fraction: f64,
+    /// Fraction of *delivered* frames that missed their deadline.
+    pub deadline_miss_rate: f64,
+    /// Jain index over per-user goodput bits, admitted users only.
+    pub jain: f64,
+    /// `goodput_bits × jain` — the bench's dominance metric.
+    pub goodput_fairness: f64,
+    /// Latency-class latency distribution (aggregated over cells by
+    /// worst-cell p95/p99, frame-weighted mean).
+    pub latency_class_p95_s: f64,
+    /// Bulk-class worst-cell p95 latency.
+    pub bulk_class_p95_s: f64,
+    /// Downgrade actions across all cells.
+    pub downgrades: usize,
+    /// Restore actions across all cells.
+    pub restores: usize,
+    /// FNV-1a fold of every cell's delivered-detection digest — the
+    /// run-to-run determinism gate.
+    pub digest: u64,
+}
+
+/// A deterministic multi-cell city. Build with [`City::new`] (which
+/// places and admits the population), then [`City::run`].
+pub struct City {
+    cells: Vec<CityCell>,
+    n_rejected: usize,
+}
+
+impl City {
+    /// Builds the city: generates the population deterministically from
+    /// `cfg.seed`, spreads requests round-robin over the cells, and runs
+    /// latency-first admission against each cell's budgeted capacity.
+    ///
+    /// The population cycles through the three arrival families
+    /// (Poisson, on/off, diurnal), each scaled to the same mean rate, and
+    /// the latency class is spread evenly at `cfg.latency_fraction`.
+    pub fn new(cfg: &CityConfig) -> Self {
+        assert!(cfg.n_cells >= 1, "City: need at least one cell");
+        let mut cells: Vec<CityCell> = (0..cfg.n_cells)
+            .map(|i| CityCell::new(cfg, cfg.budget_for(i)))
+            .collect();
+
+        // Deterministic population: class via an exact-fraction
+        // accumulator, arrivals cycling through the three families at
+        // equal mean rate, seeds derived from the run seed by index.
+        let total = cfg.n_cells * cfg.users_per_cell;
+        let mut class_acc = 0.0;
+        let mut requests: Vec<Vec<AdmissionRequest>> = vec![Vec::new(); cfg.n_cells];
+        let mut profiles: Vec<Vec<UserProfile>> = vec![Vec::new(); cfg.n_cells];
+        for i in 0..total {
+            class_acc += cfg.latency_fraction;
+            let class = if class_acc >= 1.0 {
+                class_acc -= 1.0;
+                QosClass::Latency
+            } else {
+                QosClass::Bulk
+            };
+            let arrivals = match i % 3 {
+                0 => ArrivalProcess::Poisson {
+                    rate: cfg.base_rate,
+                },
+                1 => {
+                    // Stationary mean p_on/(p_on+p_off) × peak = base_rate.
+                    let (p_on, p_off) = (0.1, 0.25);
+                    ArrivalProcess::OnOff {
+                        p_on,
+                        p_off,
+                        peak: cfg.base_rate * (p_on + p_off) / p_on,
+                    }
+                }
+                _ => ArrivalProcess::Diurnal {
+                    daily_volume: cfg.base_rate * cfg.day_ticks as f64,
+                    day_ticks: cfg.day_ticks,
+                },
+            };
+            let seed = cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
+            let profile = UserProfile::new(class, arrivals, seed);
+            let cell = i % cfg.n_cells;
+            requests[cell].push(AdmissionRequest {
+                class,
+                mean_units_per_tick: 0.0, // priced below, after a probe user exists
+            });
+            profiles[cell].push(profile);
+        }
+
+        // Price demand in measured extension-work units: one probe user
+        // tells us what a full-tier frame costs on this PHY shape (the
+        // fixed-budget FlexCore price is channel-independent).
+        let unit_price = {
+            let mut probe = CityCell::new(cfg, cfg.budget_for(0));
+            probe.add_user(UserProfile::new(
+                QosClass::Bulk,
+                ArrivalProcess::Poisson { rate: 0.0 },
+                cfg.seed,
+            ));
+            probe.frame_units(0) as f64
+        };
+
+        let controller = AdmissionController::new(cfg.headroom);
+        let mut n_rejected = 0;
+        for (c, cell) in cells.iter_mut().enumerate() {
+            for (req, profile) in requests[c].iter_mut().zip(&profiles[c]) {
+                req.mean_units_per_tick = profile.arrivals.mean_rate() * unit_price;
+            }
+            let capacity = cell.capacity_units();
+            let admitted = controller.admit(capacity, &requests[c]);
+            for (ok, profile) in admitted.iter().zip(&profiles[c]) {
+                if *ok {
+                    cell.add_user(profile.clone());
+                } else {
+                    n_rejected += 1;
+                }
+            }
+        }
+        City { cells, n_rejected }
+    }
+
+    /// The cells, in placement order.
+    pub fn cells(&self) -> &[CityCell] {
+        &self.cells
+    }
+
+    /// Mutable access to one cell (bench/test hook for forced tiers).
+    pub fn cell_mut(&mut self, i: usize) -> &mut CityCell {
+        &mut self.cells[i]
+    }
+
+    /// Users admitted across all cells.
+    pub fn n_admitted(&self) -> usize {
+        self.cells.iter().map(CityCell::n_users).sum()
+    }
+
+    /// The traffic multiplier that makes the admitted population's mean
+    /// offered work equal `load ×` the city's total per-tick capacity.
+    /// Deterministic: prices each admitted user at its measured full-tier
+    /// frame cost.
+    pub fn calibrate_multiplier(&self, load: f64) -> f64 {
+        assert!(load.is_finite() && load > 0.0, "City: bad load {load}");
+        let capacity: f64 = self.cells.iter().map(CityCell::capacity_units).sum();
+        let offered: f64 = self
+            .cells
+            .iter()
+            .map(|cell| {
+                (0..cell.n_users())
+                    .map(|u| cell.profile(u).arrivals.mean_rate() * cell.frame_units(u) as f64)
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(offered > 0.0, "City: nobody admitted offers any traffic");
+        load * capacity / offered
+    }
+
+    /// Steps every cell one tick at the given raw multiplier.
+    pub fn step(&mut self, multiplier: f64) {
+        for cell in &mut self.cells {
+            cell.step(multiplier);
+        }
+    }
+
+    /// Runs `n_ticks` at `load ×` capacity (calibrated up front, from the
+    /// full-tier prices at run start) and reports. Continues from the
+    /// current state — run once per `City` for a clean experiment.
+    pub fn run(&mut self, n_ticks: u64, load: f64) -> CityReport {
+        let multiplier = self.calibrate_multiplier(load);
+        for _ in 0..n_ticks {
+            self.step(multiplier);
+        }
+        self.report(load, multiplier)
+    }
+
+    /// Aggregates every cell's report into the city-level numbers.
+    pub fn report(&self, load: f64, multiplier: f64) -> CityReport {
+        let reports: Vec<CityCellReport> = self.cells.iter().map(CityCell::report).collect();
+        let offered_frames: u64 = reports.iter().map(|r| r.offered_frames).sum();
+        let shed_frames: u64 = reports.iter().map(|r| r.shed_frames).sum();
+        let delivered_frames: u64 = reports.iter().map(|r| r.delivered_frames).sum();
+        let on_time_frames: u64 = reports.iter().map(|r| r.on_time_frames).sum();
+        let goodput_bits: u64 = reports.iter().map(|r| r.goodput_bits).sum();
+        let per_user: Vec<f64> = reports
+            .iter()
+            .flat_map(|r| r.per_user_goodput_bits.iter().map(|&b| b as f64))
+            .collect();
+        let jain = jain_index(&per_user);
+        let worst_p95 = |f: fn(&CityCellReport) -> &LatencyStats| {
+            reports.iter().map(|r| f(r).p95_s).fold(0.0, f64::max)
+        };
+        let mut digest = 0xCBF2_9CE4_8422_2325u64;
+        for r in &reports {
+            for byte in r.digest.to_le_bytes() {
+                digest ^= byte as u64;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        CityReport {
+            load,
+            multiplier,
+            n_admitted: self.n_admitted(),
+            n_rejected: self.n_rejected,
+            offered_frames,
+            shed_frames,
+            delivered_frames,
+            on_time_frames,
+            offered_bits: reports.iter().map(|r| r.offered_bits).sum(),
+            goodput_bits,
+            shed_fraction: if offered_frames == 0 {
+                0.0
+            } else {
+                shed_frames as f64 / offered_frames as f64
+            },
+            deadline_miss_rate: if delivered_frames == 0 {
+                0.0
+            } else {
+                (delivered_frames - on_time_frames) as f64 / delivered_frames as f64
+            },
+            jain,
+            goodput_fairness: goodput_bits as f64 * jain,
+            latency_class_p95_s: worst_p95(|r| &r.latency_class),
+            bulk_class_p95_s: worst_p95(|r| &r.bulk_class),
+            downgrades: reports.iter().map(|r| r.downgrades).sum(),
+            restores: reports.iter().map(|r| r.restores).sum(),
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn city_builds_admits_and_runs_deterministically() {
+        let mut cfg = CityConfig::small_city();
+        cfg.users_per_cell = 8;
+        let run = || {
+            let mut city = City::new(&cfg);
+            assert_eq!(city.cells().len(), 2);
+            assert!(city.n_admitted() > 0);
+            let r = city.run(30, 0.7);
+            (r.digest, r.goodput_bits, r.shed_frames, r.n_admitted)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn population_mixes_classes_and_arrival_families() {
+        let mut cfg = CityConfig::small_city();
+        cfg.users_per_cell = 12;
+        cfg.headroom = 1.0;
+        let city = City::new(&cfg);
+        let mut latency = 0;
+        let mut families = [0usize; 3];
+        for cell in city.cells() {
+            for u in 0..cell.n_users() {
+                let p = cell.profile(u);
+                if p.class == QosClass::Latency {
+                    latency += 1;
+                }
+                match p.arrivals {
+                    ArrivalProcess::Poisson { .. } => families[0] += 1,
+                    ArrivalProcess::OnOff { .. } => families[1] += 1,
+                    ArrivalProcess::Diurnal { .. } => families[2] += 1,
+                }
+            }
+        }
+        assert!(latency > 0, "no latency users");
+        assert!(
+            families.iter().all(|&f| f > 0),
+            "missing family: {families:?}"
+        );
+        // All three families carry the same mean rate.
+        for cell in city.cells() {
+            for u in 0..cell.n_users() {
+                let m = cell.profile(u).arrivals.mean_rate();
+                assert!(
+                    (m - cfg.base_rate).abs() < 1e-12,
+                    "family rate drifted: {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_hits_the_requested_load() {
+        let mut cfg = CityConfig::small_city();
+        cfg.users_per_cell = 8;
+        let city = City::new(&cfg);
+        let capacity: f64 = city.cells().iter().map(CityCell::capacity_units).sum();
+        for load in [0.5, 1.0, 2.0] {
+            let m = city.calibrate_multiplier(load);
+            let offered: f64 = city
+                .cells()
+                .iter()
+                .map(|cell| {
+                    (0..cell.n_users())
+                        .map(|u| {
+                            m * cell.profile(u).arrivals.mean_rate() * cell.frame_units(u) as f64
+                        })
+                        .sum::<f64>()
+                })
+                .sum();
+            assert!(
+                (offered / capacity - load).abs() < 1e-9,
+                "load {load}: calibrated to {}",
+                offered / capacity
+            );
+        }
+    }
+}

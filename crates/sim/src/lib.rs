@@ -10,6 +10,9 @@
 //! * [`calibrate`] — SNR operating-point calibration (find the SNR where
 //!   ML detection reaches a target error rate, §5.1's PER_ML ∈ {0.1, 0.01})
 //!   plus uncoded SER sweeps;
+//! * [`city`] — the city-scale serving layer: multi-cell simulation with
+//!   per-user arrival processes, QoS classes, admission control and
+//!   QoS-aware load shedding over `flexcore_engine::StreamingCell`;
 //! * [`experiments`] — the per-figure drivers;
 //! * [`hardware`] — the paper-style hardware-efficiency tables: converts
 //!   the `hwtables` bench's measured effort/packing/utilisation numbers
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod city;
 pub mod experiments;
 pub mod hardware;
 pub mod table;

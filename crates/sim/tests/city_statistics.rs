@@ -1,0 +1,163 @@
+//! Statistical pins for the city's arrival processes (ISSUE 10,
+//! satellite 1). Each test draws a long seeded sample and checks the
+//! realised statistics against the analytic ones within a CLT confidence
+//! interval — wide enough (4σ) to be deterministic for the fixed seeds,
+//! tight enough to catch a broken sampler, an off-by-one in the CDF
+//! inversion, or a profile that no longer integrates to its volume.
+
+use flexcore_sim::city::{ArrivalProcess, TrafficSource};
+
+#[test]
+fn poisson_sample_mean_lands_in_the_clt_interval_of_lambda() {
+    for (lambda, seed) in [(0.4, 11u64), (1.7, 12), (4.0, 13)] {
+        let n = 40_000u64;
+        let mut src = TrafficSource::new(ArrivalProcess::Poisson { rate: lambda }, seed);
+        let total: u64 = (0..n).map(|_| src.step(1.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        // Var(N) = λ for Poisson, so SE(mean) = sqrt(λ/n).
+        let tol = 4.0 * (lambda / n as f64).sqrt();
+        assert!(
+            (mean - lambda).abs() < tol,
+            "λ={lambda}: sample mean {mean} outside ±{tol}"
+        );
+    }
+}
+
+#[test]
+fn poisson_variance_matches_the_mean() {
+    // Poisson's signature is mean ≈ variance; a deterministic emitter or a
+    // doubled quantile both break it.
+    let lambda = 2.0;
+    let n = 40_000usize;
+    let mut src = TrafficSource::new(ArrivalProcess::Poisson { rate: lambda }, 21);
+    let counts: Vec<f64> = (0..n).map(|_| src.step(1.0) as f64).collect();
+    let mean = counts.iter().sum::<f64>() / n as f64;
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n as f64;
+    assert!(
+        (var / mean - 1.0).abs() < 0.1,
+        "variance/mean ratio drifted: {}",
+        var / mean
+    );
+}
+
+#[test]
+fn on_off_burst_lengths_are_geometric_with_mean_one_over_p_off() {
+    let (p_on, p_off) = (0.2, 0.3);
+    let mut src = TrafficSource::new(
+        ArrivalProcess::OnOff {
+            p_on,
+            p_off,
+            peak: 1.0,
+        },
+        31,
+    );
+    // Collect completed on-run lengths over a long horizon.
+    let mut bursts: Vec<u64> = Vec::new();
+    let mut run = 0u64;
+    for _ in 0..60_000 {
+        src.step(1.0);
+        if src.is_on() {
+            run += 1;
+        } else if run > 0 {
+            bursts.push(run);
+            run = 0;
+        }
+    }
+    assert!(bursts.len() > 2_000, "too few bursts: {}", bursts.len());
+    let mean = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
+    let want = 1.0 / p_off;
+    // Geometric(p): mean 1/p, std sqrt(1-p)/p.
+    let se = (1.0 - p_off).sqrt() / p_off / (bursts.len() as f64).sqrt();
+    assert!(
+        (mean - want).abs() < 4.0 * se.max(0.01),
+        "burst mean {mean} vs geometric {want} (se {se})"
+    );
+    // Memorylessness: the continuation ratio P(L > k+1 | L > k) is the
+    // constant 1 − p_off at every prefix length.
+    for k in 1..4u64 {
+        let longer = bursts.iter().filter(|&&b| b > k + 1).count() as f64;
+        let at_least = bursts.iter().filter(|&&b| b > k).count() as f64;
+        let ratio = longer / at_least;
+        assert!(
+            (ratio - (1.0 - p_off)).abs() < 0.08,
+            "continuation ratio at k={k}: {ratio} vs {}",
+            1.0 - p_off
+        );
+    }
+    // Gaps between bursts are geometric in p_on: pin the stationary
+    // on-fraction too, which depends on both probabilities.
+    let on_frac_want = p_on / (p_on + p_off);
+    let mut src2 = TrafficSource::new(
+        ArrivalProcess::OnOff {
+            p_on,
+            p_off,
+            peak: 1.0,
+        },
+        32,
+    );
+    let on_ticks = (0..60_000)
+        .filter(|_| {
+            src2.step(1.0);
+            src2.is_on()
+        })
+        .count();
+    let on_frac = on_ticks as f64 / 60_000.0;
+    assert!(
+        (on_frac - on_frac_want).abs() < 0.02,
+        "stationary on-fraction {on_frac} vs {on_frac_want}"
+    );
+}
+
+#[test]
+fn diurnal_profile_integrates_to_the_daily_volume() {
+    let (volume, day) = (96.0, 120u64);
+    let p = ArrivalProcess::Diurnal {
+        daily_volume: volume,
+        day_ticks: day,
+    };
+    // Analytic: the per-tick rates over one day sum to the daily volume
+    // exactly (Σ (1 − cos 2πt/D) = D).
+    let total: f64 = (0..day).map(|t| p.rate_at(t)).sum();
+    assert!(
+        (total - volume).abs() < 1e-9 * volume,
+        "profile sums to {total}, not {volume}"
+    );
+    assert!((p.mean_rate() - volume / day as f64).abs() < 1e-12);
+
+    // Sampled: arrivals over many days land in the CLT interval of
+    // days × volume (the day total is Poisson with that mean).
+    let days = 200u64;
+    let mut src = TrafficSource::new(p, 41);
+    let got: u64 = (0..days * day).map(|_| src.step(1.0) as u64).sum();
+    let want = days as f64 * volume;
+    let tol = 4.0 * want.sqrt();
+    assert!(
+        (got as f64 - want).abs() < tol,
+        "sampled volume {got} vs {want} ± {tol}"
+    );
+
+    // The shape is actually diurnal: the mid-day half of the day carries
+    // well over half the volume.
+    let mut src = TrafficSource::new(
+        ArrivalProcess::Diurnal {
+            daily_volume: volume,
+            day_ticks: day,
+        },
+        42,
+    );
+    let mut midday = 0u64;
+    let mut offpeak = 0u64;
+    for t in 0..days * day {
+        let n = src.step(1.0) as u64;
+        let phase = t % day;
+        if phase >= day / 4 && phase < 3 * day / 4 {
+            midday += n;
+        } else {
+            offpeak += n;
+        }
+    }
+    assert!(
+        midday as f64 > 3.0 * offpeak as f64,
+        "no diurnal swell: midday {midday} vs off-peak {offpeak}"
+    );
+}
